@@ -1,0 +1,292 @@
+// Benchmarks regenerating the paper's tables and figures. Each
+// Benchmark* corresponds to one evaluation artifact:
+//
+//	BenchmarkFig5_*   — mapping quality (II) per architecture (Figure 5)
+//	BenchmarkFig6_*   — compilation time per mapper (Figure 6)
+//	BenchmarkTable1   — single-node remapping iterations (Table I)
+//	BenchmarkAblation — design-choice sweeps called out in DESIGN.md
+//	BenchmarkSub*     — substrate micro-benchmarks (router, propagation,
+//	                    MRRG construction, kernel lowering)
+//
+// Quality numbers are exposed via b.ReportMetric: sumII (total achieved
+// II over the architecture's kernels, lower is better), fails, and
+// per-mapper compile milliseconds. Budgets are scaled down (500ms per
+// II) so the full suite runs in minutes; cmd/rewire-experiments runs the
+// same comparison with larger budgets and pretty tables.
+package rewire
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rewire/internal/arch"
+	"rewire/internal/core"
+	"rewire/internal/eval"
+	"rewire/internal/kernels"
+	"rewire/internal/mapping"
+	"rewire/internal/mrrg"
+	"rewire/internal/pathfinder"
+	"rewire/internal/route"
+	"rewire/internal/sa"
+	"rewire/internal/stats"
+)
+
+const benchBudget = 300 * time.Millisecond
+
+// benchCfg is the scaled-down evaluation config used by all benches.
+func benchCfg() eval.Config {
+	return eval.Config{Seed: 1, TimePerII: benchBudget, MaxII: 32}
+}
+
+// runFigure5 maps every kernel of one architecture with one mapper and
+// reports aggregate quality metrics.
+func runFigure5(b *testing.B, archName, mapper string) {
+	var combos []eval.Combo
+	for _, cb := range eval.Combos() {
+		if cb.Arch.Name == archName {
+			combos = append(combos, cb)
+		}
+	}
+	if len(combos) == 0 {
+		b.Fatalf("no combos for %s", archName)
+	}
+	for i := 0; i < b.N; i++ {
+		sumII, fails := 0, 0
+		for _, cb := range combos {
+			_, res := eval.Run(mapper, cb, benchCfg())
+			if res.Success {
+				sumII += res.II
+			} else {
+				fails++
+			}
+		}
+		b.ReportMetric(float64(sumII), "sumII")
+		b.ReportMetric(float64(fails), "fails")
+	}
+}
+
+func BenchmarkFig5_4x4r4_Rewire(b *testing.B) { runFigure5(b, "4x4r4", "Rewire") }
+func BenchmarkFig5_4x4r4_PF(b *testing.B)     { runFigure5(b, "4x4r4", "PF*") }
+func BenchmarkFig5_4x4r4_SA(b *testing.B)     { runFigure5(b, "4x4r4", "SA") }
+
+func BenchmarkFig5_8x8r4_Rewire(b *testing.B) { runFigure5(b, "8x8r4", "Rewire") }
+func BenchmarkFig5_8x8r4_PF(b *testing.B)     { runFigure5(b, "8x8r4", "PF*") }
+func BenchmarkFig5_8x8r4_SA(b *testing.B)     { runFigure5(b, "8x8r4", "SA") }
+
+func BenchmarkFig5_4x4r2_Rewire(b *testing.B) { runFigure5(b, "4x4r2", "Rewire") }
+func BenchmarkFig5_4x4r2_PF(b *testing.B)     { runFigure5(b, "4x4r2", "PF*") }
+func BenchmarkFig5_4x4r2_SA(b *testing.B)     { runFigure5(b, "4x4r2", "SA") }
+
+func BenchmarkFig5_4x4r1_Rewire(b *testing.B) { runFigure5(b, "4x4r1", "Rewire") }
+func BenchmarkFig5_4x4r1_PF(b *testing.B)     { runFigure5(b, "4x4r1", "PF*") }
+func BenchmarkFig5_4x4r1_SA(b *testing.B)     { runFigure5(b, "4x4r1", "SA") }
+
+// runFigure6 measures compile time (the benchmark's own ns/op is the
+// figure: total mapping wall-clock for the architecture's kernel set).
+func runFigure6(b *testing.B, archName, mapper string) {
+	var combos []eval.Combo
+	for _, cb := range eval.Combos() {
+		if cb.Arch.Name == archName {
+			combos = append(combos, cb)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cb := range combos {
+			eval.Run(mapper, cb, benchCfg())
+		}
+	}
+}
+
+func BenchmarkFig6_4x4r2_Rewire(b *testing.B) { runFigure6(b, "4x4r2", "Rewire") }
+func BenchmarkFig6_4x4r2_PF(b *testing.B)     { runFigure6(b, "4x4r2", "PF*") }
+func BenchmarkFig6_4x4r2_SA(b *testing.B)     { runFigure6(b, "4x4r2", "SA") }
+
+func BenchmarkFig6_8x8r4_Rewire(b *testing.B) { runFigure6(b, "8x8r4", "Rewire") }
+func BenchmarkFig6_8x8r4_PF(b *testing.B)     { runFigure6(b, "8x8r4", "PF*") }
+func BenchmarkFig6_8x8r4_SA(b *testing.B)     { runFigure6(b, "8x8r4", "SA") }
+
+// BenchmarkTable1 reports the average single-node remapping iterations of
+// PF* and SA over the Table I benchmark set (4x4, one register per PE —
+// the paper's hardest routing regime — and four registers).
+func BenchmarkTable1(b *testing.B) {
+	set := []string{"gramsch", "ludcmp", "lu", "gemver", "cholesky", "gesummv", "atax", "bicg(u)"}
+	for i := 0; i < b.N; i++ {
+		for _, regs := range []int{1, 4} {
+			a := arch.New4x4(regs)
+			pfIters, saIters := 0, 0
+			for _, k := range set {
+				g := kernels.MustLoad(k)
+				_, pr := pathfinder.Map(g, a, pathfinder.Options{Seed: 1, TimePerII: benchBudget})
+				_, sr := sa.Map(g, a, sa.Options{Seed: 1, TimePerII: benchBudget})
+				pfIters += pr.RemapIterations
+				saIters += sr.RemapIterations
+			}
+			suffix := "r4"
+			if regs == 1 {
+				suffix = "r1"
+			}
+			b.ReportMetric(float64(pfIters)/float64(len(set)), "PFremaps_"+suffix)
+			b.ReportMetric(float64(saIters)/float64(len(set)), "SAremaps_"+suffix)
+		}
+	}
+}
+
+// BenchmarkAblationClusterCap sweeps the cluster size cap (the paper
+// fixes it at 15, §IV-B) on a mid-sized kernel set.
+func BenchmarkAblationClusterCap(b *testing.B) {
+	for _, cap := range []int{4, 8, 15, 30} {
+		b.Run(bname("cap", cap), func(b *testing.B) {
+			ablationRun(b, core.Options{ClusterCap: cap})
+		})
+	}
+}
+
+// BenchmarkAblationRounds sweeps the propagation-round multiplier (the
+// paper uses x3 anchored / x5 unanchored, §IV-C).
+func BenchmarkAblationRounds(b *testing.B) {
+	for _, mult := range []int{1, 3, 6} {
+		b.Run(bname("mult", mult), func(b *testing.B) {
+			ablationRun(b, core.Options{RoundsAnchored: mult, RoundsUnanchored: mult + 2})
+		})
+	}
+}
+
+// BenchmarkAblationCandidates sweeps the per-node candidate list bound.
+func BenchmarkAblationCandidates(b *testing.B) {
+	for _, n := range []int{8, 32, 64, 128} {
+		b.Run(bname("cands", n), func(b *testing.B) {
+			ablationRun(b, core.Options{MaxCandidatesPerNode: n})
+		})
+	}
+}
+
+var ablationKernels = []string{"atax", "fft", "lu", "stencil2d", "viterbi"}
+
+func ablationRun(b *testing.B, opt core.Options) {
+	opt.Seed = 1
+	opt.TimePerII = benchBudget
+	a := arch.New4x4(4)
+	for i := 0; i < b.N; i++ {
+		sumII, fails := 0, 0
+		for _, k := range ablationKernels {
+			g := kernels.MustLoad(k)
+			_, res := core.Map(g, a, opt)
+			if res.Success {
+				sumII += res.II
+			} else {
+				fails++
+			}
+		}
+		b.ReportMetric(float64(sumII), "sumII")
+		b.ReportMetric(float64(fails), "fails")
+	}
+}
+
+func bname(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkSubRouter measures the exact-latency router on an 8x8 fabric.
+func BenchmarkSubRouter(b *testing.B) {
+	g := mrrg.New(arch.New8x8(4), 4)
+	st := mrrg.NewState(g)
+	r := route.NewRouter(g, route.DefaultMaxLat(8, 8, 4))
+	cost := route.StrictCost(st, 1)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srcPE := rng.Intn(64)
+		dstPE := rng.Intn(64)
+		lat := 1 + rng.Intn(10)
+		r.FindPath(g.FU(srcPE, 0), g.FU(dstPE, lat%4), lat, cost)
+	}
+}
+
+// BenchmarkSubMRRGBuild measures modulo-resource-graph construction.
+func BenchmarkSubMRRGBuild(b *testing.B) {
+	a := arch.New8x8(4)
+	for i := 0; i < b.N; i++ {
+		mrrg.New(a, 6)
+	}
+}
+
+// BenchmarkSubKernelLowering measures IR parse+unroll+lower for the whole
+// registry.
+func BenchmarkSubKernelLowering(b *testing.B) {
+	names := kernels.Names()
+	for i := 0; i < b.N; i++ {
+		for _, n := range names {
+			kernels.MustLoad(n)
+		}
+	}
+}
+
+// BenchmarkSubPFInitial measures the initial-mapping phase Rewire amends.
+func BenchmarkSubPFInitial(b *testing.B) {
+	g := kernels.MustLoad("gemver")
+	a := arch.New4x4(4)
+	mii := g.MII(a.NumPEs(), a.NumMemPEs(), a.BankPorts())
+	for i := 0; i < b.N; i++ {
+		var res stats.Result
+		pathfinder.BuildInitial(mapping.New(g, a, mii), int64(i), &res)
+	}
+}
+
+// BenchmarkSubValidate measures the independent mapping validator.
+func BenchmarkSubValidate(b *testing.B) {
+	g := kernels.MustLoad("mvt")
+	a := arch.New4x4(4)
+	m, res := pathfinder.Map(g, a, pathfinder.Options{Seed: 1, TimePerII: 2 * time.Second})
+	if m == nil {
+		b.Fatalf("setup mapping failed: %v", res)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mapping.Validate(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubRecMII measures the recurrence-bound computation.
+func BenchmarkSubRecMII(b *testing.B) {
+	g := kernels.MustLoad("crc")
+	for i := 0; i < b.N; i++ {
+		if g.RecMII() != 8 {
+			b.Fatal("wrong RecMII")
+		}
+	}
+}
+
+// BenchmarkAblationMechanisms toggles Rewire's two signature mechanisms:
+// tuple-path reuse during verification ("reuse of wire information") and
+// the execution-cycle constraint pruning of Algorithm 2.
+func BenchmarkAblationMechanisms(b *testing.B) {
+	b.Run("full", func(b *testing.B) {
+		ablationRun(b, core.Options{})
+	})
+	b.Run("noTuplePaths", func(b *testing.B) {
+		ablationRun(b, core.Options{DisableTuplePaths: true})
+	})
+	b.Run("noCyclePruning", func(b *testing.B) {
+		ablationRun(b, core.Options{DisableCyclePruning: true})
+	})
+}

@@ -1,0 +1,66 @@
+// Command rewire-dfg inspects benchmark kernels: statistics, theoretical
+// II bounds per architecture, and Graphviz dumps of the data-flow graph.
+//
+// Usage:
+//
+//	rewire-dfg -kernel gramsch          # stats + MII table
+//	rewire-dfg -kernel gramsch -dot     # DOT on stdout
+//	rewire-dfg -src my_kernel.ir -unroll 2 -dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rewire"
+	"rewire/internal/arch"
+)
+
+func main() {
+	var (
+		kernel = flag.String("kernel", "", "bundled kernel name")
+		src    = flag.String("src", "", "path to a kernel-IR source file (alternative to -kernel)")
+		unroll = flag.Int("unroll", 1, "unroll factor applied to -src kernels")
+		dot    = flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+	)
+	flag.Parse()
+
+	var (
+		g   *rewire.DFG
+		err error
+	)
+	switch {
+	case *kernel != "" && *src != "":
+		fatalf("use either -kernel or -src, not both")
+	case *kernel != "":
+		g, err = rewire.LoadKernel(*kernel)
+	case *src != "":
+		var text []byte
+		text, err = os.ReadFile(*src)
+		if err == nil {
+			g, err = rewire.ParseKernel(string(text), *unroll)
+		}
+	default:
+		fatalf("one of -kernel or -src is required (bundled kernels: %v)", rewire.Kernels())
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *dot {
+		fmt.Print(g.DOT())
+		return
+	}
+	fmt.Println(g.Stats())
+	fmt.Printf("recurrence MII: %d\ncritical path:  %d\n\n", g.RecMII(), g.CriticalPathLen())
+	fmt.Printf("%-8s %4s\n", "arch", "MII")
+	for _, a := range arch.Presets() {
+		fmt.Printf("%-8s %4d\n", a.Name, rewire.MII(g, a))
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "rewire-dfg: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command rewire-experiments regenerates the paper's evaluation: the
+// Figure 5 mapping-quality comparison, the Figure 6 compilation-time
+// comparison, Table I's remapping-iteration counts, and the §V summary
+// statistics, over the 47 benchmark-architecture combinations.
+//
+// Usage:
+//
+//	rewire-experiments                  # everything (fig5+fig6+table1+summary)
+//	rewire-experiments -fig5            # just the mapping-quality table
+//	rewire-experiments -time-per-ii 5s  # larger per-II budgets (closer to the paper's 1h)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rewire/internal/eval"
+)
+
+func main() {
+	var (
+		fig5    = flag.Bool("fig5", false, "print only Figure 5 (mapping quality)")
+		fig6    = flag.Bool("fig6", false, "print only Figure 6 (compilation time)")
+		table1  = flag.Bool("table1", false, "print only Table I (remapping iterations)")
+		summary = flag.Bool("summary", false, "print only the summary statistics")
+		scaling = flag.Bool("scaling", false, "run the fabric-size scaling study instead of the main evaluation")
+		seed    = flag.Int64("seed", 1, "random seed for all mappers")
+		budget  = flag.Duration("time-per-ii", 2*time.Second, "per-II wall-clock budget per mapper")
+		quiet   = flag.Bool("quiet", false, "suppress per-run progress lines")
+	)
+	flag.Parse()
+
+	cfg := eval.Config{
+		Seed:      *seed,
+		TimePerII: *budget,
+		Verbose:   !*quiet,
+		Out:       os.Stdout,
+	}
+	if *scaling {
+		eval.Scaling(cfg, os.Stdout)
+		return
+	}
+	fmt.Printf("running %d combos x %d mappers (budget %s per II, seed %d)...\n\n",
+		len(eval.Combos()), len(eval.Mappers), *budget, *seed)
+	results := eval.RunAll(cfg)
+	fmt.Println()
+
+	specific := *fig5 || *fig6 || *table1 || *summary
+	if !specific || *fig5 {
+		results.Figure5(os.Stdout)
+	}
+	if !specific || *fig6 {
+		results.Figure6(os.Stdout)
+	}
+	if !specific || *table1 {
+		results.Table1(os.Stdout)
+	}
+	if !specific || *summary {
+		results.Summary(os.Stdout)
+	}
+}

@@ -1,0 +1,146 @@
+// Command rewire-map maps one benchmark kernel onto one CGRA
+// configuration with a chosen mapper and prints the resulting modulo
+// schedule, route table and fabric utilisation.
+//
+// Usage:
+//
+//	rewire-map -kernel fft -arch 4x4r4 -mapper rewire -seed 1
+//	rewire-map -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rewire"
+)
+
+func main() {
+	var (
+		kernel   = flag.String("kernel", "fft", "benchmark kernel name (see -list)")
+		archStr  = flag.String("arch", "4x4r4", "architecture: 4x4rN, 8x8rN, or RxCrN")
+		archFile = flag.String("arch-file", "", "path to an ADL architecture spec (overrides -arch)")
+		mapper   = flag.String("mapper", "rewire", "mapper: rewire, pathfinder, or sa")
+		seed     = flag.Int64("seed", 1, "random seed (runs are reproducible per seed)")
+		budget   = flag.Duration("time-per-ii", 5*time.Second, "wall-clock budget per attempted II")
+		maxII    = flag.Int("max-ii", 32, "largest II to attempt")
+		routes   = flag.Bool("routes", false, "also print the per-edge route table")
+		energy   = flag.Bool("energy", false, "also print the activity/energy estimate")
+		simIter  = flag.Int("simulate", 0, "functionally verify the mapping over N simulated iterations")
+		saveTo   = flag.String("save", "", "write the mapping as a JSON bundle to this path")
+		list     = flag.Bool("list", false, "list bundled kernels and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range rewire.Kernels() {
+			g, err := rewire.LoadKernel(n)
+			if err != nil {
+				fatalf("load %s: %v", n, err)
+			}
+			fmt.Printf("%-12s %s\n", n, g.Stats())
+		}
+		return
+	}
+
+	var (
+		cgra *rewire.CGRA
+		err  error
+	)
+	if *archFile != "" {
+		text, rerr := os.ReadFile(*archFile)
+		if rerr != nil {
+			fatalf("%v", rerr)
+		}
+		cgra, err = rewire.ParseArch(string(text))
+	} else {
+		cgra, err = parseArch(*archStr)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	g, err := rewire.LoadKernel(*kernel)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("kernel: %s\narch:   %s\nMII:    %d\n\n", g.Stats(), cgra, rewire.MII(g, cgra))
+
+	m, res, err := rewire.Map(g, cgra, rewire.Options{
+		Mapper:    rewire.MapperName(*mapper),
+		Seed:      *seed,
+		TimePerII: *budget,
+		MaxII:     *maxII,
+	})
+	fmt.Println(res)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Println()
+	fmt.Print(rewire.Render(m))
+	util, err := rewire.RenderUtilisation(m)
+	if err != nil {
+		fatalf("utilisation: %v", err)
+	}
+	fmt.Println()
+	fmt.Print(util)
+	if *routes {
+		rt, err := rewire.RenderRoutes(m)
+		if err != nil {
+			fatalf("routes: %v", err)
+		}
+		fmt.Println()
+		fmt.Print(rt)
+	}
+	if *energy {
+		rep, err := rewire.EstimateEnergy(m)
+		if err != nil {
+			fatalf("energy: %v", err)
+		}
+		fmt.Println()
+		fmt.Print(rep)
+	}
+	if *simIter > 0 {
+		if err := rewire.VerifyExecution(m, *simIter); err != nil {
+			fatalf("simulation: %v", err)
+		}
+		fmt.Printf("\nsimulated %d iterations: store streams match the reference interpreter\n", *simIter)
+	}
+	if *saveTo != "" {
+		data, err := rewire.SaveMapping(m)
+		if err != nil {
+			fatalf("save: %v", err)
+		}
+		if err := os.WriteFile(*saveTo, data, 0o644); err != nil {
+			fatalf("save: %v", err)
+		}
+		fmt.Printf("\nmapping bundle written to %s\n", *saveTo)
+	}
+}
+
+// parseArch accepts "4x4r4"-style names: ROWSxCOLSrREGS. The presets use
+// the paper's memory configuration; other grids get two banks on the
+// left column (and the right column too when wider than four).
+func parseArch(s string) (*rewire.CGRA, error) {
+	var rows, cols, regs int
+	if _, err := fmt.Sscanf(strings.ToLower(s), "%dx%dr%d", &rows, &cols, &regs); err != nil {
+		return nil, fmt.Errorf("bad -arch %q (want e.g. 4x4r4): %v", s, err)
+	}
+	switch {
+	case rows == 4 && cols == 4:
+		return rewire.New4x4(regs), nil
+	case rows == 8 && cols == 8:
+		return rewire.New8x8(regs), nil
+	case cols > 4:
+		return rewire.NewCGRA(s, rows, cols, regs, rows, 0, cols-1), nil
+	default:
+		return rewire.NewCGRA(s, rows, cols, regs, 2, 0), nil
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "rewire-map: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Archsweep: explore how architecture parameters change achievable
+// performance — sweep register-file sizes and array sizes for one kernel
+// and report the achieved II, the way an architect would size a CGRA for
+// a workload (§V-A's register-pressure study generalised).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rewire"
+)
+
+func main() {
+	g, err := rewire.LoadKernel("gramsch")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(g.Stats())
+	fmt.Println()
+
+	fmt.Println("register-file sweep on the 4x4 fabric:")
+	fmt.Printf("%-8s %4s %4s %10s\n", "arch", "MII", "II", "compile")
+	for _, regs := range []int{1, 2, 4, 8} {
+		cgra := rewire.New4x4(regs)
+		report(g, cgra)
+	}
+
+	fmt.Println()
+	fmt.Println("array-size sweep with 4 registers per PE:")
+	fmt.Printf("%-8s %4s %4s %10s\n", "arch", "MII", "II", "compile")
+	for _, build := range []func() *rewire.CGRA{
+		func() *rewire.CGRA { return rewire.NewCGRA("2x2r4", 2, 2, 4, 1, 0) },
+		func() *rewire.CGRA { return rewire.New4x4(4) },
+		func() *rewire.CGRA { return rewire.NewCGRA("6x6r4", 6, 6, 4, 4, 0, 5) },
+		func() *rewire.CGRA { return rewire.New8x8(4) },
+	} {
+		report(g, build())
+	}
+}
+
+func report(g *rewire.DFG, cgra *rewire.CGRA) {
+	m, res, err := rewire.Map(g, cgra, rewire.Options{Seed: 3, TimePerII: 2 * time.Second})
+	if err != nil {
+		fmt.Printf("%-8s %4d %4s %10s\n", cgra.Name, res.MII, "-", "failed")
+		return
+	}
+	_ = m
+	fmt.Printf("%-8s %4d %4d %10s\n", cgra.Name, res.MII, res.II, res.Duration.Round(time.Millisecond))
+}

@@ -1,0 +1,45 @@
+// Comparemappers: run all three mappers — Rewire, the PathFinder-style
+// PF* baseline, and simulated annealing — head-to-head on one kernel and
+// architecture, reproducing in miniature the comparison behind the
+// paper's Figures 5 and 6.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"rewire"
+)
+
+func main() {
+	kernel := flag.String("kernel", "susan", "bundled kernel to map")
+	regs := flag.Int("regs", 2, "registers per PE on the 4x4 fabric")
+	flag.Parse()
+
+	g, err := rewire.LoadKernel(*kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cgra := rewire.New4x4(*regs)
+	fmt.Printf("%s on %s (MII %d)\n\n", g.Stats(), cgra, rewire.MII(g, cgra))
+
+	fmt.Printf("%-12s %4s %10s %12s %12s\n", "mapper", "II", "compile", "remap iters", "amendments")
+	for _, name := range []rewire.MapperName{rewire.MapperRewire, rewire.MapperPathFinder, rewire.MapperSA} {
+		_, res, err := rewire.Map(g, cgra, rewire.Options{
+			Mapper:    name,
+			Seed:      1,
+			TimePerII: 2 * time.Second,
+		})
+		ii := "-"
+		if err == nil {
+			ii = fmt.Sprint(res.II)
+		}
+		fmt.Printf("%-12s %4s %10s %12d %12d\n",
+			name, ii, res.Duration.Round(time.Millisecond),
+			res.RemapIterations, res.ClusterAmendments)
+	}
+	fmt.Println("\n(lower II is better; remap iters count single-node rip-up/re-place steps,")
+	fmt.Println(" amendments count Rewire's one-shot multi-node cluster repairs)")
+}

@@ -1,0 +1,65 @@
+// Simulate: take a kernel from source to silicon-in-software — map it,
+// lower the mapping to the CGRA's cycle-by-cycle configuration, execute
+// that configuration on the cycle-accurate simulator, and check the
+// observed store stream against the reference interpreter.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rewire"
+)
+
+const kernelSrc = `
+kernel ewma
+param alpha
+# exponentially weighted moving average with a running peak detector
+x = in[i] * alpha
+avg += x
+out[i] = avg
+pk = max(avg, avg@1)
+peak[i] = pk
+`
+
+func main() {
+	g, err := rewire.ParseKernel(kernelSrc, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cgra := rewire.New4x4(2)
+	fmt.Println(g.Stats())
+
+	m, res, err := rewire.Map(g, cgra, rewire.Options{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mapped at II=%d (MII %d)\n\n", res.II, res.MII)
+
+	// Lower to the hardware configuration and show the config words.
+	cfg, err := rewire.GenerateConfig(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(cfg.Disassemble())
+
+	// Run 8 loop iterations on the cycle-accurate machine.
+	const iterations = 8
+	got, err := rewire.Simulate(cfg, iterations)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want, err := rewire.Interpret(g, iterations)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsimulated store streams:")
+	for node, vals := range got.Stores {
+		fmt.Printf("  %-12s %v\n", g.Nodes[node].Name, vals)
+	}
+	if err := want.Equal(got); err != nil {
+		log.Fatalf("simulation diverged from reference: %v", err)
+	}
+	fmt.Println("\nsimulation matches the reference interpreter — the mapping,")
+	fmt.Println("routing and generated configuration are functionally correct.")
+}

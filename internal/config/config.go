@@ -1,0 +1,398 @@
+// Package config lowers a placed-and-routed mapping to the cycle-by-cycle
+// hardware configuration the CGRA actually executes: per PE and per
+// modulo cycle, the ALU operation and its operand mux selects, the drive
+// source of each output link, and the write source of each register —
+// plus the memory-bank port schedule. This is the "cycle-by-cycle
+// configurations for the programmable units" of the paper's Figure 1.
+//
+// The generated configuration is self-contained: the simulator (package
+// sim) executes it without looking at the mapping, so config generation
+// itself is covered by the end-to-end functional verification against
+// the reference interpreter.
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rewire/internal/arch"
+	"rewire/internal/dfg"
+	"rewire/internal/mapping"
+	"rewire/internal/mrrg"
+)
+
+// SrcKind says where a functional unit input, link driver, or register
+// write takes its value from within one PE.
+type SrcKind uint8
+
+// Source kinds.
+const (
+	// SrcNone: nothing drives the input (idle link, untouched register,
+	// immediate operand).
+	SrcNone SrcKind = iota
+	// SrcALU: the PE's own ALU output latch (last cycle's result).
+	SrcALU
+	// SrcIn: the input latch fed by the neighbour in direction Dir.
+	SrcIn
+	// SrcReg: register Reg of the PE's register file.
+	SrcReg
+	// SrcKeep: register retains its value (registers only).
+	SrcKeep
+)
+
+// Src is one mux select.
+type Src struct {
+	Kind SrcKind
+	Dir  arch.Dir // for SrcIn: which neighbour the value arrives from
+	Reg  int      // for SrcReg
+}
+
+// String renders the select compactly: "-", "alu", "in.N", "r2", "keep".
+func (s Src) String() string {
+	switch s.Kind {
+	case SrcNone:
+		return "-"
+	case SrcALU:
+		return "alu"
+	case SrcIn:
+		return "in." + s.Dir.String()
+	case SrcReg:
+		return fmt.Sprintf("r%d", s.Reg)
+	case SrcKeep:
+		return "keep"
+	}
+	return "?"
+}
+
+// PECycle is one PE's configuration word for one modulo cycle.
+type PECycle struct {
+	// Node is the DFG node executing here (-1: no operation; the ALU may
+	// still forward, see Forward).
+	Node int
+	// Op is the operation when Node >= 0.
+	Op dfg.OpKind
+	// NodeTime is the node's absolute start cycle; the PE idles at this
+	// slot during earlier (prologue) cycles. -1 when Node < 0.
+	NodeTime int
+	// Operands are the ALU input selects when Node >= 0 (one per slot;
+	// SrcNone marks an immediate slot filled from the configuration).
+	Operands []Src
+	// Forward is the pass-through source when the ALU slot is used as a
+	// route hop instead of an operation (move), SrcNone otherwise.
+	Forward Src
+	// Links select what drives each output link this cycle.
+	Links [arch.NumDirs]Src
+	// Regs select what each register loads this cycle (SrcKeep retains,
+	// SrcNone means the register holds no live value).
+	Regs []Src
+}
+
+// Config is a complete CGRA configuration for one loop kernel.
+type Config struct {
+	Arch *arch.CGRA
+	DFG  *dfg.Graph
+	II   int
+	// PEs is indexed [pe][t].
+	PEs [][]PECycle
+	// Banks is the port schedule: Banks[port][t] = memory node ID or -1.
+	Banks [][]int
+}
+
+// Generate lowers a valid mapping to its configuration. The mapping is
+// re-validated first: configurations must never be emitted from broken
+// mappings.
+func Generate(m *mapping.Mapping) (*Config, error) {
+	if err := mapping.Validate(m); err != nil {
+		return nil, fmt.Errorf("config: refusing invalid mapping: %w", err)
+	}
+	sess, err := mapping.Restore(m)
+	if err != nil {
+		return nil, err
+	}
+	g := sess.Graph
+	a := m.Arch
+	c := &Config{Arch: a, DFG: m.DFG, II: m.II}
+	c.PEs = make([][]PECycle, a.NumPEs())
+	for pe := range c.PEs {
+		c.PEs[pe] = make([]PECycle, m.II)
+		for t := range c.PEs[pe] {
+			c.PEs[pe][t] = PECycle{
+				Node:     -1,
+				NodeTime: -1,
+				Regs:     make([]Src, a.Regs),
+			}
+		}
+	}
+	c.Banks = make([][]int, a.BankPorts())
+	for p := range c.Banks {
+		c.Banks[p] = make([]int, m.II)
+		for t := range c.Banks[p] {
+			c.Banks[p][t] = -1
+		}
+	}
+
+	// Operations and bank ports.
+	for v := range m.Place {
+		pl := m.Place[v]
+		t := wrap(pl.Time, m.II)
+		pc := &c.PEs[pl.PE][t]
+		pc.Node = v
+		pc.Op = m.DFG.Nodes[v].Op
+		pc.NodeTime = pl.Time
+		pc.Operands = make([]Src, operandSlots(m.DFG, v))
+		if port := m.BankPorts[v]; port != mrrg.Invalid {
+			c.Banks[g.BankIndex(port)][g.Time(port)] = v
+		}
+	}
+
+	// Operand muxes: each in-edge's value arrives from the last resource
+	// of its route (or straight from the producer FU for latency-1).
+	for eid, route := range m.Routes {
+		e := m.DFG.Edges[eid]
+		consumer := m.Place[e.To]
+		var feeder mrrg.Node
+		if len(route) == 0 {
+			feeder = g.FU(m.Place[e.From].PE, m.Place[e.From].Time)
+		} else {
+			feeder = route[len(route)-1]
+		}
+		src, err := srcFor(a, g, consumer.PE, feeder)
+		if err != nil {
+			return nil, fmt.Errorf("config: edge %d operand: %w", eid, err)
+		}
+		pc := &c.PEs[consumer.PE][wrap(consumer.Time, m.II)]
+		if e.Operand >= len(pc.Operands) {
+			grown := make([]Src, e.Operand+1)
+			copy(grown, pc.Operands)
+			pc.Operands = grown
+		}
+		pc.Operands[e.Operand] = src
+	}
+
+	// Routing resources: every hop of every route programs the mux that
+	// writes it. Hops shared across a net's route tree may be reached by
+	// different feeders: occupancy guarantees equal net and phase, so the
+	// feeders carry the same value instance and the first programmed
+	// source is kept (see programHop).
+	for eid, route := range m.Routes {
+		e := m.DFG.Edges[eid]
+		prev := g.FU(m.Place[e.From].PE, m.Place[e.From].Time)
+		for _, hop := range route {
+			if err := c.programHop(g, prev, hop); err != nil {
+				return nil, fmt.Errorf("config: edge %d: %w", eid, err)
+			}
+			prev = hop
+		}
+	}
+	return c, nil
+}
+
+func wrap(t, ii int) int {
+	t %= ii
+	if t < 0 {
+		t += ii
+	}
+	return t
+}
+
+// operandSlots returns how many operand selects node v's configuration
+// carries: at least the op's arity, more if edges use higher slots.
+func operandSlots(g *dfg.Graph, v int) int {
+	n := arity(g.Nodes[v].Op)
+	for _, eid := range g.InEdges(v) {
+		if s := g.Edges[eid].Operand + 1; s > n {
+			n = s
+		}
+	}
+	return n
+}
+
+func arity(op dfg.OpKind) int {
+	switch op {
+	case dfg.OpSelect:
+		return 3
+	case dfg.OpLoad, dfg.OpConst:
+		return 0
+	case dfg.OpStore:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// srcFor translates "value held by MRRG resource feeder, consumed at PE
+// pe one cycle later" into the PE-local mux select.
+func srcFor(a *arch.CGRA, g *mrrg.Graph, pe int, feeder mrrg.Node) (Src, error) {
+	switch g.Kind(feeder) {
+	case mrrg.KindFU:
+		if g.PE(feeder) != pe {
+			return Src{}, fmt.Errorf("FU feeder %s not local to PE %d", g.String(feeder), pe)
+		}
+		return Src{Kind: SrcALU}, nil
+	case mrrg.KindReg:
+		if g.PE(feeder) != pe {
+			return Src{}, fmt.Errorf("register feeder %s not local to PE %d", g.String(feeder), pe)
+		}
+		return Src{Kind: SrcReg, Reg: g.RegIndex(feeder)}, nil
+	case mrrg.KindLink:
+		// The link is the neighbour's output wire arriving at pe: find
+		// the direction of the sender as seen from pe.
+		sender := g.PE(feeder)
+		for d := arch.Dir(0); d < arch.NumDirs; d++ {
+			if a.Neighbor(pe, d) == sender {
+				return Src{Kind: SrcIn, Dir: d}, nil
+			}
+		}
+		return Src{}, fmt.Errorf("link feeder %s does not arrive at PE %d", g.String(feeder), pe)
+	default:
+		return Src{}, fmt.Errorf("resource %s cannot feed a PE", g.String(feeder))
+	}
+}
+
+// programHop configures the mux that writes resource hop from resource
+// prev (one cycle earlier).
+func (c *Config) programHop(g *mrrg.Graph, prev, hop mrrg.Node) error {
+	pe := g.PE(hop)
+	t := g.Time(hop)
+	pc := &c.PEs[pe][t]
+	switch g.Kind(hop) {
+	case mrrg.KindLink:
+		src, err := srcFor(c.Arch, g, pe, prev)
+		if err != nil {
+			return err
+		}
+		d := g.LinkDir(hop)
+		if pc.Links[d].Kind != SrcNone {
+			// Already driven. The MRRG reserves each resource for one
+			// (net, phase), so a second feeder necessarily carries the
+			// same value instance via an equal-length path; either mux
+			// select is functionally identical — keep the first.
+			return nil
+		}
+		pc.Links[d] = src
+		return nil
+	case mrrg.KindReg:
+		r := g.RegIndex(hop)
+		var src Src
+		if g.Kind(prev) == mrrg.KindReg && g.PE(prev) == pe && g.RegIndex(prev) == r {
+			src = Src{Kind: SrcKeep}
+		} else {
+			var err error
+			src, err = srcFor(c.Arch, g, pe, prev)
+			if err != nil {
+				return err
+			}
+		}
+		if pc.Regs[r].Kind != SrcNone {
+			return nil // same value by (net, phase) equality; keep the first
+		}
+		pc.Regs[r] = src
+		return nil
+	case mrrg.KindFU:
+		// Route-through: the ALU forwards a value (move op).
+		src, err := srcFor(c.Arch, g, pe, prev)
+		if err != nil {
+			return err
+		}
+		if pc.Node >= 0 {
+			return fmt.Errorf("FU %s used as route hop while executing node %d", g.String(hop), pc.Node)
+		}
+		if pc.Forward.Kind != SrcNone {
+			return nil // same value by (net, phase) equality; keep the first
+		}
+		pc.Forward = src
+		return nil
+	default:
+		return fmt.Errorf("cannot program hop %s", g.String(hop))
+	}
+}
+
+// Disassemble renders the configuration as human-readable per-cycle
+// config words (idle PEs omitted).
+func (c *Config) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "config %s on %s, II=%d\n", c.DFG.Name, c.Arch.Name, c.II)
+	for t := 0; t < c.II; t++ {
+		fmt.Fprintf(&b, "cycle %d:\n", t)
+		for pe := 0; pe < c.Arch.NumPEs(); pe++ {
+			pc := c.PEs[pe][t]
+			if pc.Node < 0 && pc.Forward.Kind == SrcNone && allNone(pc.Links[:]) && allIdleRegs(pc.Regs) {
+				continue
+			}
+			fmt.Fprintf(&b, "  pe%-3d", pe)
+			switch {
+			case pc.Node >= 0:
+				ops := make([]string, len(pc.Operands))
+				for i, s := range pc.Operands {
+					if s.Kind == SrcNone {
+						ops[i] = "imm"
+					} else {
+						ops[i] = s.String()
+					}
+				}
+				fmt.Fprintf(&b, " %-6s %-12q (%s) @%d", pc.Op, c.DFG.Nodes[pc.Node].Name, strings.Join(ops, ","), pc.NodeTime)
+			case pc.Forward.Kind != SrcNone:
+				fmt.Fprintf(&b, " %-6s %-14s (%s)", "move", "", pc.Forward)
+			default:
+				fmt.Fprintf(&b, " %-6s %-14s", "nop", "")
+			}
+			for d := arch.Dir(0); d < arch.NumDirs; d++ {
+				if pc.Links[d].Kind != SrcNone {
+					fmt.Fprintf(&b, "  out.%s<=%s", d, pc.Links[d])
+				}
+			}
+			for r, s := range pc.Regs {
+				if s.Kind != SrcNone && s.Kind != SrcKeep {
+					fmt.Fprintf(&b, "  r%d<=%s", r, s)
+				} else if s.Kind == SrcKeep {
+					fmt.Fprintf(&b, "  r%d<=keep", r)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	// Bank schedule.
+	used := false
+	for p := range c.Banks {
+		for t := range c.Banks[p] {
+			if c.Banks[p][t] >= 0 {
+				used = true
+			}
+		}
+	}
+	if used {
+		b.WriteString("bank ports:\n")
+		for p := range c.Banks {
+			var cells []string
+			for t := range c.Banks[p] {
+				if v := c.Banks[p][t]; v >= 0 {
+					cells = append(cells, fmt.Sprintf("t%d:%s", t, c.DFG.Nodes[v].Name))
+				}
+			}
+			if len(cells) > 0 {
+				sort.Strings(cells)
+				fmt.Fprintf(&b, "  port%d  %s\n", p, strings.Join(cells, "  "))
+			}
+		}
+	}
+	return b.String()
+}
+
+func allNone(ss []Src) bool {
+	for _, s := range ss {
+		if s.Kind != SrcNone {
+			return false
+		}
+	}
+	return true
+}
+
+func allIdleRegs(ss []Src) bool {
+	for _, s := range ss {
+		if s.Kind != SrcNone {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rewire/internal/mapping"
+	"rewire/internal/route"
+	"rewire/internal/stats"
+)
+
+// Amend repairs an arbitrary (possibly invalid) mapping at its own II —
+// the paper's orthogonality claim: "Rewire ... can take any initial
+// mapping from other mappers". The input mapping is not modified; the
+// repaired copy is returned. It fails if the mapping's internal
+// bookkeeping is inconsistent or if no valid amendment is found within
+// the time budget.
+func Amend(m *mapping.Mapping, opt Options) (*mapping.Mapping, stats.Result, error) {
+	opt = opt.withDefaults()
+	res := stats.Result{Mapper: "Rewire(amend)", Kernel: m.DFG.Name, Arch: m.Arch.Name}
+	res.MII = mapping.MII(m.DFG, m.Arch)
+	start := time.Now()
+
+	sess, err := mapping.Restore(m)
+	if err != nil {
+		return nil, res, fmt.Errorf("rewire: initial mapping is inconsistent: %w", err)
+	}
+	am := &amender{
+		g:      m.DFG,
+		sess:   sess,
+		router: route.ForSession(sess),
+		rng:    rand.New(rand.NewSource(opt.Seed)),
+		res:    &res,
+		opt:    opt,
+	}
+	deadline := time.Now().Add(opt.TimePerII)
+	if !am.amend(deadline) {
+		res.Duration = time.Since(start)
+		return nil, res, fmt.Errorf("rewire: could not amend %q on %s at II=%d within %s",
+			m.DFG.Name, m.Arch.Name, m.II, opt.TimePerII)
+	}
+	res.Success = true
+	res.II = m.II
+	res.Duration = time.Since(start)
+	res.RouterExpansions = am.router.Expansions
+	if err := mapping.Validate(am.sess.M); err != nil {
+		panic("rewire: amend produced invalid mapping: " + err.Error())
+	}
+	return am.sess.M, res, nil
+}

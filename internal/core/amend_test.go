@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rewire/internal/arch"
+	"rewire/internal/kernels"
+	"rewire/internal/mapping"
+	"rewire/internal/pathfinder"
+	"rewire/internal/stats"
+)
+
+func TestAmendRepairsForeignInitialMapping(t *testing.T) {
+	// Build a partial mapping with PF*'s initial pass at a generous II,
+	// then hand it to Amend as "someone else's" mapping.
+	g := kernels.MustLoad("fft")
+	a := arch.New4x4(4)
+	mii := g.MII(a.NumPEs(), a.NumMemPEs(), a.BankPorts())
+	var tmp stats.Result
+	sess, _ := pathfinder.BuildInitial(mapping.New(g, a, mii+2), 3, &tmp)
+	initial := sess.M.Clone()
+
+	repaired, res, err := Amend(initial, Options{Seed: 1, TimePerII: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("amend failed: %v", err)
+	}
+	if err := mapping.Validate(repaired); err != nil {
+		t.Fatal(err)
+	}
+	if repaired.II != initial.II {
+		t.Fatalf("amend changed II: %d -> %d", initial.II, repaired.II)
+	}
+	if !res.Success {
+		t.Fatal("result not marked successful")
+	}
+	// The input must be untouched (still has its ill nodes, if any).
+	if initial.Complete() != (len(initialIll(t, initial)) == 0) {
+		t.Fatal("input mapping mutated")
+	}
+}
+
+func initialIll(t *testing.T, m *mapping.Mapping) []int {
+	t.Helper()
+	s, err := mapping.Restore(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.IllMapped()
+}
+
+func TestAmendRejectsCorruptMapping(t *testing.T) {
+	g := kernels.MustLoad("mvt")
+	a := arch.New4x4(4)
+	m := mapping.New(g, a, 3)
+	// Two nodes on the same FU slot: Restore must fail.
+	m.Place[0] = mapping.Placement{PE: 0, Time: 0}
+	m.Place[1] = mapping.Placement{PE: 0, Time: 3}
+	if _, _, err := Amend(m, Options{Seed: 1, TimePerII: time.Second}); err == nil {
+		t.Fatal("expected inconsistency error")
+	}
+}
+
+func TestAmendAlreadyValidMappingIsNoOp(t *testing.T) {
+	g := kernels.MustLoad("gesummv")
+	a := arch.New4x4(4)
+	m, res := pathfinder.Map(g, a, pathfinder.Options{Seed: 1, TimePerII: 2 * time.Second})
+	if m == nil {
+		t.Skipf("setup failed: %v", res)
+	}
+	repaired, ares, err := Amend(m, Options{Seed: 1, TimePerII: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ares.ClusterAmendments != 0 {
+		t.Fatalf("valid mapping triggered %d amendments", ares.ClusterAmendments)
+	}
+	if err := mapping.Validate(repaired); err != nil {
+		t.Fatal(err)
+	}
+}

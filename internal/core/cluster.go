@@ -1,0 +1,168 @@
+package core
+
+import "sort"
+
+// cluster is the set of nodes U being amended together, with its mapped
+// anchors (Parents(U) and Children(U) in the paper's notation).
+type cluster struct {
+	nodes []int        // topological order within the DFG order
+	in    map[int]bool // membership
+}
+
+func (u *cluster) contains(v int) bool { return u.in[v] }
+
+// buildCluster seeds a cluster from the ill-mapped set: a random ill node
+// plus its connected ill neighbours (BFS over the DFG treated as
+// undirected, restricted to ill nodes), capped at the initial size. The
+// selected nodes are ripped from the mapping so their resources free up.
+func (a *amender) buildCluster(ill []int) *cluster {
+	illSet := make(map[int]bool, len(ill))
+	for _, v := range ill {
+		illSet[v] = true
+	}
+	seed := ill[a.rng.Intn(len(ill))]
+	u := &cluster{in: map[int]bool{seed: true}}
+	queue := []int{seed}
+	for len(queue) > 0 && len(u.in) < a.opt.InitialClusterSize {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range append(a.g.Parents(v), a.g.Children(v)...) {
+			if illSet[w] && !u.in[w] && len(u.in) < a.opt.InitialClusterSize {
+				u.in[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	u.refreshOrder(a)
+	for _, v := range u.nodes {
+		a.sess.RipNode(v)
+	}
+	return u
+}
+
+// growCluster appends the connected node with the least DFS distance to
+// U (Algorithm 1, line 13), ripping it from the mapping. Returns false
+// when U has no connected nodes left to absorb.
+func (a *amender) growCluster(u *cluster) bool {
+	dist := a.g.UndirectedDistances(u.in)
+	bestDist := int(^uint(0) >> 1)
+	for v := range a.g.Nodes {
+		if !u.in[v] && dist[v] > 0 && dist[v] < bestDist {
+			bestDist = dist[v]
+		}
+	}
+	var tied []int
+	for v := range a.g.Nodes {
+		if !u.in[v] && dist[v] == bestDist {
+			tied = append(tied, v)
+		}
+	}
+	if len(tied) == 0 {
+		return false
+	}
+	// Random tie-break among the nearest nodes: absorbing a different
+	// neighbour each retry explores different rip-up frontiers (a mapped
+	// neighbour frees its resources and gets re-placed with the cluster).
+	best := tied[a.rng.Intn(len(tied))]
+	a.sess.RipNode(best)
+	u.in[best] = true
+	u.refreshOrder(a)
+	return true
+}
+
+// growTowardsBlocker absorbs the mapped anchor most responsible for a
+// cluster node having no placement candidates: among the direct anchors
+// of candidate-less nodes, the one whose propagation reached the fewest
+// PEs (the most boxed-in producer or consumer). Ripping it frees its
+// resources and turns its constraints into in-cluster ones. Returns
+// false when no candidate-less node has a mapped anchor.
+func (a *amender) growTowardsBlocker(u *cluster, cands map[int][]pcand, props map[int]*propagation) bool {
+	best, bestTuples := -1, int(^uint(0)>>1)
+	consider := func(anchor int, forward bool) {
+		p := propOf(props, anchor, forward)
+		if p == nil {
+			return
+		}
+		n := len(p.arrive)
+		if n < bestTuples {
+			best, bestTuples = anchor, n
+		}
+	}
+	for _, v := range u.nodes {
+		if len(cands[v]) > 0 {
+			continue
+		}
+		for _, w := range a.g.Parents(v) {
+			if !u.in[w] && a.sess.M.Placed(w) {
+				consider(w, true)
+			}
+		}
+		for _, w := range a.g.Children(v) {
+			if !u.in[w] && a.sess.M.Placed(w) {
+				consider(w, false)
+			}
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	a.sess.RipNode(best)
+	u.in[best] = true
+	u.refreshOrder(a)
+	return true
+}
+
+// refreshOrder recomputes the cluster's topological node order (the order
+// Algorithm 2 assigns placements in).
+func (u *cluster) refreshOrder(a *amender) {
+	order, err := a.g.TopoOrder()
+	if err != nil {
+		// The DFG validated at load; an error here is unreachable, but
+		// fall back to ID order to stay total.
+		u.nodes = u.nodes[:0]
+		for v := range u.in {
+			u.nodes = append(u.nodes, v)
+		}
+		sort.Ints(u.nodes)
+		return
+	}
+	u.nodes = u.nodes[:0]
+	for _, v := range order {
+		if u.in[v] {
+			u.nodes = append(u.nodes, v)
+		}
+	}
+}
+
+// parents returns Parents(U): mapped nodes with an edge into U; children
+// returns Children(U) likewise. Both are deduplicated and sorted.
+func (a *amender) parents(u *cluster) []int {
+	return a.anchors(u, true)
+}
+
+func (a *amender) children(u *cluster) []int {
+	return a.anchors(u, false)
+}
+
+func (a *amender) anchors(u *cluster, parents bool) []int {
+	set := map[int]bool{}
+	for _, v := range u.nodes {
+		var neigh []int
+		if parents {
+			neigh = a.g.Parents(v)
+		} else {
+			neigh = a.g.Children(v)
+		}
+		for _, w := range neigh {
+			if !u.in[w] && a.sess.M.Placed(w) {
+				set[w] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,226 @@
+// Package core implements Rewire, the paper's consolidated-routing CGRA
+// mapping paradigm. Rewire does not build mappings from scratch: it takes
+// the (typically invalid) initial mapping produced by a conventional
+// mapper (PF*'s initial-placement phase here, as in the paper), finds the
+// ill-mapped nodes, and amends them in multi-node clusters:
+//
+//  1. Cluster: pick connected ill-mapped nodes U (capped, default 15).
+//  2. Propagate: flood routing probes forward from the mapped parents of
+//     U and backward from its mapped children, producing propagation
+//     tuples (source, direction, PE, routing cycles), deduplicated per
+//     PE — one network sweep shared by every node and edge of U.
+//  3. Intersect: a PE becomes a placement candidate for v in U only if
+//     tuples from all of v's (representative) sources imply a common
+//     execution cycle (Eq. 1 of the paper).
+//  4. Generate: enumerate Placement(U) in topological order under
+//     execution-cycle data-dependency constraints (Algorithm 2), then
+//     verify the survivor by actually routing every incident edge,
+//     reusing the propagation paths where possible.
+//  5. Grow: if U cannot be mapped, append the nearest connected node (by
+//     DFS distance) and retry; at the size cap, give up and increase II.
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"rewire/internal/arch"
+	"rewire/internal/dfg"
+	"rewire/internal/mapping"
+	"rewire/internal/pathfinder"
+	"rewire/internal/route"
+	"rewire/internal/stats"
+)
+
+// Options tunes Rewire. Zero values select the defaults (the paper's
+// published constants).
+type Options struct {
+	// Seed drives randomized cluster seeding; runs are reproducible.
+	Seed int64
+	// MaxII caps the explored initiation intervals (default 32).
+	MaxII int
+	// TimePerII bounds the wall-clock per II (default 10s).
+	TimePerII time.Duration
+	// ClusterCap is the maximum cluster size (default 15, §IV-B).
+	ClusterCap int
+	// InitialClusterSize is how many connected ill nodes seed a cluster
+	// before growth (default 4).
+	InitialClusterSize int
+	// RoundsAnchored multiplies the parent/child cycle difference to set
+	// the propagation round count (default 3, §IV-C); RoundsUnanchored
+	// multiplies the longest path within U when either side has no
+	// anchors (default 5).
+	RoundsAnchored   int
+	RoundsUnanchored int
+	// MaxCombos bounds Placement(U) combinations per generation attempt
+	// (default 600, counting routed placement trials).
+	MaxCombos int
+	// MaxCandidatesPerNode truncates each node's candidate list (default
+	// 64, sorted by execution cycle).
+	MaxCandidatesPerNode int
+	// ClusterFailBudget is how many cluster amendment attempts may fail
+	// (reach the size cap unmapped) before the current initial mapping is
+	// abandoned and a fresh one is drawn (default 6).
+	ClusterFailBudget int
+	// AttemptsPerII is how many fresh initial mappings are amended before
+	// the II is declared unreachable (default 4). Together with
+	// ClusterFailBudget it bounds the work per II well below the
+	// wall-clock limit, which is what makes Rewire's compilation fast:
+	// hopeless IIs are abandoned after bounded work instead of burning
+	// the full per-II time budget.
+	AttemptsPerII int
+
+	// Ablation switches (benchmarked in bench_test.go; off in normal use).
+	//
+	// DisableTuplePaths turns off the reuse of propagation probe paths
+	// during verification (every edge goes through the router instead) —
+	// ablating the paper's "reuse of wire information".
+	DisableTuplePaths bool
+	// DisableCyclePruning turns off the execution-cycle constraint checks
+	// of Algorithm 2, leaving all pruning to routing verification.
+	DisableCyclePruning bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxII == 0 {
+		o.MaxII = 32
+	}
+	if o.TimePerII == 0 {
+		o.TimePerII = 10 * time.Second
+	}
+	if o.ClusterCap == 0 {
+		o.ClusterCap = 15
+	}
+	if o.InitialClusterSize == 0 {
+		o.InitialClusterSize = 4
+	}
+	if o.RoundsAnchored == 0 {
+		o.RoundsAnchored = 3
+	}
+	if o.RoundsUnanchored == 0 {
+		o.RoundsUnanchored = 5
+	}
+	if o.MaxCombos == 0 {
+		o.MaxCombos = 600
+	}
+	if o.MaxCandidatesPerNode == 0 {
+		o.MaxCandidatesPerNode = 64
+	}
+	if o.ClusterFailBudget == 0 {
+		o.ClusterFailBudget = 6
+	}
+	if o.AttemptsPerII == 0 {
+		o.AttemptsPerII = 4
+	}
+	return o
+}
+
+// Map runs Rewire: per II, build PF*'s initial mapping, then amend it
+// cluster by cluster until valid; on failure increase the II.
+func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Result) {
+	opt = opt.withDefaults()
+	res := stats.Result{Mapper: "Rewire", Kernel: g.Name, Arch: a.Name}
+	res.MII = mapping.MII(g, a)
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	for ii := res.MII; ii <= opt.MaxII; ii++ {
+		deadline := time.Now().Add(opt.TimePerII)
+		// Rewire amends whatever initial mapping it is given; initial
+		// mappings vary a lot in amendability, so each II retries with a
+		// few fresh PF* initial seeds (bounded by AttemptsPerII and the
+		// time budget).
+		for attempt := int64(0); attempt < int64(opt.AttemptsPerII) && (attempt == 0 || time.Now().Before(deadline)); attempt++ {
+			m := mapping.New(g, a, ii)
+			sess, router := pathfinder.BuildInitial(m, opt.Seed^int64(ii)^(attempt<<16), &res)
+			am := &amender{
+				g:      g,
+				sess:   sess,
+				router: router,
+				rng:    rng,
+				res:    &res,
+				opt:    opt,
+			}
+			if !am.amend(deadline) {
+				continue
+			}
+			res.Success = true
+			res.II = ii
+			res.Duration = time.Since(start)
+			res.RouterExpansions = router.Expansions
+			if err := mapping.Validate(am.sess.M); err != nil {
+				panic("rewire: produced invalid mapping: " + err.Error())
+			}
+			return am.sess.M, res
+		}
+	}
+	res.Duration = time.Since(start)
+	return nil, res
+}
+
+// amender is the per-II amendment state.
+type amender struct {
+	g      *dfg.Graph
+	sess   *mapping.Session
+	router *route.Router
+	rng    *rand.Rand
+	res    *stats.Result
+	opt    Options
+}
+
+// amend repairs the initial mapping cluster by cluster (Algorithm 1,
+// lines 5-15). A cluster that stays unmappable at the size cap counts as
+// a failure; after ClusterFailBudget failures the II is declared
+// unreachable. Re-seeding after a failure matters: the failed cluster's
+// nodes are now unplaced and a different random seed groups them with
+// different neighbours.
+func (a *amender) amend(deadline time.Time) bool {
+	failures := 0
+	for time.Now().Before(deadline) {
+		ill := a.sess.IllMapped()
+		if len(ill) == 0 {
+			return true
+		}
+		u := a.buildCluster(ill)
+		if !a.mapCluster(u, deadline) {
+			// Keep the rip-ups: a failed cluster leaves its nodes unmapped,
+			// so the next (randomly re-seeded) cluster absorbs them together
+			// with different neighbours. This progressive loosening lets the
+			// amendment escape a structurally bad initial mapping instead of
+			// retrying against the same frozen obstacles.
+			failures++
+			if failures >= a.opt.ClusterFailBudget {
+				return false
+			}
+		}
+	}
+	return len(a.sess.IllMapped()) == 0
+}
+
+// mapCluster runs propagate → intersect → generate for one cluster,
+// growing it on failure up to the cap (Algorithm 1, lines 7-13). The
+// routed-trial budget is shared across the growth retries so one stubborn
+// cluster cannot consume the whole II deadline.
+func (a *amender) mapCluster(u *cluster, deadline time.Time) bool {
+	budget := a.opt.MaxCombos
+	for {
+		a.res.ClusterAmendments++
+		props := a.propagateAll(u)
+		cands := a.intersect(u, props)
+		if a.generate(u, cands, props, deadline, &budget) {
+			return true
+		}
+		if budget <= 0 || len(u.nodes) >= a.opt.ClusterCap {
+			return false
+		}
+		// Prefer absorbing the anchor that is starving a candidate-less
+		// node (it is boxed in on the fabric); otherwise the nearest
+		// connected node.
+		if !a.growTowardsBlocker(u, cands, props) && !a.growCluster(u) {
+			return false
+		}
+		if !time.Now().Before(deadline) {
+			return false
+		}
+	}
+}

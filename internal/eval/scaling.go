@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"rewire/internal/arch"
+	"rewire/internal/dfg"
+	"rewire/internal/kernelir"
+	"rewire/internal/kernels"
+	"rewire/internal/mapping"
+)
+
+// Scaling reruns the paper's scalability observation (§V-A: Rewire
+// "scales with CGRA size ... by effectively pruning away infeasible
+// candidates") as an explicit experiment: map kernels of growing size on
+// fabrics from 4x4 to 10x10 and report II and compile time for Rewire
+// and PF*.
+func Scaling(cfg Config, w io.Writer) {
+	cfg = cfg.withDefaults()
+	// Real CGRAs bound II by configuration-memory depth; capping the
+	// study keeps failure sweeps (a mapper climbing II after repeated
+	// failures) from dominating its runtime.
+	if cfg.MaxII > 16 {
+		cfg.MaxII = 16
+	}
+	fabrics := []*arch.CGRA{
+		arch.New4x4(4),
+		arch.New("6x6r4", 6, 6, 4, 4, 0, 5),
+		arch.New8x8(4),
+		arch.New("10x10r4", 10, 10, 4, 10, 0, 9),
+	}
+	works := []struct {
+		label  string
+		kernel string
+		unroll int // additional unrolling on top of the registry variant
+	}{
+		{"susan", "susan", 1},
+		{"gesummv(u)", "gesummv(u)", 1},
+		{"fir5 x2", "fir5", 2},
+		{"sobel x3", "sobel", 3},
+	}
+	fmt.Fprintln(w, "== Scaling: Rewire vs PF* across fabric sizes (II / compile ms; '-' = failed) ==")
+	for _, work := range works {
+		g := loadUnrolled(work.kernel, work.unroll)
+		fmt.Fprintf(w, "\n-- %s (%d nodes) --\n", work.label, g.NumNodes())
+		fmt.Fprintf(w, "%-9s %4s %16s %16s\n", "fabric", "MII", "Rewire", "PF*")
+		for _, a := range fabrics {
+			fmt.Fprintf(w, "%-9s %4d", a.Name, mapping.MII(g, a))
+			for _, m := range []string{"Rewire", "PF*"} {
+				_, res := RunDFG(m, g, a, cfg)
+				if res.Success {
+					fmt.Fprintf(w, " %6d %8.0fms", res.II, float64(res.Duration.Microseconds())/1000)
+				} else {
+					fmt.Fprintf(w, " %6s %8s  ", "-", "-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// loadUnrolled builds a registry kernel with extra unrolling applied on
+// top of the variant's own factor.
+func loadUnrolled(name string, extra int) *dfg.Graph {
+	k, err := kernels.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	prog := kernelir.MustParse(k.Source)
+	if total := k.Unroll * extra; total > 1 {
+		prog = kernelir.MustUnroll(prog, total)
+	}
+	g := kernelir.MustLower(prog)
+	if extra > 1 {
+		g.Name = fmt.Sprintf("%s*%d", name, extra)
+	} else {
+		g.Name = name
+	}
+	return g
+}

@@ -1,0 +1,43 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadUnrolled(t *testing.T) {
+	base := loadUnrolled("fir5", 1)
+	big := loadUnrolled("fir5", 2)
+	if big.NumNodes() <= base.NumNodes() {
+		t.Fatalf("unrolled %d <= base %d", big.NumNodes(), base.NumNodes())
+	}
+	if big.Name != "fir5*2" {
+		t.Fatalf("name = %q", big.Name)
+	}
+	if err := big.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Registry variants with built-in unrolling compose: dither(u) is
+	// already 2-unrolled, extra 2 gives factor 4.
+	quad := loadUnrolled("dither(u)", 2)
+	if quad.NumNodes() <= loadUnrolled("dither(u)", 1).NumNodes() {
+		t.Fatal("composed unroll did not grow")
+	}
+}
+
+func TestScalingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling study is slow")
+	}
+	var buf bytes.Buffer
+	// Tiny budget: the table must render even when some cells fail.
+	Scaling(Config{Seed: 1, TimePerII: 300 * time.Millisecond, MaxII: 10, Out: &buf}, &buf)
+	out := buf.String()
+	for _, want := range []string{"Scaling", "4x4r4", "10x10r4", "susan", "sobel x3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scaling output missing %q:\n%s", want, out)
+		}
+	}
+}

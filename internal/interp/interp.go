@@ -1,0 +1,213 @@
+// Package interp is the reference functional semantics of a DFG: it
+// executes the loop kernel iteration by iteration, producing the exact
+// store stream a correct CGRA execution must reproduce. The simulator
+// (package sim) runs the placed-and-routed configuration cycle by cycle
+// against the same synthetic memory and must match this stream —
+// end-to-end functional verification of the whole mapping stack.
+//
+// Semantics shared with the simulator:
+//
+//   - values are int64 with wrap-around arithmetic;
+//   - a load's value is a deterministic function of its node name (the
+//     canonical array reference) and the iteration number;
+//   - an operand slot with no feeding edge is an immediate whose value
+//     derives from the node name and slot (the IR folds params and
+//     literals into operations, so the DFG does not carry them);
+//   - a loop-carried read of iteration i-d with i < d yields zero
+//     (hardware pipelines start from zeroed registers/latches).
+package interp
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"rewire/internal/dfg"
+)
+
+// LoadValue is the synthetic memory content returned by the load node
+// named name at the given iteration.
+func LoadValue(name string, iteration int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64()%100_003) + int64(iteration)*7
+}
+
+// ImmValue is the immediate filling an unfed operand slot of the node
+// named name.
+func ImmValue(name string, slot int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	fmt.Fprintf(h, "#%d", slot)
+	return int64(h.Sum64() % 1009)
+}
+
+// Eval applies one operation to its operand values. ops is indexed by
+// operand slot; missing slots must already be filled with ImmValue.
+func Eval(op dfg.OpKind, ops []int64) int64 {
+	get := func(i int) int64 {
+		if i < len(ops) {
+			return ops[i]
+		}
+		return 0
+	}
+	a, b := get(0), get(1)
+	switch op {
+	case dfg.OpAdd:
+		return a + b
+	case dfg.OpSub:
+		return a - b
+	case dfg.OpMul:
+		return a * b
+	case dfg.OpDiv:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case dfg.OpShl:
+		return a << uint(b&63)
+	case dfg.OpShr:
+		return int64(uint64(a) >> uint(b&63))
+	case dfg.OpAnd:
+		return a & b
+	case dfg.OpOr:
+		return a | b
+	case dfg.OpXor:
+		return a ^ b
+	case dfg.OpCmp:
+		if a > b {
+			return 1
+		}
+		return 0
+	case dfg.OpSelect:
+		if a != 0 {
+			return b
+		}
+		return get(2)
+	case dfg.OpConst, dfg.OpLoad, dfg.OpStore:
+		// Handled by the caller (loads read memory, stores record, const
+		// yields its immediate); pass slot 0 through for stores.
+		return a
+	default:
+		panic(fmt.Sprintf("interp: unknown op %v", op))
+	}
+}
+
+// Store is one recorded memory write.
+type Store struct {
+	// Node is the store node's ID; Name its canonical array reference.
+	Node int
+	Name string
+	// Iteration is the loop iteration that produced the write.
+	Iteration int
+	// Value is the written value.
+	Value int64
+}
+
+// Trace is the complete observable behaviour of a kernel execution: the
+// ordered store stream per store node.
+type Trace struct {
+	// Stores maps store node ID -> values by iteration.
+	Stores map[int][]int64
+}
+
+// Equal compares two traces and describes the first difference.
+func (t *Trace) Equal(o *Trace) error {
+	if len(t.Stores) != len(o.Stores) {
+		return fmt.Errorf("interp: store node sets differ: %d vs %d", len(t.Stores), len(o.Stores))
+	}
+	for node, vals := range t.Stores {
+		ovals, ok := o.Stores[node]
+		if !ok {
+			return fmt.Errorf("interp: store node %d missing", node)
+		}
+		if len(vals) != len(ovals) {
+			return fmt.Errorf("interp: store node %d: %d vs %d writes", node, len(vals), len(ovals))
+		}
+		for i := range vals {
+			if vals[i] != ovals[i] {
+				return fmt.Errorf("interp: store node %d iteration %d: %d vs %d", node, i, vals[i], ovals[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes iterations 0..iterations-1 of the kernel and returns its
+// trace. The DFG must validate (acyclic distance-0 subgraph).
+func Run(g *dfg.Graph, iterations int) (*Trace, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	// maxOperand[v]: highest slot index the node uses (fed or immediate).
+	// Fed slots come from edges; binary ALU ops always have 2 slots,
+	// select 3, so unfed trailing slots still get immediates.
+	vals := make([][]int64, iterations) // vals[i][v]
+	for i := range vals {
+		vals[i] = make([]int64, g.NumNodes())
+	}
+	trace := &Trace{Stores: map[int][]int64{}}
+	for i := 0; i < iterations; i++ {
+		for _, v := range order {
+			node := g.Nodes[v]
+			switch node.Op {
+			case dfg.OpLoad:
+				vals[i][v] = LoadValue(node.Name, i)
+			case dfg.OpConst:
+				vals[i][v] = ImmValue(node.Name, 0)
+			default:
+				ops := Operands(g, v, func(producer, dist int) int64 {
+					if i-dist < 0 {
+						return 0
+					}
+					return vals[i-dist][producer]
+				})
+				out := Eval(node.Op, ops)
+				vals[i][v] = out
+				if node.Op == dfg.OpStore {
+					trace.Stores[v] = append(trace.Stores[v], out)
+				}
+			}
+		}
+	}
+	return trace, nil
+}
+
+// Arity returns how many operand slots an operation reads.
+func Arity(op dfg.OpKind) int {
+	switch op {
+	case dfg.OpSelect:
+		return 3
+	case dfg.OpLoad, dfg.OpConst:
+		return 0
+	case dfg.OpStore:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Operands assembles node v's operand values: fed slots call read with
+// the producer and edge distance; unfed slots take the node's immediate.
+func Operands(g *dfg.Graph, v int, read func(producer, dist int) int64) []int64 {
+	node := g.Nodes[v]
+	n := Arity(node.Op)
+	for _, eid := range g.InEdges(v) {
+		if s := g.Edges[eid].Operand + 1; s > n {
+			n = s
+		}
+	}
+	ops := make([]int64, n)
+	fed := make([]bool, n)
+	for _, eid := range g.InEdges(v) {
+		e := g.Edges[eid]
+		ops[e.Operand] = read(e.From, e.Dist)
+		fed[e.Operand] = true
+	}
+	for s := range ops {
+		if !fed[s] {
+			ops[s] = ImmValue(node.Name, s)
+		}
+	}
+	return ops
+}

@@ -1,0 +1,226 @@
+package interp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rewire/internal/dfg"
+	"rewire/internal/kernelir"
+)
+
+func randNew(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func mustDFG(t *testing.T, src string) *dfg.Graph {
+	t.Helper()
+	prog, err := kernelir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := kernelir.Lower(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	cases := []struct {
+		op   dfg.OpKind
+		ops  []int64
+		want int64
+	}{
+		{dfg.OpAdd, []int64{3, 4}, 7},
+		{dfg.OpSub, []int64{3, 4}, -1},
+		{dfg.OpMul, []int64{3, 4}, 12},
+		{dfg.OpDiv, []int64{12, 4}, 3},
+		{dfg.OpDiv, []int64{12, 0}, 0}, // guarded division
+		{dfg.OpShl, []int64{1, 4}, 16},
+		{dfg.OpShl, []int64{1, 64}, 1}, // shift masked to 6 bits
+		{dfg.OpShr, []int64{-1, 60}, 15},
+		{dfg.OpAnd, []int64{6, 3}, 2},
+		{dfg.OpOr, []int64{6, 3}, 7},
+		{dfg.OpXor, []int64{6, 3}, 5},
+		{dfg.OpCmp, []int64{5, 3}, 1},
+		{dfg.OpCmp, []int64{3, 5}, 0},
+		{dfg.OpCmp, []int64{3, 3}, 0},
+		{dfg.OpSelect, []int64{1, 10, 20}, 10},
+		{dfg.OpSelect, []int64{0, 10, 20}, 20},
+		{dfg.OpStore, []int64{42}, 42},
+	}
+	for _, c := range cases {
+		if got := Eval(c.op, c.ops); got != c.want {
+			t.Errorf("Eval(%v, %v) = %d, want %d", c.op, c.ops, got, c.want)
+		}
+	}
+}
+
+func TestLoadAndImmDeterministic(t *testing.T) {
+	if LoadValue("ld a[i]", 3) != LoadValue("ld a[i]", 3) {
+		t.Fatal("LoadValue not deterministic")
+	}
+	if LoadValue("ld a[i]", 3) == LoadValue("ld b[i]", 3) {
+		t.Fatal("different arrays should load different values")
+	}
+	if LoadValue("ld a[i]", 3) == LoadValue("ld a[i]", 4) {
+		t.Fatal("different iterations should load different values")
+	}
+	if ImmValue("x", 0) == ImmValue("x", 1) {
+		t.Fatal("different slots should give different immediates")
+	}
+}
+
+func TestRunSimpleStream(t *testing.T) {
+	// c[i] = a[i] + b[i]: the trace must be the element-wise sum of the
+	// synthetic streams.
+	g := mustDFG(t, "kernel k\nc[i] = a[i] + b[i]\n")
+	tr, err := Run(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var storeNode int
+	for _, n := range g.Nodes {
+		if n.Op == dfg.OpStore {
+			storeNode = n.ID
+		}
+	}
+	vals := tr.Stores[storeNode]
+	if len(vals) != 4 {
+		t.Fatalf("stores = %d, want 4", len(vals))
+	}
+	for i, v := range vals {
+		want := LoadValue("ld a[i]", i) + LoadValue("ld b[i]", i)
+		if v != want {
+			t.Fatalf("iteration %d: %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestRunAccumulator(t *testing.T) {
+	// s += a[i]; out[i] = s: running prefix sums.
+	g := mustDFG(t, "kernel k\ns += a[i]\nout[i] = s\n")
+	tr, err := Run(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var storeNode int
+	for _, n := range g.Nodes {
+		if n.Op == dfg.OpStore {
+			storeNode = n.ID
+		}
+	}
+	var sum int64
+	for i, v := range tr.Stores[storeNode] {
+		sum += LoadValue("ld a[i]", i)
+		if v != sum {
+			t.Fatalf("iteration %d: %d, want prefix sum %d", i, v, sum)
+		}
+	}
+}
+
+func TestRunDelayedReadZeroFill(t *testing.T) {
+	// out[i] = t + t@2: the first two iterations read zero-filled history.
+	g := mustDFG(t, "kernel k\nt = a[i] + a[i]\nout[i] = t + t@2\n")
+	tr, err := Run(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var storeNode int
+	for _, n := range g.Nodes {
+		if n.Op == dfg.OpStore {
+			storeNode = n.ID
+		}
+	}
+	tv := func(i int) int64 { return 2 * LoadValue("ld a[i]", i) }
+	want := []int64{tv(0), tv(1), tv(2) + tv(0), tv(3) + tv(1)}
+	for i, v := range tr.Stores[storeNode] {
+		if v != want[i] {
+			t.Fatalf("iteration %d: %d, want %d", i, v, want[i])
+		}
+	}
+}
+
+func TestImmediateSlots(t *testing.T) {
+	// t = a[i] * alpha: slot 1 is an immediate derived from the node name.
+	g := mustDFG(t, "kernel k\nparam alpha\nout[i] = a[i] * alpha\n")
+	tr, err := Run(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mulName string
+	var storeNode int
+	for _, n := range g.Nodes {
+		if n.Op == dfg.OpMul {
+			mulName = n.Name
+		}
+		if n.Op == dfg.OpStore {
+			storeNode = n.ID
+		}
+	}
+	want := LoadValue("ld a[i]", 0) * ImmValue(mulName, 1)
+	if tr.Stores[storeNode][0] != want {
+		t.Fatalf("store = %d, want %d", tr.Stores[storeNode][0], want)
+	}
+}
+
+func TestTraceEqual(t *testing.T) {
+	a := &Trace{Stores: map[int][]int64{1: {10, 20}}}
+	b := &Trace{Stores: map[int][]int64{1: {10, 20}}}
+	if err := a.Equal(b); err != nil {
+		t.Fatal(err)
+	}
+	b.Stores[1][1] = 21
+	if err := a.Equal(b); err == nil || !strings.Contains(err.Error(), "iteration 1") {
+		t.Fatalf("difference not localised: %v", err)
+	}
+	c := &Trace{Stores: map[int][]int64{2: {10, 20}}}
+	if a.Equal(c) == nil {
+		t.Fatal("different store nodes must differ")
+	}
+	d := &Trace{Stores: map[int][]int64{1: {10}}}
+	if a.Equal(d) == nil {
+		t.Fatal("different lengths must differ")
+	}
+}
+
+func TestOperandsAssembly(t *testing.T) {
+	g := dfg.New("t")
+	a := g.AddNode("a", dfg.OpAdd)
+	b := g.AddNode("b", dfg.OpSub)
+	g.AddEdgeOp(a, b, 0, 1) // feed only slot 1
+	ops := Operands(g, b, func(producer, dist int) int64 { return 100 })
+	if len(ops) != 2 {
+		t.Fatalf("len = %d", len(ops))
+	}
+	if ops[1] != 100 {
+		t.Fatal("fed slot lost")
+	}
+	if ops[0] != ImmValue("b", 0) {
+		t.Fatal("unfed slot must take the immediate")
+	}
+}
+
+func TestArity(t *testing.T) {
+	if Arity(dfg.OpSelect) != 3 || Arity(dfg.OpStore) != 1 || Arity(dfg.OpLoad) != 0 || Arity(dfg.OpMul) != 2 {
+		t.Fatal("arity table wrong")
+	}
+}
+
+// Property: the interpreter is deterministic and length-consistent on
+// random DAGs.
+func TestPropRunDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := randNew(seed)
+		g := dfg.Random(rng, dfg.RandomConfig{Nodes: 2 + int(seed%17&15), EdgeProb: 0.2, MemFrac: 0.4, RecurProb: 0.2, MaxFanIn: 2})
+		t1, err1 := Run(g, 5)
+		t2, err2 := Run(g, 5)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return t1.Equal(t2) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+// Package kernelir implements a small loop-kernel intermediate
+// representation: a textual language for the body of an innermost loop,
+// with array references, scalar temporaries, accumulators (loop-carried
+// dependencies) and explicit cross-iteration reads. Programs are parsed,
+// optionally unrolled, and lowered to data-flow graphs (package dfg).
+//
+// It substitutes for the LLVM-based DFG extraction the paper uses: the
+// mappers only consume the resulting DFG, so a kernel written in this IR
+// with the same operation mix and dependency structure exercises exactly
+// the same mapping code paths.
+//
+// Example kernel (dot product with two accumulators):
+//
+//	kernel dotp
+//	param alpha
+//	t = a[i] * b[i]
+//	s += t * alpha
+//	c[i] = t + s@1
+//
+// Semantics:
+//   - Array reads become load nodes (deduplicated per iteration by
+//     canonical index), array writes become store nodes. Address
+//     computation is folded into the memory units, as in HyCube/Morpher
+//     DFGs, so the induction variable generates no nodes.
+//   - `param` names are loop-invariant immediates: they generate no nodes
+//     and no edges.
+//   - `x += e` makes x an accumulator: the new value depends on e and on
+//     the final value of x from the previous iteration (distance-1 edge).
+//   - `x@d` reads the final value x had d iterations ago (distance-d edge).
+package kernelir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Program is a parsed kernel: a loop body plus declarations.
+type Program struct {
+	// Name is the kernel name from the `kernel` directive.
+	Name string
+	// Induction is the induction variable name (default "i").
+	Induction string
+	// Params holds loop-invariant scalar names.
+	Params map[string]bool
+	// Stmts is the loop body in source order.
+	Stmts []Stmt
+}
+
+// Stmt is one assignment in the loop body.
+type Stmt struct {
+	// LHS receives the value: a scalar temporary or an array element.
+	LHS Ref
+	// Acc marks a `+=` accumulator update (LHS must be a scalar).
+	Acc bool
+	// RHS is the value expression.
+	RHS Expr
+	// Line is the 1-based source line, for error messages.
+	Line int
+}
+
+// Ref is an assignable location.
+type Ref struct {
+	// Name is the scalar or array name.
+	Name string
+	// Index is non-nil for array references (one entry per subscript).
+	Index []Index
+}
+
+// IsArray reports whether the reference is an array element.
+func (r Ref) IsArray() bool { return r.Index != nil }
+
+// String renders the reference in source syntax.
+func (r Ref) String() string {
+	if !r.IsArray() {
+		return r.Name
+	}
+	var b strings.Builder
+	b.WriteString(r.Name)
+	for _, ix := range r.Index {
+		fmt.Fprintf(&b, "[%s]", ix.String())
+	}
+	return b.String()
+}
+
+// Index is a canonical affine subscript: a sum of integer-scaled variables
+// plus a constant, e.g. i+1 is {Terms:{"i":1}, Const:1}.
+type Index struct {
+	Terms map[string]int
+	Const int
+}
+
+// Shift returns a copy of the index with variable v substituted by v+by.
+func (ix Index) Shift(v string, by int) Index {
+	out := Index{Terms: make(map[string]int, len(ix.Terms)), Const: ix.Const}
+	for k, c := range ix.Terms {
+		out.Terms[k] = c
+	}
+	if c, ok := out.Terms[v]; ok {
+		out.Const += c * by
+	}
+	return out
+}
+
+// String renders the index canonically (sorted variables, then constant),
+// which makes it usable as a deduplication key for loads.
+func (ix Index) String() string {
+	names := make([]string, 0, len(ix.Terms))
+	for k, c := range ix.Terms {
+		if c != 0 {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		c := ix.Terms[k]
+		if b.Len() > 0 && c > 0 {
+			b.WriteByte('+')
+		}
+		switch {
+		case c == 1:
+			b.WriteString(k)
+		case c == -1:
+			b.WriteByte('-')
+			b.WriteString(k)
+		default:
+			fmt.Fprintf(&b, "%d%s", c, k)
+		}
+	}
+	if ix.Const != 0 || b.Len() == 0 {
+		if b.Len() > 0 && ix.Const > 0 {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(&b, "%d", ix.Const)
+	}
+	return b.String()
+}
+
+// Expr is a node of the expression AST.
+type Expr interface {
+	isExpr()
+	// String renders the expression in source syntax.
+	String() string
+}
+
+// Num is an integer literal (an immediate: generates no DFG node).
+type Num struct{ Val int }
+
+// Scalar reads a scalar temporary, a param, or an accumulator. Delay > 0
+// reads the value from Delay iterations ago (`x@d`).
+type Scalar struct {
+	Name  string
+	Delay int
+}
+
+// ArrayRead loads an array element.
+type ArrayRead struct {
+	Array string
+	Index []Index
+}
+
+// Bin is a binary arithmetic/logic operation.
+type Bin struct {
+	Op   string // one of + - * / & | ^ << >>
+	L, R Expr
+}
+
+// Call is a builtin: min, max (lowered to cmp+select), sel (3-arg select),
+// cmp (2-arg compare).
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+func (Num) isExpr()       {}
+func (Scalar) isExpr()    {}
+func (ArrayRead) isExpr() {}
+func (Bin) isExpr()       {}
+func (Call) isExpr()      {}
+
+func (n Num) String() string { return fmt.Sprintf("%d", n.Val) }
+
+func (s Scalar) String() string {
+	if s.Delay > 0 {
+		return fmt.Sprintf("%s@%d", s.Name, s.Delay)
+	}
+	return s.Name
+}
+
+func (a ArrayRead) String() string {
+	var b strings.Builder
+	b.WriteString(a.Array)
+	for _, ix := range a.Index {
+		fmt.Fprintf(&b, "[%s]", ix.String())
+	}
+	return b.String()
+}
+
+func (x Bin) String() string {
+	return fmt.Sprintf("(%s %s %s)", x.L.String(), x.Op, x.R.String())
+}
+
+func (c Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Fn, strings.Join(parts, ", "))
+}
+
+// refKey returns the canonical deduplication key of an array reference.
+func refKey(array string, index []Index) string {
+	var b strings.Builder
+	b.WriteString(array)
+	for _, ix := range index {
+		b.WriteByte('[')
+		b.WriteString(ix.String())
+		b.WriteByte(']')
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package kernelir
+
+import "testing"
+
+func TestIndexStringCanonical(t *testing.T) {
+	cases := []struct {
+		ix   Index
+		want string
+	}{
+		{Index{Terms: map[string]int{"i": 1}}, "i"},
+		{Index{Terms: map[string]int{"i": 1}, Const: 2}, "i+2"},
+		{Index{Terms: map[string]int{"i": 1}, Const: -1}, "i-1"},
+		{Index{Terms: map[string]int{"i": -1}}, "-i"},
+		{Index{Terms: map[string]int{"i": 2}}, "2i"},
+		{Index{Terms: map[string]int{}}, "0"},
+		{Index{Terms: map[string]int{"i": 0}, Const: 3}, "3"},
+		{Index{Terms: map[string]int{"j": 1, "i": 1}}, "i+j"},
+	}
+	for _, c := range cases {
+		if got := c.ix.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.ix, got, c.want)
+		}
+	}
+}
+
+func TestRefString(t *testing.T) {
+	r := Ref{Name: "s"}
+	if r.String() != "s" || r.IsArray() {
+		t.Fatal("scalar ref wrong")
+	}
+	a := Ref{Name: "m", Index: []Index{
+		{Terms: map[string]int{"i": 1}},
+		{Terms: map[string]int{"j": 1}, Const: 1},
+	}}
+	if a.String() != "m[i][j+1]" || !a.IsArray() {
+		t.Fatalf("array ref = %q", a.String())
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := Bin{Op: "+", L: ArrayRead{Array: "a", Index: []Index{{Terms: map[string]int{"i": 1}}}},
+		R: Scalar{Name: "t", Delay: 2}}
+	if e.String() != "(a[i] + t@2)" {
+		t.Fatalf("bin = %q", e.String())
+	}
+	c := Call{Fn: "max", Args: []Expr{Num{Val: 3}, Scalar{Name: "x"}}}
+	if c.String() != "max(3, x)" {
+		t.Fatalf("call = %q", c.String())
+	}
+}
+
+func TestShiftOnlyAffectsVariable(t *testing.T) {
+	ix := Index{Terms: map[string]int{"i": 2, "j": 1}, Const: 1}
+	sh := ix.Shift("i", 3)
+	if sh.Const != 1+2*3 {
+		t.Fatalf("const = %d", sh.Const)
+	}
+	if sh.Terms["j"] != 1 || sh.Terms["i"] != 2 {
+		t.Fatal("coefficients changed")
+	}
+	none := ix.Shift("k", 5)
+	if none.Const != ix.Const {
+		t.Fatal("shift of absent variable changed the index")
+	}
+}
+
+func TestRefKeyDedup(t *testing.T) {
+	a := refKey("a", []Index{{Terms: map[string]int{"i": 1}, Const: 1}})
+	b := refKey("a", []Index{{Terms: map[string]int{"i": 1}, Const: 1}})
+	if a != b || a != "a[i+1]" {
+		t.Fatalf("keys %q vs %q", a, b)
+	}
+}

@@ -1,0 +1,264 @@
+package kernelir
+
+import (
+	"fmt"
+
+	"rewire/internal/dfg"
+)
+
+// Lower translates a parsed kernel into a data-flow graph.
+//
+// Lowering rules:
+//   - every array read becomes one load node, deduplicated by canonical
+//     subscript within the iteration (common-subexpression elimination of
+//     loads, matching what a compiler frontend produces);
+//   - every array write becomes a store node consuming the stored value;
+//   - params and integer literals are immediates: no node, no edge;
+//   - `x += e` lowers to an add node reading e and the final definition of
+//     x from the previous iteration (a distance-1 edge — a self edge when
+//     x has a single accumulator statement);
+//   - `x@d` reads the final definition of x from d iterations ago
+//     (a distance-d edge);
+//   - min/max lower to a cmp node plus a select node.
+func Lower(prog *Program) (*dfg.Graph, error) {
+	lo := &lowerer{
+		prog:  prog,
+		g:     dfg.New(prog.Name),
+		env:   make(map[string]int),
+		loads: make(map[string]int),
+	}
+	for si := range prog.Stmts {
+		if err := lo.stmt(&prog.Stmts[si]); err != nil {
+			return nil, err
+		}
+	}
+	// Resolve delayed reads against the final definition of each scalar.
+	for _, pe := range lo.pending {
+		def, ok := lo.env[pe.name]
+		if !ok {
+			return nil, fmt.Errorf("kernel %q: delayed read of %q but the scalar is never assigned", prog.Name, pe.name)
+		}
+		lo.g.AddEdgeOp(def, pe.to, pe.delay, pe.slot)
+	}
+	if err := lo.g.Validate(); err != nil {
+		return nil, fmt.Errorf("kernel %q lowered to invalid DFG: %w", prog.Name, err)
+	}
+	return lo.g, nil
+}
+
+// MustLower is Lower that panics on error; for static kernel definitions.
+func MustLower(prog *Program) *dfg.Graph {
+	g, err := Lower(prog)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// operand is the result of lowering a sub-expression.
+type operand struct {
+	kind  opndKind
+	node  int    // nodeOpnd: producing DFG node
+	name  string // deferOpnd: scalar read with delay
+	delay int
+}
+
+type opndKind int
+
+const (
+	immOpnd   opndKind = iota // param or literal: contributes no edge
+	nodeOpnd                  // value produced by a DFG node
+	deferOpnd                 // delayed scalar read, resolved after lowering
+)
+
+type pendingEdge struct {
+	name  string
+	delay int
+	to    int
+	slot  int
+}
+
+type lowerer struct {
+	prog    *Program
+	g       *dfg.Graph
+	env     map[string]int // scalar -> node of its latest definition
+	loads   map[string]int // canonical array ref -> load node (CSE)
+	pending []pendingEdge
+}
+
+func (lo *lowerer) stmt(s *Stmt) error {
+	if s.LHS.Name == lo.prog.Induction && !s.LHS.IsArray() {
+		return fmt.Errorf("line %d: cannot assign to induction variable %q", s.Line, s.LHS.Name)
+	}
+	switch {
+	case s.Acc:
+		return lo.accum(s)
+	case s.LHS.IsArray():
+		return lo.store(s)
+	default:
+		op, err := lo.expr(s.RHS, s.Line)
+		if err != nil {
+			return err
+		}
+		if op.kind != nodeOpnd {
+			return fmt.Errorf("line %d: assignment to %q computes nothing (constant or pure delayed read)", s.Line, s.LHS.Name)
+		}
+		lo.g.Nodes[op.node].Name = s.LHS.Name
+		lo.env[s.LHS.Name] = op.node
+		return nil
+	}
+}
+
+func (lo *lowerer) accum(s *Stmt) error {
+	rhs, err := lo.expr(s.RHS, s.Line)
+	if err != nil {
+		return err
+	}
+	n := lo.g.AddNode(s.LHS.Name, dfg.OpAdd)
+	lo.attach(rhs, n, 0)
+	// The accumulator also reads its own previous value: the definition
+	// visible at this point if one exists in the current iteration,
+	// otherwise the final definition of the previous iteration.
+	if def, ok := lo.env[s.LHS.Name]; ok {
+		lo.g.AddEdgeOp(def, n, 0, 1)
+	} else {
+		lo.pending = append(lo.pending, pendingEdge{name: s.LHS.Name, delay: 1, to: n, slot: 1})
+	}
+	lo.env[s.LHS.Name] = n
+	return nil
+}
+
+func (lo *lowerer) store(s *Stmt) error {
+	val, err := lo.expr(s.RHS, s.Line)
+	if err != nil {
+		return err
+	}
+	if val.kind == immOpnd {
+		return fmt.Errorf("line %d: storing a loop-invariant value to %s", s.Line, s.LHS)
+	}
+	n := lo.g.AddNode("st "+refKey(s.LHS.Name, s.LHS.Index), dfg.OpStore)
+	lo.attach(val, n, 0)
+	return nil
+}
+
+// attach adds the dependency edge (or pending edge) feeding operand slot
+// `slot` of node `to`. Immediates contribute nothing: their slot stays
+// unfed, and the functional interpreter fills it with the node's
+// name-derived constant.
+func (lo *lowerer) attach(op operand, to, slot int) {
+	switch op.kind {
+	case nodeOpnd:
+		lo.g.AddEdgeOp(op.node, to, 0, slot)
+	case deferOpnd:
+		lo.pending = append(lo.pending, pendingEdge{name: op.name, delay: op.delay, to: to, slot: slot})
+	}
+}
+
+func (lo *lowerer) expr(e Expr, line int) (operand, error) {
+	switch x := e.(type) {
+	case Num:
+		return operand{kind: immOpnd}, nil
+	case Scalar:
+		if lo.prog.Params[x.Name] {
+			if x.Delay > 0 {
+				return operand{}, fmt.Errorf("line %d: delayed read of param %q is meaningless", line, x.Name)
+			}
+			return operand{kind: immOpnd}, nil
+		}
+		if x.Delay > 0 {
+			return operand{kind: deferOpnd, name: x.Name, delay: x.Delay}, nil
+		}
+		def, ok := lo.env[x.Name]
+		if !ok {
+			return operand{}, fmt.Errorf("line %d: use of undefined scalar %q (use %s@1 for the previous iteration's value)", line, x.Name, x.Name)
+		}
+		return operand{kind: nodeOpnd, node: def}, nil
+	case ArrayRead:
+		key := refKey(x.Array, x.Index)
+		if n, ok := lo.loads[key]; ok {
+			return operand{kind: nodeOpnd, node: n}, nil
+		}
+		n := lo.g.AddNode("ld "+key, dfg.OpLoad)
+		lo.loads[key] = n
+		return operand{kind: nodeOpnd, node: n}, nil
+	case Bin:
+		kind, ok := binOps[x.Op]
+		if !ok {
+			return operand{}, fmt.Errorf("line %d: unsupported operator %q", line, x.Op)
+		}
+		l, err := lo.expr(x.L, line)
+		if err != nil {
+			return operand{}, err
+		}
+		r, err := lo.expr(x.R, line)
+		if err != nil {
+			return operand{}, err
+		}
+		if l.kind == immOpnd && r.kind == immOpnd {
+			return operand{}, fmt.Errorf("line %d: expression %s is loop-invariant; fold it into a param", line, x)
+		}
+		n := lo.g.AddNode(autoName(lo.g.NumNodes()), kind)
+		lo.attach(l, n, 0)
+		lo.attach(r, n, 1)
+		return operand{kind: nodeOpnd, node: n}, nil
+	case Call:
+		return lo.call(x, line)
+	default:
+		return operand{}, fmt.Errorf("line %d: unknown expression %T", line, e)
+	}
+}
+
+var binOps = map[string]dfg.OpKind{
+	"+": dfg.OpAdd, "-": dfg.OpSub, "*": dfg.OpMul, "/": dfg.OpDiv,
+	"&": dfg.OpAnd, "|": dfg.OpOr, "^": dfg.OpXor,
+	"<<": dfg.OpShl, ">>": dfg.OpShr,
+}
+
+func (lo *lowerer) call(c Call, line int) (operand, error) {
+	args := make([]operand, len(c.Args))
+	allImm := true
+	for i, a := range c.Args {
+		op, err := lo.expr(a, line)
+		if err != nil {
+			return operand{}, err
+		}
+		args[i] = op
+		if op.kind != immOpnd {
+			allImm = false
+		}
+	}
+	if allImm {
+		return operand{}, fmt.Errorf("line %d: call %s is loop-invariant", line, c)
+	}
+	switch c.Fn {
+	case "cmp":
+		n := lo.g.AddNode(autoName(lo.g.NumNodes()), dfg.OpCmp)
+		lo.attach(args[0], n, 0)
+		lo.attach(args[1], n, 1)
+		return operand{kind: nodeOpnd, node: n}, nil
+	case "sel":
+		n := lo.g.AddNode(autoName(lo.g.NumNodes()), dfg.OpSelect)
+		for i, a := range args {
+			lo.attach(a, n, i)
+		}
+		return operand{kind: nodeOpnd, node: n}, nil
+	case "min", "max":
+		// max(a,b) = sel(cmp(a,b), a, b); min swaps the data operands.
+		cmp := lo.g.AddNode(autoName(lo.g.NumNodes()), dfg.OpCmp)
+		lo.attach(args[0], cmp, 0)
+		lo.attach(args[1], cmp, 1)
+		sel := lo.g.AddNode(c.Fn, dfg.OpSelect)
+		lo.g.AddEdgeOp(cmp, sel, 0, 0)
+		hi, lo2 := 1, 2
+		if c.Fn == "min" {
+			hi, lo2 = 2, 1
+		}
+		lo.attach(args[0], sel, hi)
+		lo.attach(args[1], sel, lo2)
+		return operand{kind: nodeOpnd, node: sel}, nil
+	default:
+		return operand{}, fmt.Errorf("line %d: unknown function %q", line, c.Fn)
+	}
+}
+
+func autoName(id int) string { return fmt.Sprintf("%%%d", id) }

@@ -1,0 +1,323 @@
+package kernelir
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses kernel IR source into a Program. See the package comment
+// for the language.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{
+		Name:      "kernel",
+		Induction: "i",
+		Params:    make(map[string]bool),
+	}
+	for {
+		p.skipNewlines()
+		if p.peek().kind == tokEOF {
+			break
+		}
+		if err := p.parseLine(prog); err != nil {
+			return nil, err
+		}
+	}
+	if len(prog.Stmts) == 0 {
+		return nil, fmt.Errorf("kernel %q: empty loop body", prog.Name)
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error; intended for the static kernel
+// definitions in package kernels, where a parse error is a build bug.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) skipNewlines() {
+	for p.peek().kind == tokNewline {
+		p.pos++
+	}
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: %s", p.peek().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if p.peek().kind != k {
+		return token{}, p.errf("expected %s, found %s %q", k, p.peek().kind, p.peek().text)
+	}
+	return p.next(), nil
+}
+
+// parseLine handles one directive or statement, consuming the trailing
+// newline.
+func (p *parser) parseLine(prog *Program) error {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return p.errf("expected directive or assignment, found %s %q", t.kind, t.text)
+	}
+	switch t.text {
+	case "kernel":
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		prog.Name = name.text
+		return p.endLine()
+	case "param":
+		p.next()
+		for {
+			name, err := p.expect(tokIdent)
+			if err != nil {
+				return err
+			}
+			prog.Params[name.text] = true
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+		return p.endLine()
+	case "induction":
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		prog.Induction = name.text
+		return p.endLine()
+	}
+	return p.parseStmt(prog)
+}
+
+func (p *parser) endLine() error {
+	if k := p.peek().kind; k != tokNewline && k != tokEOF {
+		return p.errf("unexpected %s %q at end of line", p.peek().kind, p.peek().text)
+	}
+	if p.peek().kind == tokNewline {
+		p.next()
+	}
+	return nil
+}
+
+func (p *parser) parseStmt(prog *Program) error {
+	line := p.peek().line
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	lhs := Ref{Name: name.text}
+	if p.peek().kind == tokLBracket {
+		idx, err := p.parseSubscripts()
+		if err != nil {
+			return err
+		}
+		lhs.Index = idx
+	}
+	acc := false
+	switch p.peek().kind {
+	case tokAssign:
+		p.next()
+	case tokAccum:
+		if lhs.IsArray() {
+			return p.errf("'+=' target must be a scalar, not array element %s", lhs)
+		}
+		acc = true
+		p.next()
+	default:
+		return p.errf("expected '=' or '+=' after %s", lhs)
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	if err := p.endLine(); err != nil {
+		return err
+	}
+	if prog.Params[lhs.Name] && !lhs.IsArray() {
+		return fmt.Errorf("line %d: cannot assign to param %q", line, lhs.Name)
+	}
+	prog.Stmts = append(prog.Stmts, Stmt{LHS: lhs, Acc: acc, RHS: rhs, Line: line})
+	return nil
+}
+
+// parseSubscripts parses one or more [index] groups.
+func (p *parser) parseSubscripts() ([]Index, error) {
+	var out []Index
+	for p.peek().kind == tokLBracket {
+		p.next()
+		ix, err := p.parseIndex()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		out = append(out, ix)
+	}
+	return out, nil
+}
+
+// parseIndex parses an affine subscript: a signed sum of identifiers and
+// integers, e.g. "i", "i+1", "j-2", "3".
+func (p *parser) parseIndex() (Index, error) {
+	ix := Index{Terms: make(map[string]int)}
+	sign := 1
+	if p.peek().kind == tokOp && p.peek().text == "-" {
+		sign = -1
+		p.next()
+	}
+	for {
+		switch t := p.peek(); t.kind {
+		case tokIdent:
+			p.next()
+			ix.Terms[t.text] += sign
+		case tokNumber:
+			p.next()
+			v, err := strconv.Atoi(t.text)
+			if err != nil {
+				return ix, p.errf("bad number %q", t.text)
+			}
+			ix.Const += sign * v
+		default:
+			return ix, p.errf("expected index term, found %s %q", t.kind, t.text)
+		}
+		t := p.peek()
+		if t.kind == tokOp && (t.text == "+" || t.text == "-") {
+			if t.text == "+" {
+				sign = 1
+			} else {
+				sign = -1
+			}
+			p.next()
+			continue
+		}
+		return ix, nil
+	}
+}
+
+// Operator precedence (low to high): | ^ & ; + - ; * / << >>.
+var precedence = map[string]int{
+	"|": 1, "^": 1, "&": 1,
+	"+": 2, "-": 2,
+	"*": 3, "/": 3, "<<": 3, ">>": 3,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBin(1) }
+
+func (p *parser) parseBin(minPrec int) (Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp {
+			return left, nil
+		}
+		prec, ok := precedence[t.text]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseBin(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = Bin{Op: t.text, L: left, R: right}
+	}
+}
+
+// builtin functions and their arities.
+var builtins = map[string]int{"min": 2, "max": 2, "cmp": 2, "sel": 3}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch t := p.peek(); t.kind {
+	case tokNumber:
+		p.next()
+		v, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return Num{Val: v}, nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		p.next()
+		switch p.peek().kind {
+		case tokLBracket:
+			idx, err := p.parseSubscripts()
+			if err != nil {
+				return nil, err
+			}
+			return ArrayRead{Array: t.text, Index: idx}, nil
+		case tokLParen:
+			arity, ok := builtins[t.text]
+			if !ok {
+				return nil, p.errf("unknown function %q (builtins: cmp, max, min, sel)", t.text)
+			}
+			p.next()
+			var args []Expr
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.peek().kind != tokComma {
+					break
+				}
+				p.next()
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			if len(args) != arity {
+				return nil, p.errf("%s takes %d arguments, got %d", t.text, arity, len(args))
+			}
+			return Call{Fn: t.text, Args: args}, nil
+		case tokAt:
+			p.next()
+			d, err := p.expect(tokNumber)
+			if err != nil {
+				return nil, err
+			}
+			delay, err := strconv.Atoi(d.text)
+			if err != nil || delay < 1 {
+				return nil, p.errf("delay in %s@%s must be a positive integer", t.text, d.text)
+			}
+			return Scalar{Name: t.text, Delay: delay}, nil
+		default:
+			return Scalar{Name: t.text}, nil
+		}
+	default:
+		return nil, p.errf("expected expression, found %s %q", t.kind, t.text)
+	}
+}

@@ -1,0 +1,201 @@
+package kernels
+
+// Additional benchmark kernels beyond the paper's core evaluation set:
+// more PolyBench solvers/stencils, MiBench signal- and image-processing
+// loops, and MachSuite molecular dynamics. They widen the library's
+// coverage (deep arithmetic, bitwise chains, select-heavy control,
+// multiplier pressure for heterogeneous-fabric experiments) without
+// changing the 47-combo evaluation.
+func init() {
+	// Jacobi 1D: two 3-point relaxation rows plus residual tracking.
+	register("jacobi1d", "polybench", `
+kernel jacobi1d
+param c3
+t0 = (a[i-1] + a[i] + a[i+1]) * c3
+b[i] = t0
+t1 = (bp[i-1] + bp[i] + bp[i+1]) * c3
+a2[i] = t1
+u0 = (a[i+1] + a[i+2] + a[i+3]) * c3
+b[i+1] = u0
+d = t0 - t1
+s += d * d
+err[i] = s
+mx = max(t0, t1)
+m[i] = mx
+`, 1)
+
+	// Gauss-Seidel 2D: five-point sweep over two adjacent points with a
+	// shared residual accumulator.
+	register("seidel", "polybench", `
+kernel seidel
+param w
+v = (p[i-1][j] + p[i][j-1] + p[i][j+1] + p[i+1][j] + p[i][j]) * w
+pout[i][j] = v
+r = v - p[i][j]
+res += r * r
+rout[i][j] = res
+v2 = (p[i-1][j+1] + p[i][j] + p[i][j+2] + p[i+1][j+1] + p[i][j+1]) * w
+pout[i][j+1] = v2
+`, 1)
+
+	// TRMM: four triangular rows of B against one column of A.
+	register("trmm", "polybench", `
+kernel trmm
+param alpha
+s0 += a0[i] * b[i]
+s1 += a1[i] * b[i]
+s2 += a2[i] * b[i]
+s3 += a3[i] * b[i]
+c0[i] = s0@1 * alpha
+c1[i] = s1@1 * alpha
+c2[i] = s2@1 * alpha
+c3[i] = s3@1 * alpha
+d = s0@1 + s1@1 + s2@1 + s3@1
+dsum[i] = d
+`, 1)
+
+	// SYRK: symmetric rank-k update of a 2x2 tile plus trace tracking.
+	register("syrk", "polybench", `
+kernel syrk
+param beta
+acc0 += a[i] * a[i]
+acc1 += a[i] * b[i]
+acc2 += b[i] * b[i]
+c00[i] = c0in[i] * beta + acc0@1
+c01[i] = c1in[i] * beta + acc1@1
+c11[i] = c2in[i] * beta + acc2@1
+tr = acc0@1 + acc2@1
+t[i] = tr
+`, 1)
+
+	// --- MiBench ---
+
+	// ADPCM decode: two channels of sign/magnitude reconstruction with
+	// step-size adaptation (loop-carried predictor and step).
+	register("adpcm", "mibench", `
+kernel adpcm
+param stepmul
+delta = code[i] & 7
+sign = code[i] >> 3
+diff = delta * step@1 + (step@1 >> 1)
+t = pred@1 + diff
+neg = pred@1 - diff
+c = cmp(sign, 0)
+pred = sel(c, neg, t)
+out[i] = pred
+step = step@1 * stepmul + idx[i]
+sout[i] = step
+delta2 = code2[i] & 7
+sign2 = code2[i] >> 3
+diff2 = delta2 * step2@1 + (step2@1 >> 1)
+t2 = pred2@1 + diff2
+neg2 = pred2@1 - diff2
+c2 = cmp(sign2, 0)
+pred2 = sel(c2, neg2, t2)
+out2[i] = pred2
+step2 = step2@1 * stepmul + idx2[i]
+sout2[i] = step2
+`, 1)
+
+	// Sobel: 3x3 gradient magnitudes with shift-based scaling.
+	register("sobel", "mibench", `
+kernel sobel
+gx = p00[i] - p02[i] + (p10[i] << 1) - (p12[i] << 1) + p20[i] - p22[i]
+gy = p00[i] + (p01[i] << 1) + p02[i] - p20[i] - (p21[i] << 1) - p22[i]
+ax = max(gx, 0 - gx)
+ay = max(gy, 0 - gy)
+g = ax + ay
+out[i] = g
+s += g
+sout[i] = s
+`, 1)
+
+	// Floyd-Steinberg dithering: threshold, quantise, diffuse the error
+	// into the next iteration. Registered 2-unrolled, like bicg(u).
+	register("dither(u)", "mibench", `
+kernel dither
+param half
+old = img[i] + e@1
+c = cmp(old, half)
+new = sel(c, 255, 0)
+out[i] = new
+e = old - new
+q = e >> 1
+enext[i] = q
+s += e * e
+snoise[i] = s
+`, 2)
+
+	// 5-tap FIR with two coefficient banks sharing the delay line.
+	register("fir5", "mibench", `
+kernel fir5
+param c0, c1, c2, c3, c4, d0, d1, d2, d3, d4
+t = x[i] * c0 + x[i-1] * c1 + x[i-2] * c2 + x[i-3] * c3 + x[i-4] * c4
+y[i] = t
+u = x[i] * d0 + x[i-1] * d1 + x[i-2] * d2 + x[i-3] * d3 + x[i-4] * d4
+z[i] = u
+s += t
+e[i] = s
+hp = x[i] - x[i-1]
+h[i] = hp
+`, 1)
+
+	// Dijkstra edge relaxation, two edges per iteration, with a change
+	// counter (cmp/select control flow).
+	register("relax", "mibench", `
+kernel relax
+alt = du[i] + w[i]
+c = cmp(dist[i], alt)
+nd = sel(c, alt, dist[i])
+dout[i] = nd
+chg = dist[i] - nd
+cnt += cmp(chg, 0)
+cout[i] = cnt
+p = sel(c, u[i], prev[i])
+pout[i] = p
+alt2 = du2[i] + w2[i]
+c2 = cmp(dist2[i], alt2)
+nd2 = sel(c2, alt2, dist2[i])
+dout2[i] = nd2
+p2 = sel(c2, u2[i], prev2[i])
+pout2[i] = p2
+`, 1)
+
+	// --- MachSuite ---
+
+	// KMP-style pattern scoring: three-position bitwise match with a hit
+	// accumulator and a packed score.
+	register("kmp", "machsuite", `
+kernel kmp
+m0 = txt[i] ^ pat0[i]
+h0 = cmp(1, m0)
+m1 = txt[i+1] ^ pat1[i]
+h1 = cmp(1, m1)
+m2 = txt[i+2] ^ pat2[i]
+h2 = cmp(1, m2)
+hit = h0 & h1 & h2
+hits += hit
+hout[i] = hits
+score = (h0 << 2) + (h1 << 1) + h2
+sout[i] = score
+`, 1)
+
+	// Molecular dynamics: Lennard-Jones-style pairwise force with three
+	// force accumulators (multiplier heavy; the heterogeneous-fabric
+	// stress kernel).
+	register("md", "machsuite", `
+kernel md
+dx = x[i] - xn[i]
+dy = y[i] - yn[i]
+dz = z[i] - zn[i]
+r2 = dx * dx + dy * dy + dz * dz
+r6 = r2 * r2 * r2
+force = r6 - r2
+fx += force * dx
+fy += force * dy
+fz += force * dz
+fxo[i] = fx
+fyo[i] = fy
+fzo[i] = fz
+`, 1)
+}

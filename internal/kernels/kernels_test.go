@@ -1,0 +1,126 @@
+package kernels
+
+import (
+	"strings"
+	"testing"
+
+	"rewire/internal/dfg"
+)
+
+func TestAllKernelsLoadAndValidate(t *testing.T) {
+	names := Names()
+	if len(names) < 16 {
+		t.Fatalf("only %d kernels registered", len(names))
+	}
+	for _, n := range names {
+		g, err := Load(n)
+		if err != nil {
+			t.Errorf("%s: %v", n, err)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: invalid DFG: %v", n, err)
+		}
+		if g.Name != n {
+			t.Errorf("%s: DFG name %q", n, g.Name)
+		}
+	}
+}
+
+func TestKernelSizesMatchPaperRange(t *testing.T) {
+	// The paper reports 26-51 nodes with an average of 38; our transcribed
+	// bodies span 22-41 with a similar average. Enforce the envelope so
+	// kernel edits cannot silently drift out of the evaluated regime.
+	total := 0
+	for _, n := range Names() {
+		g := MustLoad(n)
+		nodes := g.NumNodes()
+		if nodes < 20 || nodes > 51 {
+			t.Errorf("%s: %d nodes outside [20,51]", n, nodes)
+		}
+		total += nodes
+	}
+	avg := float64(total) / float64(len(Names()))
+	if avg < 25 || avg > 42 {
+		t.Errorf("average kernel size %.1f outside [25,42]", avg)
+	}
+}
+
+func TestKernelMemoryPressureBounded(t *testing.T) {
+	// Memory ops need memory-capable PEs; if a kernel is almost all
+	// loads/stores it degenerates into a bank-bandwidth benchmark.
+	for _, n := range Names() {
+		g := MustLoad(n)
+		frac := float64(g.MemOps()) / float64(g.NumNodes())
+		if frac > 0.6 {
+			t.Errorf("%s: %.0f%% memory ops", n, 100*frac)
+		}
+		if g.MemOps() == 0 {
+			t.Errorf("%s: no memory ops at all", n)
+		}
+	}
+}
+
+func TestKnownRecurrences(t *testing.T) {
+	cases := map[string]int{
+		"crc":        8, // two 8-deep bit-serial CRC recurrences
+		"gramsch":    3, // three chained accumulator updates
+		"gesummv":    1, // independent single-node accumulators
+		"gesummv(u)": 2, // unrolling chains the accumulators in pairs
+		"stencil2d":  1,
+	}
+	for name, want := range cases {
+		if got := MustLoad(name).RecMII(); got != want {
+			t.Errorf("%s: RecMII = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestUnrolledVariantsDoubleBaseBody(t *testing.T) {
+	base := MustLoad("gesummv")
+	unrolled := MustLoad("gesummv(u)")
+	if unrolled.NumNodes() < 2*base.NumNodes()-4 {
+		t.Errorf("gesummv(u) nodes = %d, base = %d; expected roughly double",
+			unrolled.NumNodes(), base.NumNodes())
+	}
+	if unrolled.MemOps() <= base.MemOps() {
+		t.Error("unrolled variant should have more memory ops")
+	}
+}
+
+func TestGetUnknownKernel(t *testing.T) {
+	if _, err := Get("nope"); err == nil || !strings.Contains(err.Error(), "unknown kernel") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Load("nope"); err == nil {
+		t.Fatal("Load must propagate registry errors")
+	}
+}
+
+func TestSuitesCovered(t *testing.T) {
+	suites := map[string]int{}
+	for _, n := range Names() {
+		k, _ := Get(n)
+		suites[k.Suite]++
+	}
+	for _, s := range []string{"polybench", "machsuite", "mibench"} {
+		if suites[s] == 0 {
+			t.Errorf("no kernels from %s", s)
+		}
+	}
+}
+
+func TestEveryKernelHasStore(t *testing.T) {
+	for _, n := range Names() {
+		g := MustLoad(n)
+		stores := 0
+		for _, v := range g.Nodes {
+			if v.Op == dfg.OpStore {
+				stores++
+			}
+		}
+		if stores == 0 {
+			t.Errorf("%s: kernel produces no output stores", n)
+		}
+	}
+}

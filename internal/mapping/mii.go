@@ -1,0 +1,49 @@
+package mapping
+
+import (
+	"rewire/internal/arch"
+	"rewire/internal/dfg"
+)
+
+// ClassOf maps an operation kind to the functional-unit class it needs.
+func ClassOf(k dfg.OpKind) arch.OpClass {
+	switch {
+	case k.IsMem():
+		return arch.ClassMem
+	case k.IsMul():
+		return arch.ClassMul
+	case k.IsDiv():
+		return arch.ClassDiv
+	default:
+		return arch.ClassALU
+	}
+}
+
+// MII returns the theoretical minimum initiation interval of a kernel on
+// an architecture: the maximum of the recurrence bound and the resource
+// bounds — overall PE count, memory PEs, bank ports, and (on
+// heterogeneous fabrics) each operation class against the PEs that
+// implement it.
+func MII(g *dfg.Graph, a *arch.CGRA) int {
+	mii := g.MII(a.NumPEs(), a.NumMemPEs(), a.BankPorts())
+	if a.PECaps == nil {
+		return mii
+	}
+	counts := make([]int, arch.NumOpClasses)
+	for _, n := range g.Nodes {
+		counts[ClassOf(n.Op)]++
+	}
+	for cl := arch.OpClass(0); cl < arch.NumOpClasses; cl++ {
+		if counts[cl] == 0 {
+			continue
+		}
+		supp := a.CountSupporting(cl)
+		if supp == 0 {
+			return 1 << 20 // unmappable: operations with no capable PE
+		}
+		if b := (counts[cl] + supp - 1) / supp; b > mii {
+			mii = b
+		}
+	}
+	return mii
+}

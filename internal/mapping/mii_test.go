@@ -1,0 +1,81 @@
+package mapping
+
+import (
+	"testing"
+
+	"rewire/internal/arch"
+	"rewire/internal/dfg"
+)
+
+func TestClassOf(t *testing.T) {
+	cases := map[dfg.OpKind]arch.OpClass{
+		dfg.OpAdd:    arch.ClassALU,
+		dfg.OpCmp:    arch.ClassALU,
+		dfg.OpSelect: arch.ClassALU,
+		dfg.OpMul:    arch.ClassMul,
+		dfg.OpDiv:    arch.ClassDiv,
+		dfg.OpLoad:   arch.ClassMem,
+		dfg.OpStore:  arch.ClassMem,
+	}
+	for op, want := range cases {
+		if got := ClassOf(op); got != want {
+			t.Errorf("ClassOf(%v) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func mulHeavy() *dfg.Graph {
+	g := dfg.New("mulheavy")
+	prev := g.AddNode("ld", dfg.OpLoad)
+	for i := 0; i < 8; i++ {
+		m := g.AddNode("m", dfg.OpMul)
+		g.AddEdge(prev, m, 0)
+		prev = m
+	}
+	st := g.AddNode("st", dfg.OpStore)
+	g.AddEdge(prev, st, 0)
+	return g
+}
+
+func TestMIIHomogeneousMatchesDFGBound(t *testing.T) {
+	g := mulHeavy()
+	a := arch.New4x4(2)
+	if MII(g, a) != g.MII(a.NumPEs(), a.NumMemPEs(), a.BankPorts()) {
+		t.Fatal("homogeneous MII must equal the base bound")
+	}
+}
+
+func TestMIIHeterogeneousMulBound(t *testing.T) {
+	g := mulHeavy() // 8 muls
+	a := arch.New4x4(2)
+	a.StripClass(arch.ClassMul, 5, 6) // two multipliers
+	// ceil(8 muls / 2 mul PEs) = 4.
+	if got := MII(g, a); got != 4 {
+		t.Fatalf("MII = %d, want 4", got)
+	}
+	a2 := arch.New4x4(2)
+	a2.StripClass(arch.ClassMul) // no multipliers at all
+	if got := MII(g, a2); got < 1<<19 {
+		t.Fatalf("MII = %d, want effectively infinite", got)
+	}
+}
+
+func TestCanPlaceRespectsCaps(t *testing.T) {
+	g := mulHeavy()
+	a := arch.New4x4(2)
+	a.StripClass(arch.ClassMul, 5)
+	s := NewSession(New(g, a, 4))
+	// Node 1 is a mul: only PE 5 qualifies.
+	if s.CanPlace(1, 6, 0) {
+		t.Fatal("mul placed on stripped PE")
+	}
+	if !s.CanPlace(1, 5, 0) {
+		t.Fatal("mul rejected on capable PE")
+	}
+	if err := s.PlaceNode(1, 6, 0); err == nil {
+		t.Fatal("PlaceNode must enforce capabilities")
+	}
+	if err := s.PlaceNode(1, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,303 @@
+package mapping
+
+import (
+	"fmt"
+
+	"rewire/internal/mrrg"
+)
+
+// Session couples a Mapping with the live MRRG occupancy so mappers can
+// place, route, and rip up incrementally while the resource state stays
+// consistent with the mapping.
+//
+// Invariant maintained by all mutators: State holds exactly one FU
+// reservation per placed node, one bank-port reservation per placed
+// memory node, and one reservation per element of every stored route.
+type Session struct {
+	M     *Mapping
+	Graph *mrrg.Graph
+	State *mrrg.State
+}
+
+// NewSession builds an empty mapping session for m.DFG on m.Arch at m.II.
+func NewSession(m *Mapping) *Session {
+	g := mrrg.New(m.Arch, m.II)
+	return &Session{M: m, Graph: g, State: mrrg.NewState(g)}
+}
+
+// Fork returns an independent snapshot of the session: the mapping and
+// occupancy are deep-copied, the immutable MRRG is shared. Mappers use
+// forks to roll back failed amendment attempts.
+func (s *Session) Fork() *Session {
+	return &Session{M: s.M.Clone(), Graph: s.Graph, State: s.State.Clone()}
+}
+
+// CanPlace reports whether node v could be placed on pe at absolute time
+// T with the current occupancy (FU free or held by v's own net, memory
+// capability, bank port availability). It does not consider routing.
+func (s *Session) CanPlace(v, pe, T int) bool {
+	op := s.M.DFG.Nodes[v].Op
+	if !s.M.Arch.Supports(pe, ClassOf(op)) {
+		return false
+	}
+	fu := s.Graph.FU(pe, T)
+	if !s.State.Free(fu) {
+		return false
+	}
+	if op.IsMem() && s.State.FreeBankPort(s.Graph.Time(fu)) == mrrg.Invalid {
+		return false
+	}
+	return true
+}
+
+// PlaceNode reserves the FU (and a bank port for memory ops) for v at
+// (pe, T). T is an absolute schedule time and may be negative: only
+// relative times matter (dependencies) and occupancy is modulo II. The
+// caller routes edges separately.
+func (s *Session) PlaceNode(v, pe, T int) error {
+	if s.M.Placed(v) {
+		return fmt.Errorf("mapping: node %d already placed", v)
+	}
+	op := s.M.DFG.Nodes[v].Op
+	if !s.M.Arch.Supports(pe, ClassOf(op)) {
+		return fmt.Errorf("mapping: %s op %d needs a %s-capable PE, PE %d is not",
+			op, v, ClassOf(op), pe)
+	}
+	fu := s.Graph.FU(pe, T)
+	if err := s.State.Reserve(fu, mrrg.Net(v), 0); err != nil {
+		return err
+	}
+	if op.IsMem() {
+		port := s.State.FreeBankPort(s.Graph.Time(fu))
+		if port == mrrg.Invalid {
+			s.State.Release(fu, mrrg.Net(v))
+			return fmt.Errorf("mapping: no free bank port at t=%d for node %d", T%s.M.II, v)
+		}
+		if err := s.State.Reserve(port, mrrg.Net(v), 0); err != nil {
+			s.State.Release(fu, mrrg.Net(v))
+			return err
+		}
+		s.M.BankPorts[v] = port
+	}
+	s.M.Place[v] = Placement{PE: pe, Time: T}
+	return nil
+}
+
+// UnplaceNode releases v's FU and bank port. All routes touching v must
+// already be ripped up (it panics otherwise, as that is a mapper bug that
+// would silently corrupt occupancy).
+func (s *Session) UnplaceNode(v int) {
+	if !s.M.Placed(v) {
+		return
+	}
+	for _, eid := range append(append([]int{}, s.M.DFG.InEdges(v)...), s.M.DFG.OutEdges(v)...) {
+		if s.M.Routed(eid) {
+			panic(fmt.Sprintf("mapping: unplacing node %d with routed edge %d", v, eid))
+		}
+	}
+	p := s.M.Place[v]
+	s.State.Release(s.Graph.FU(p.PE, p.Time), mrrg.Net(v))
+	if port := s.M.BankPorts[v]; port != mrrg.Invalid {
+		s.State.Release(port, mrrg.Net(v))
+		s.M.BankPorts[v] = mrrg.Invalid
+	}
+	s.M.Place[v] = Unplaced
+}
+
+// RouteEdge stores a route for edge e and reserves its resources under
+// the producer's net. The path must already satisfy the structural rules
+// (see CheckPath); they are re-checked here so a buggy router cannot
+// corrupt the session.
+func (s *Session) RouteEdge(e int, path []mrrg.Node) error {
+	if s.M.Routed(e) {
+		return fmt.Errorf("mapping: edge %d already routed", e)
+	}
+	if err := s.CheckPath(e, path); err != nil {
+		return err
+	}
+	net := mrrg.Net(s.M.DFG.Edges[e].From)
+	if err := s.State.ReservePath(path, net, 1); err != nil {
+		return err
+	}
+	if path == nil {
+		path = []mrrg.Node{}
+	}
+	s.M.Routes[e] = path
+	return nil
+}
+
+// UnrouteEdge rips up edge e's route, releasing its resources.
+func (s *Session) UnrouteEdge(e int) {
+	if !s.M.Routed(e) {
+		return
+	}
+	s.State.ReleasePath(s.M.Routes[e], mrrg.Net(s.M.DFG.Edges[e].From))
+	s.M.Routes[e] = nil
+}
+
+// RipNode unroutes every edge incident to v and unplaces it: the rip-up
+// primitive used by remapping iterations.
+func (s *Session) RipNode(v int) {
+	for _, eid := range s.M.DFG.InEdges(v) {
+		s.UnrouteEdge(eid)
+	}
+	for _, eid := range s.M.DFG.OutEdges(v) {
+		s.UnrouteEdge(eid)
+	}
+	s.UnplaceNode(v)
+}
+
+// CheckPath verifies the structural validity of a route for edge e
+// without reserving anything: both endpoints placed, latency >= 1, path
+// length = latency-1, adjacency holds from producer FU through the path
+// to consumer FU, and no resource repeats.
+func (s *Session) CheckPath(e int, path []mrrg.Node) error {
+	ed := s.M.DFG.Edges[e]
+	if !s.M.Placed(ed.From) || !s.M.Placed(ed.To) {
+		return fmt.Errorf("mapping: routing edge %d with unplaced endpoint", e)
+	}
+	lat := s.M.Latency(e)
+	if lat < 1 {
+		return fmt.Errorf("mapping: edge %d has latency %d < 1 (producer t=%d, consumer t=%d, dist=%d, II=%d)",
+			e, lat, s.M.Place[ed.From].Time, s.M.Place[ed.To].Time, ed.Dist, s.M.II)
+	}
+	if len(path) != lat-1 {
+		return fmt.Errorf("mapping: edge %d route length %d, want latency-1 = %d", e, len(path), lat-1)
+	}
+	cur := s.Graph.FU(s.M.Place[ed.From].PE, s.M.Place[ed.From].Time)
+	seen := map[mrrg.Node]bool{}
+	for i, n := range path {
+		if seen[n] {
+			return fmt.Errorf("mapping: edge %d route revisits %s (iteration collision)", e, s.Graph.String(n))
+		}
+		seen[n] = true
+		if !adjacent(s.Graph, cur, n) {
+			return fmt.Errorf("mapping: edge %d route hop %d: %s not adjacent to %s",
+				e, i, s.Graph.String(n), s.Graph.String(cur))
+		}
+		cur = n
+	}
+	dst := s.Graph.FU(s.M.Place[ed.To].PE, s.M.Place[ed.To].Time)
+	if seen[dst] {
+		return fmt.Errorf("mapping: edge %d route passes through its own consumer FU", e)
+	}
+	if !adjacent(s.Graph, cur, dst) {
+		return fmt.Errorf("mapping: edge %d route ends at %s, cannot reach consumer %s",
+			e, s.Graph.String(cur), s.Graph.String(dst))
+	}
+	return nil
+}
+
+func adjacent(g *mrrg.Graph, from, to mrrg.Node) bool {
+	for _, s := range g.Succs(from) {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// IllMapped returns the nodes that are unplaced or have an incident edge
+// between placed endpoints that is unrouted — the nodes Rewire treats as
+// needing amendment.
+func (s *Session) IllMapped() []int {
+	bad := make(map[int]bool)
+	for v := range s.M.Place {
+		if !s.M.Placed(v) {
+			bad[v] = true
+		}
+	}
+	for e, route := range s.M.Routes {
+		if route != nil {
+			continue
+		}
+		ed := s.M.DFG.Edges[e]
+		if s.M.Placed(ed.From) && s.M.Placed(ed.To) {
+			bad[ed.From] = true
+			bad[ed.To] = true
+		}
+	}
+	out := make([]int, 0, len(bad))
+	for v := range bad {
+		out = append(out, v)
+	}
+	sortInts(out)
+	return out
+}
+
+// Restore rebuilds a live session from a stored mapping by replaying its
+// placements and routes into a fresh copy (available as the returned
+// session's M); it fails if the mapping is internally inconsistent. Bank
+// ports may be re-assigned to equivalent free ports during the replay.
+func Restore(m *Mapping) (*Session, error) {
+	s := NewSession(New(m.DFG, m.Arch, m.II))
+	for v := range m.Place {
+		if !m.Placed(v) {
+			continue
+		}
+		if err := s.PlaceNode(v, m.Place[v].PE, m.Place[v].Time); err != nil {
+			return nil, err
+		}
+	}
+	for e, route := range m.Routes {
+		if route == nil {
+			continue
+		}
+		if err := s.RouteEdge(e, route); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// sortInts is a tiny insertion sort to avoid importing sort for hot small
+// slices.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Validate independently checks a finished mapping: every node placed on
+// a compatible, exclusively-held FU; every memory op holding a bank port
+// at its execution slot; every edge routed with a structurally valid,
+// conflict-free path. It rebuilds occupancy from scratch, so it cannot be
+// fooled by mapper bookkeeping bugs.
+func Validate(m *Mapping) error {
+	if len(m.Place) != m.DFG.NumNodes() || len(m.Routes) != m.DFG.NumEdges() {
+		return fmt.Errorf("mapping: shape mismatch with DFG %q", m.DFG.Name)
+	}
+	for v := range m.Place {
+		if !m.Placed(v) {
+			return fmt.Errorf("mapping: node %d (%s) unplaced", v, m.DFG.Nodes[v].Name)
+		}
+	}
+	s, err := Restore(m)
+	if err != nil {
+		return err
+	}
+	for e := range m.Routes {
+		if !m.Routed(e) {
+			ed := m.DFG.Edges[e]
+			return fmt.Errorf("mapping: edge %d (%s->%s) unrouted", e,
+				m.DFG.Nodes[ed.From].Name, m.DFG.Nodes[ed.To].Name)
+		}
+	}
+	// Bank ports must sit at the right modulo time.
+	for v := range m.Place {
+		port := m.BankPorts[v]
+		isMem := m.DFG.Nodes[v].Op.IsMem()
+		switch {
+		case isMem && port == mrrg.Invalid:
+			return fmt.Errorf("mapping: memory op %d without bank port", v)
+		case !isMem && port != mrrg.Invalid:
+			return fmt.Errorf("mapping: non-memory op %d holds bank port", v)
+		case isMem && s.Graph.Time(port) != ((m.Place[v].Time%m.II)+m.II)%m.II:
+			return fmt.Errorf("mapping: node %d bank port at t=%d, executes at t=%d",
+				v, s.Graph.Time(port), m.Place[v].Time%m.II)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,323 @@
+// Package mrrg builds the Modulo Routing Resource Graph of a CGRA: the
+// hardware resources (ALUs, mesh links, registers, memory-bank ports)
+// time-extended to II cycles with wrap-around, following DRESC. Mapping a
+// DFG means assigning each operation to an FU resource and each dependency
+// to a chain of routing resources through this graph.
+//
+// Timing model (uniform one-cycle steps):
+//
+//   - FU(pe,t) executes an operation during cycle t; its latched result
+//     can be consumed or moved during t+1.
+//   - Link(pe,d,t) carries a value over the mesh wire leaving pe in
+//     direction d during cycle t; the value is latched at the neighbour
+//     and usable during t+1.
+//   - Reg(pe,r,t) holds a value in register r of pe during cycle t; it
+//     remains usable at pe during t+1.
+//   - A free FU may also forward a value unchanged (a move/route
+//     operation), so routes may pass through FUs, as in SPR/PathFinder
+//     CGRA mappers.
+//
+// All times are modulo II: a resource used at time t is used at t, t+II,
+// t+2*II, ... of the steady-state schedule, so a single route must never
+// use the same MRRG node twice (the second use would collide with another
+// iteration's value in flight).
+//
+// Bank(p,t) nodes are not routing resources: a memory operation placed on
+// an FU at time t additionally reserves one bank port at t.
+package mrrg
+
+import (
+	"fmt"
+
+	"rewire/internal/arch"
+)
+
+// Kind classifies an MRRG resource.
+type Kind uint8
+
+// Resource kinds.
+const (
+	KindFU Kind = iota
+	KindLink
+	KindReg
+	KindBank
+)
+
+// String returns a short mnemonic for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindFU:
+		return "fu"
+	case KindLink:
+		return "link"
+	case KindReg:
+		return "reg"
+	case KindBank:
+		return "bank"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Node identifies one MRRG resource instance (a resource at a specific
+// modulo time slot).
+type Node int32
+
+// Invalid marks a nonexistent node (e.g. a boundary link).
+const Invalid Node = -1
+
+// Graph is the static MRRG for one (architecture, II) pair. It is
+// immutable after construction; mutable occupancy lives in State.
+type Graph struct {
+	Arch *arch.CGRA
+	II   int
+
+	slotsPerPE int // FU + links + registers
+	numSlots   int // static resources: PEs' slots then bank ports
+	numNodes   int // numSlots * II
+
+	kind   []Kind
+	pe     []int32 // owning PE, -1 for banks
+	valid  []bool  // false for boundary links
+	feedPE []int32 // PE whose FU can consume this resource's value next cycle
+	succ   [][]Node
+	pred   [][]Node
+}
+
+// New builds the MRRG of cgra time-extended to ii cycles.
+func New(cgra *arch.CGRA, ii int) *Graph {
+	if ii < 1 {
+		panic(fmt.Sprintf("mrrg: II must be >= 1, got %d", ii))
+	}
+	g := &Graph{Arch: cgra, II: ii}
+	g.slotsPerPE = 1 + int(arch.NumDirs) + cgra.Regs
+	g.numSlots = cgra.NumPEs()*g.slotsPerPE + cgra.BankPorts()
+	g.numNodes = g.numSlots * ii
+
+	g.kind = make([]Kind, g.numNodes)
+	g.pe = make([]int32, g.numNodes)
+	g.valid = make([]bool, g.numNodes)
+	g.feedPE = make([]int32, g.numNodes)
+	g.succ = make([][]Node, g.numNodes)
+	g.pred = make([][]Node, g.numNodes)
+
+	g.classify()
+	g.connect()
+	return g
+}
+
+// node packs (slot, t) into a Node id.
+func (g *Graph) node(slot, t int) Node { return Node(slot*g.II + t) }
+
+// Slot returns the static resource index of n (same resource across all
+// time steps).
+func (g *Graph) Slot(n Node) int { return int(n) / g.II }
+
+// Time returns the modulo time step of n.
+func (g *Graph) Time(n Node) int { return int(n) % g.II }
+
+// NumNodes returns the total node count (including invalid boundary
+// links, which have no adjacency).
+func (g *Graph) NumNodes() int { return g.numNodes }
+
+// FU returns the ALU node of pe at modulo time t.
+func (g *Graph) FU(pe, t int) Node { return g.node(pe*g.slotsPerPE, g.wrap(t)) }
+
+// Link returns the output-link node of pe in direction d at time t; it
+// may be an invalid node on the mesh boundary (check Valid).
+func (g *Graph) Link(pe int, d arch.Dir, t int) Node {
+	return g.node(pe*g.slotsPerPE+1+int(d), g.wrap(t))
+}
+
+// Reg returns register r of pe at time t.
+func (g *Graph) Reg(pe, r, t int) Node {
+	return g.node(pe*g.slotsPerPE+1+int(arch.NumDirs)+r, g.wrap(t))
+}
+
+// Bank returns memory-bank port p at time t.
+func (g *Graph) Bank(p, t int) Node {
+	return g.node(g.Arch.NumPEs()*g.slotsPerPE+p, g.wrap(t))
+}
+
+// wrap reduces an absolute time to a modulo slot.
+func (g *Graph) wrap(t int) int {
+	t %= g.II
+	if t < 0 {
+		t += g.II
+	}
+	return t
+}
+
+// Kind returns the resource kind of n.
+func (g *Graph) Kind(n Node) Kind { return g.kind[n] }
+
+// PE returns the PE owning n (-1 for bank ports).
+func (g *Graph) PE(n Node) int { return int(g.pe[n]) }
+
+// Valid reports whether n is a physically present resource (boundary
+// links are allocated but invalid).
+func (g *Graph) Valid(n Node) bool { return g.valid[n] }
+
+// FeedsPE returns the PE whose FU can consume this resource's value in
+// the next cycle: the neighbour for links, the owning PE for FUs and
+// registers, -1 for banks.
+func (g *Graph) FeedsPE(n Node) int { return int(g.feedPE[n]) }
+
+// Succs returns the resources reachable from n one cycle later. The
+// slice is owned by the graph.
+func (g *Graph) Succs(n Node) []Node { return g.succ[n] }
+
+// Preds returns the resources that can reach n from one cycle earlier.
+func (g *Graph) Preds(n Node) []Node { return g.pred[n] }
+
+// LinkDir returns the mesh direction of a link resource; it panics on
+// other kinds.
+func (g *Graph) LinkDir(n Node) arch.Dir {
+	if g.kind[n] != KindLink {
+		panic("mrrg: LinkDir of " + g.String(n))
+	}
+	return arch.Dir(g.Slot(n)%g.slotsPerPE - 1)
+}
+
+// RegIndex returns the register number of a register resource; it panics
+// on other kinds.
+func (g *Graph) RegIndex(n Node) int {
+	if g.kind[n] != KindReg {
+		panic("mrrg: RegIndex of " + g.String(n))
+	}
+	return g.Slot(n)%g.slotsPerPE - 1 - int(arch.NumDirs)
+}
+
+// BankIndex returns the port number of a bank resource; it panics on
+// other kinds.
+func (g *Graph) BankIndex(n Node) int {
+	if g.kind[n] != KindBank {
+		panic("mrrg: BankIndex of " + g.String(n))
+	}
+	return g.Slot(n) - g.Arch.NumPEs()*g.slotsPerPE
+}
+
+// String renders a node for diagnostics, e.g. "fu(pe5)@2" or
+// "link(pe3,E)@0".
+func (g *Graph) String(n Node) string {
+	if n < 0 || int(n) >= g.numNodes {
+		return fmt.Sprintf("node(%d)", int(n))
+	}
+	t := g.Time(n)
+	slot := g.Slot(n)
+	peSlots := g.Arch.NumPEs() * g.slotsPerPE
+	if slot >= peSlots {
+		return fmt.Sprintf("bank(%d)@%d", slot-peSlots, t)
+	}
+	pe := slot / g.slotsPerPE
+	local := slot % g.slotsPerPE
+	switch {
+	case local == 0:
+		return fmt.Sprintf("fu(pe%d)@%d", pe, t)
+	case local <= int(arch.NumDirs):
+		return fmt.Sprintf("link(pe%d,%s)@%d", pe, arch.Dir(local-1), t)
+	default:
+		return fmt.Sprintf("reg(pe%d,r%d)@%d", pe, local-1-int(arch.NumDirs), t)
+	}
+}
+
+func (g *Graph) classify() {
+	a := g.Arch
+	for peIdx := 0; peIdx < a.NumPEs(); peIdx++ {
+		for t := 0; t < g.II; t++ {
+			fu := g.FU(peIdx, t)
+			g.kind[fu] = KindFU
+			g.pe[fu] = int32(peIdx)
+			g.valid[fu] = true
+			g.feedPE[fu] = int32(peIdx)
+			for d := arch.Dir(0); d < arch.NumDirs; d++ {
+				ln := g.Link(peIdx, d, t)
+				g.kind[ln] = KindLink
+				g.pe[ln] = int32(peIdx)
+				nbr := a.Neighbor(peIdx, d)
+				g.valid[ln] = nbr >= 0
+				g.feedPE[ln] = int32(nbr)
+			}
+			for r := 0; r < a.Regs; r++ {
+				rg := g.Reg(peIdx, r, t)
+				g.kind[rg] = KindReg
+				g.pe[rg] = int32(peIdx)
+				g.valid[rg] = true
+				g.feedPE[rg] = int32(peIdx)
+			}
+		}
+	}
+	for p := 0; p < a.BankPorts(); p++ {
+		for t := 0; t < g.II; t++ {
+			bk := g.Bank(p, t)
+			g.kind[bk] = KindBank
+			g.pe[bk] = -1
+			g.valid[bk] = true
+			g.feedPE[bk] = -1
+		}
+	}
+}
+
+// connect wires the time-step adjacency. All edges go from time t to
+// time (t+1) mod II.
+func (g *Graph) connect() {
+	a := g.Arch
+	addEdgeAllowSelf := func(from, to Node) {
+		if !g.valid[from] || !g.valid[to] {
+			return
+		}
+		g.succ[from] = append(g.succ[from], to)
+		g.pred[to] = append(g.pred[to], from)
+	}
+	addEdge := func(from, to Node) {
+		// At II=1 a dwell edge (reg r -> reg r) or a link/reg self edge
+		// would mean one value instance occupying the resource for two
+		// consecutive cycles, always colliding with the next iteration's
+		// value. The only legal self edge is FU -> FU forwarding, where
+		// the implicit ALU output register holds each value for exactly
+		// one cycle (added via addEdgeAllowSelf below).
+		if from == to {
+			return
+		}
+		addEdgeAllowSelf(from, to)
+	}
+	// exits appends every resource the value held "at pe" during cycle t
+	// can occupy during t+1: the pe's FU (consume or forward), its output
+	// links, and its registers.
+	exits := func(from Node, pe, t1 int) {
+		if g.kind[from] == KindFU {
+			addEdgeAllowSelf(from, g.FU(pe, t1))
+		} else {
+			addEdge(from, g.FU(pe, t1))
+		}
+		for d := arch.Dir(0); d < arch.NumDirs; d++ {
+			addEdge(from, g.Link(pe, d, t1))
+		}
+		for r := 0; r < a.Regs; r++ {
+			addEdge(from, g.Reg(pe, r, t1))
+		}
+	}
+	for pe := 0; pe < a.NumPEs(); pe++ {
+		for t := 0; t < g.II; t++ {
+			t1 := (t + 1) % g.II
+			// FU result is held at its own PE.
+			exits(g.FU(pe, t), pe, t1)
+			// A link's value is latched at the neighbour.
+			for d := arch.Dir(0); d < arch.NumDirs; d++ {
+				ln := g.Link(pe, d, t)
+				if nbr := a.Neighbor(pe, d); nbr >= 0 {
+					exits(ln, nbr, t1)
+				}
+			}
+			// A register's value stays at its own PE. Dwelling keeps
+			// using the same register, so only reg r -> reg r.
+			for r := 0; r < a.Regs; r++ {
+				rg := g.Reg(pe, r, t)
+				addEdge(rg, g.FU(pe, t1))
+				for d := arch.Dir(0); d < arch.NumDirs; d++ {
+					addEdge(rg, g.Link(pe, d, t1))
+				}
+				addEdge(rg, g.Reg(pe, r, t1))
+			}
+		}
+	}
+}

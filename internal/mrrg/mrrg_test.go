@@ -1,0 +1,424 @@
+package mrrg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rewire/internal/arch"
+)
+
+func build(t *testing.T, rows, cols, regs, ii int) *Graph {
+	t.Helper()
+	return New(arch.New("t", rows, cols, regs, 2, 0), ii)
+}
+
+func TestNodePackingRoundTrip(t *testing.T) {
+	g := build(t, 4, 4, 4, 3)
+	for pe := 0; pe < 16; pe++ {
+		for tt := 0; tt < 3; tt++ {
+			fu := g.FU(pe, tt)
+			if g.Kind(fu) != KindFU || g.PE(fu) != pe || g.Time(fu) != tt {
+				t.Fatalf("FU(%d,%d) mispacked: %s", pe, tt, g.String(fu))
+			}
+			for r := 0; r < 4; r++ {
+				rg := g.Reg(pe, r, tt)
+				if g.Kind(rg) != KindReg || g.PE(rg) != pe || g.Time(rg) != tt {
+					t.Fatalf("Reg(%d,%d,%d) mispacked: %s", pe, r, tt, g.String(rg))
+				}
+			}
+			for d := arch.Dir(0); d < arch.NumDirs; d++ {
+				ln := g.Link(pe, d, tt)
+				if g.Kind(ln) != KindLink || g.PE(ln) != pe {
+					t.Fatalf("Link mispacked: %s", g.String(ln))
+				}
+			}
+		}
+	}
+	for p := 0; p < g.Arch.BankPorts(); p++ {
+		bk := g.Bank(p, 1)
+		if g.Kind(bk) != KindBank || g.PE(bk) != -1 {
+			t.Fatalf("Bank mispacked: %s", g.String(bk))
+		}
+	}
+}
+
+func TestNoDuplicateNodeIDs(t *testing.T) {
+	g := build(t, 3, 3, 2, 2)
+	seen := make(map[Node]bool)
+	check := func(n Node) {
+		if seen[n] {
+			t.Fatalf("duplicate node id %d (%s)", n, g.String(n))
+		}
+		seen[n] = true
+	}
+	for pe := 0; pe < 9; pe++ {
+		for tt := 0; tt < 2; tt++ {
+			check(g.FU(pe, tt))
+			for d := arch.Dir(0); d < arch.NumDirs; d++ {
+				check(g.Link(pe, d, tt))
+			}
+			for r := 0; r < 2; r++ {
+				check(g.Reg(pe, r, tt))
+			}
+		}
+	}
+	for p := 0; p < g.Arch.BankPorts(); p++ {
+		for tt := 0; tt < 2; tt++ {
+			check(g.Bank(p, tt))
+		}
+	}
+	if len(seen) != g.NumNodes() {
+		t.Fatalf("enumerated %d nodes, graph has %d", len(seen), g.NumNodes())
+	}
+}
+
+func TestBoundaryLinksInvalid(t *testing.T) {
+	g := build(t, 4, 4, 1, 2)
+	// PE 0 is the top-left corner: North and West links must be invalid.
+	if g.Valid(g.Link(0, arch.North, 0)) || g.Valid(g.Link(0, arch.West, 0)) {
+		t.Fatal("corner PE has valid links off the mesh")
+	}
+	if !g.Valid(g.Link(0, arch.East, 0)) || !g.Valid(g.Link(0, arch.South, 0)) {
+		t.Fatal("corner PE lost its in-mesh links")
+	}
+	// Invalid links have no adjacency.
+	if len(g.Succs(g.Link(0, arch.North, 0))) != 0 {
+		t.Fatal("invalid link has successors")
+	}
+}
+
+func TestFULinkAdjacency(t *testing.T) {
+	g := build(t, 4, 4, 2, 4)
+	// FU(5) at t=1 -> east link of PE 5 at t=2.
+	fu := g.FU(5, 1)
+	east := g.Link(5, arch.East, 2)
+	if !contains(g.Succs(fu), east) {
+		t.Fatalf("FU succs %v missing east link", names(g, g.Succs(fu)))
+	}
+	// East link of PE 5 feeds PE 6; its value can enter FU(6) at t=3.
+	if g.FeedsPE(east) != 6 {
+		t.Fatalf("east link feeds PE %d, want 6", g.FeedsPE(east))
+	}
+	if !contains(g.Succs(east), g.FU(6, 3)) {
+		t.Fatal("link does not reach neighbour FU next cycle")
+	}
+	// Direct same-PE forwarding: FU(5)@1 -> FU(5)@2.
+	if !contains(g.Succs(fu), g.FU(5, 2)) {
+		t.Fatal("missing FU->FU forwarding edge")
+	}
+}
+
+func TestRegisterDwellEdges(t *testing.T) {
+	g := build(t, 2, 2, 3, 4)
+	r0 := g.Reg(1, 0, 1)
+	if !contains(g.Succs(r0), g.Reg(1, 0, 2)) {
+		t.Fatal("register cannot dwell to next cycle")
+	}
+	if contains(g.Succs(r0), g.Reg(1, 1, 2)) {
+		t.Fatal("value must not hop between registers")
+	}
+	if !contains(g.Succs(r0), g.FU(1, 2)) {
+		t.Fatal("register cannot feed own FU")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	g := build(t, 2, 2, 1, 3)
+	// Resources at t=II-1 connect to resources at t=0.
+	fu := g.FU(0, 2)
+	if !contains(g.Succs(fu), g.FU(0, 0)) {
+		t.Fatal("missing wrap-around edge t=II-1 -> t=0")
+	}
+}
+
+func TestIIOneSelfLoopsOnlyOnFUs(t *testing.T) {
+	// At II=1, register dwell and link self edges would collide with the
+	// next iteration's value and must be absent; FU->FU forwarding stays
+	// (the ALU output register holds each value exactly one cycle).
+	g := build(t, 3, 3, 2, 1)
+	fuSelf := 0
+	for n := 0; n < g.NumNodes(); n++ {
+		for _, s := range g.Succs(Node(n)) {
+			if s == Node(n) {
+				if g.Kind(s) != KindFU {
+					t.Fatalf("illegal self loop on %s at II=1", g.String(Node(n)))
+				}
+				fuSelf++
+			}
+		}
+	}
+	if fuSelf != 9 {
+		t.Fatalf("FU self loops = %d, want one per PE (9)", fuSelf)
+	}
+}
+
+func TestBanksHaveNoAdjacency(t *testing.T) {
+	g := build(t, 4, 4, 1, 2)
+	for p := 0; p < g.Arch.BankPorts(); p++ {
+		for tt := 0; tt < 2; tt++ {
+			if len(g.Succs(g.Bank(p, tt))) != 0 || len(g.Preds(g.Bank(p, tt))) != 0 {
+				t.Fatal("bank ports must not join the routing graph")
+			}
+		}
+	}
+}
+
+func TestPredsMirrorSuccs(t *testing.T) {
+	g := build(t, 4, 4, 4, 3)
+	for n := 0; n < g.NumNodes(); n++ {
+		for _, s := range g.Succs(Node(n)) {
+			if !contains(g.Preds(s), Node(n)) {
+				t.Fatalf("succ edge %s->%s missing from preds", g.String(Node(n)), g.String(s))
+			}
+		}
+		for _, p := range g.Preds(Node(n)) {
+			if !contains(g.Succs(p), Node(n)) {
+				t.Fatalf("pred edge %s<-%s missing from succs", g.String(Node(n)), g.String(p))
+			}
+		}
+	}
+}
+
+// Property: every adjacency edge advances modulo time by exactly one.
+func TestPropEdgesAdvanceTimeByOne(t *testing.T) {
+	f := func(rowsRaw, colsRaw, regsRaw, iiRaw uint8) bool {
+		rows := 1 + int(rowsRaw%6)
+		cols := 1 + int(colsRaw%6)
+		regs := int(regsRaw % 5)
+		ii := 1 + int(iiRaw%6)
+		g := New(arch.New("p", rows, cols, regs, 1, 0), ii)
+		for n := 0; n < g.NumNodes(); n++ {
+			want := (g.Time(Node(n)) + 1) % ii
+			for _, s := range g.Succs(Node(n)) {
+				if g.Time(s) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any valid non-FU resource can feed some FU next cycle, and
+// FeedsPE is consistent with the succ set.
+func TestPropFeedsPEConsistent(t *testing.T) {
+	f := func(rowsRaw, regsRaw, iiRaw uint8) bool {
+		rows := 2 + int(rowsRaw%4)
+		regs := 1 + int(regsRaw%4)
+		ii := 1 + int(iiRaw%4)
+		g := New(arch.New("p", rows, rows, regs, 1, 0), ii)
+		for n := 0; n < g.NumNodes(); n++ {
+			nd := Node(n)
+			if !g.Valid(nd) || g.Kind(nd) == KindBank {
+				continue
+			}
+			fp := g.FeedsPE(nd)
+			if fp < 0 {
+				return false
+			}
+			target := g.FU(fp, g.Time(nd)+1)
+			if target == nd {
+				// II=1 self-forwarding is intentionally absent (it would
+				// collide with the next iteration).
+				continue
+			}
+			if !contains(g.Succs(nd), target) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateReserveRelease(t *testing.T) {
+	g := build(t, 2, 2, 1, 2)
+	s := NewState(g)
+	n := g.FU(0, 0)
+	if !s.Free(n) {
+		t.Fatal("fresh state not free")
+	}
+	if err := s.Reserve(n, 7, 2); err != nil {
+		t.Fatal(err)
+	}
+	if net, phase := s.Occupant(n); net != 7 || phase != 2 || s.Free(n) {
+		t.Fatal("reserve did not take")
+	}
+	// Same net+phase may share; another net or phase may not.
+	if !s.Usable(n, 7, 2) || s.Usable(n, 8, 2) || s.Usable(n, 7, 3) {
+		t.Fatal("Usable wrong")
+	}
+	if err := s.Reserve(n, 8, 2); err == nil {
+		t.Fatal("cross-net reserve must fail")
+	}
+	if err := s.Reserve(n, 7, 5); err == nil {
+		t.Fatal("cross-phase reserve must fail")
+	}
+	if err := s.Reserve(n, 7, 2); err != nil {
+		t.Fatal(err)
+	}
+	s.Release(n, 7)
+	if s.Free(n) {
+		t.Fatal("released too early: one reference remains")
+	}
+	s.Release(n, 7)
+	if !s.Free(n) {
+		t.Fatal("not freed after last release")
+	}
+}
+
+func TestStateReleasePanicsOnForeignNet(t *testing.T) {
+	g := build(t, 2, 2, 1, 2)
+	s := NewState(g)
+	n := g.FU(0, 0)
+	if err := s.Reserve(n, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Release(n, 2)
+}
+
+func TestStateReserveInvalidFails(t *testing.T) {
+	g := build(t, 2, 2, 1, 2)
+	s := NewState(g)
+	bad := g.Link(0, arch.North, 0) // off the mesh
+	if err := s.Reserve(bad, 1, 0); err == nil {
+		t.Fatal("reserving an invalid link must fail")
+	}
+}
+
+func TestReservePathRollsBack(t *testing.T) {
+	g := build(t, 2, 2, 2, 2)
+	s := NewState(g)
+	blocker := g.Reg(0, 0, 1)
+	if err := s.Reserve(blocker, 99, 0); err != nil {
+		t.Fatal(err)
+	}
+	path := []Node{g.Reg(0, 1, 0), blocker, g.Reg(0, 0, 0)}
+	if err := s.ReservePath(path, 5, 1); err == nil {
+		t.Fatal("path through foreign resource must fail")
+	}
+	if !s.Free(path[0]) {
+		t.Fatal("rollback did not release earlier path nodes")
+	}
+	if net, _ := s.Occupant(blocker); net != 99 {
+		t.Fatal("rollback damaged the blocking net")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	g := build(t, 2, 2, 1, 2)
+	s := NewState(g)
+	n := g.FU(1, 1)
+	if err := s.Reserve(n, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	c.Release(n, 3)
+	if s.Free(n) {
+		t.Fatal("release on clone affected original")
+	}
+	if err := c.Reserve(g.FU(2, 0), 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Free(g.FU(2, 0)) {
+		t.Fatal("reserve on clone affected original")
+	}
+}
+
+func TestFreeBankPort(t *testing.T) {
+	g := build(t, 4, 4, 1, 2) // 2 banks -> 4 ports
+	s := NewState(g)
+	var got []Node
+	for i := 0; i < g.Arch.BankPorts(); i++ {
+		n := s.FreeBankPort(1)
+		if n == Invalid {
+			t.Fatalf("port %d: no free bank port", i)
+		}
+		if err := s.Reserve(n, Net(i), 0); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, n)
+	}
+	if n := s.FreeBankPort(1); n != Invalid {
+		t.Fatalf("expected exhaustion, got %s", g.String(n))
+	}
+	// Other time slots unaffected.
+	if s.FreeBankPort(0) == Invalid {
+		t.Fatal("time 0 ports should be free")
+	}
+	_ = got
+}
+
+func contains(ns []Node, x Node) bool {
+	for _, n := range ns {
+		if n == x {
+			return true
+		}
+	}
+	return false
+}
+
+func names(g *Graph, ns []Node) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = g.String(n)
+	}
+	return out
+}
+
+func TestAccessorPanicsOnWrongKind(t *testing.T) {
+	g := build(t, 2, 2, 1, 2)
+	for _, f := range []func(){
+		func() { g.LinkDir(g.FU(0, 0)) },
+		func() { g.RegIndex(g.FU(0, 0)) },
+		func() { g.BankIndex(g.FU(0, 0)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAccessorsRecoverIndices(t *testing.T) {
+	g := build(t, 3, 3, 2, 2)
+	if g.LinkDir(g.Link(4, arch.West, 1)) != arch.West {
+		t.Fatal("LinkDir wrong")
+	}
+	if g.RegIndex(g.Reg(4, 1, 0)) != 1 {
+		t.Fatal("RegIndex wrong")
+	}
+	if g.BankIndex(g.Bank(3, 1)) != 3 {
+		t.Fatal("BankIndex wrong")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	g := build(t, 2, 2, 1, 2)
+	cases := map[Node]string{
+		g.FU(1, 0):              "fu(pe1)@0",
+		g.Link(0, arch.East, 1): "link(pe0,E)@1",
+		g.Reg(2, 0, 1):          "reg(pe2,r0)@1",
+		g.Bank(0, 0):            "bank(0)@0",
+		Invalid:                 "node(-1)",
+	}
+	for n, want := range cases {
+		if got := g.String(n); got != want {
+			t.Errorf("String(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

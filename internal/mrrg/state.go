@@ -1,0 +1,145 @@
+package mrrg
+
+import "fmt"
+
+// Net identifies the value travelling through routing resources: the DFG
+// node ID of the producer.
+type Net int32
+
+// NoNet marks a free resource.
+const NoNet Net = -1
+
+// State is the mutable occupancy of an MRRG. Each resource is held by at
+// most one (net, phase) pair:
+//
+//   - net is the producing DFG node, so a value fanning out to several
+//     consumers can share resources (a route tree);
+//   - phase is the number of cycles since the value was produced. In a
+//     modulo schedule the same resource slot recurs every II cycles, and
+//     each iteration of the loop produces a fresh value of the net: two
+//     routes of one net may share a resource only when they cross it at
+//     the same phase, otherwise two different iterations' values would
+//     occupy one wire or register simultaneously.
+//
+// A per-resource reference count lets overlapping route segments of one
+// net reserve and release independently.
+type State struct {
+	G     *Graph
+	occ   []Net
+	phase []int32
+	ref   []int32
+}
+
+// NewState returns an all-free occupancy for g.
+func NewState(g *Graph) *State {
+	occ := make([]Net, g.numNodes)
+	for i := range occ {
+		occ[i] = NoNet
+	}
+	return &State{
+		G:     g,
+		occ:   occ,
+		phase: make([]int32, g.numNodes),
+		ref:   make([]int32, g.numNodes),
+	}
+}
+
+// Clone returns an independent copy of the occupancy (the static graph is
+// shared). Rewire uses clones to trial-route candidate placements.
+func (s *State) Clone() *State {
+	c := &State{
+		G:     s.G,
+		occ:   append([]Net(nil), s.occ...),
+		phase: append([]int32(nil), s.phase...),
+		ref:   append([]int32(nil), s.ref...),
+	}
+	return c
+}
+
+// Occupant returns the net holding n (NoNet if free) and its phase.
+func (s *State) Occupant(n Node) (Net, int) { return s.occ[n], int(s.phase[n]) }
+
+// Free reports whether n is valid and unoccupied.
+func (s *State) Free(n Node) bool { return s.G.valid[n] && s.occ[n] == NoNet }
+
+// Usable reports whether (net, phase) may use n: n is valid and either
+// free or already held by the same net at the same phase.
+func (s *State) Usable(n Node, net Net, phase int) bool {
+	return s.G.valid[n] && (s.occ[n] == NoNet || (s.occ[n] == net && int(s.phase[n]) == phase))
+}
+
+// Reserve claims n for (net, phase). It returns an error if n is invalid
+// or held by a different net or phase.
+func (s *State) Reserve(n Node, net Net, phase int) error {
+	if !s.G.valid[n] {
+		return fmt.Errorf("mrrg: reserve of invalid resource %s", s.G.String(n))
+	}
+	if s.occ[n] != NoNet && (s.occ[n] != net || int(s.phase[n]) != phase) {
+		return fmt.Errorf("mrrg: %s held by net %d phase %d (want net %d phase %d)",
+			s.G.String(n), s.occ[n], s.phase[n], net, phase)
+	}
+	s.occ[n] = net
+	s.phase[n] = int32(phase)
+	s.ref[n]++
+	return nil
+}
+
+// Release drops one reference of net on n, freeing the resource when the
+// last reference goes. Releasing a resource the net does not hold is a
+// bookkeeping bug and panics.
+func (s *State) Release(n Node, net Net) {
+	if s.occ[n] != net || s.ref[n] <= 0 {
+		panic(fmt.Sprintf("mrrg: release of %s by net %d, but occupant=%d refs=%d",
+			s.G.String(n), net, s.occ[n], s.ref[n]))
+	}
+	s.ref[n]--
+	if s.ref[n] == 0 {
+		s.occ[n] = NoNet
+		s.phase[n] = 0
+	}
+}
+
+// ReservePath claims path[i] for (net, startPhase+i), rolling back on the
+// first failure. For an edge route, startPhase is 1 (the producer FU is
+// phase 0).
+func (s *State) ReservePath(path []Node, net Net, startPhase int) error {
+	for i, n := range path {
+		if err := s.Reserve(n, net, startPhase+i); err != nil {
+			for j := 0; j < i; j++ {
+				s.Release(path[j], net)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// ReleasePath drops one reference of net on every node of path.
+func (s *State) ReleasePath(path []Node, net Net) {
+	for _, n := range path {
+		s.Release(n, net)
+	}
+}
+
+// FreeBankPort returns a free bank-port node at modulo time t, or Invalid
+// if all ports are taken that cycle.
+func (s *State) FreeBankPort(t int) Node {
+	for p := 0; p < s.G.Arch.BankPorts(); p++ {
+		if n := s.G.Bank(p, t); s.occ[n] == NoNet {
+			return n
+		}
+	}
+	return Invalid
+}
+
+// CountOccupied returns how many resources are currently held; used by
+// tests and congestion metrics.
+func (s *State) CountOccupied() int {
+	n := 0
+	for _, o := range s.occ {
+		if o != NoNet {
+			n++
+		}
+	}
+	return n
+}

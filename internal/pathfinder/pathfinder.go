@@ -1,0 +1,446 @@
+// Package pathfinder implements PF*, the negotiated-congestion baseline
+// mapper the paper compares against (its fine-tuned PathFinder variant,
+// in the SPR family): an initial placement that picks, node by node in
+// topological order, the candidate slot with the minimal routing cost,
+// followed by single-node remapping iterations — rip up an ill-mapped
+// node (and, when stuck, a blocking neighbour), bump the history cost of
+// the contested resources, and re-place — until the mapping is feasible
+// or the per-II budget runs out, at which point the II is incremented.
+//
+// Rewire reuses the initial-placement phase of this package as the
+// "initial mapping from conventional approaches" its amendment loop
+// starts from.
+package pathfinder
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"rewire/internal/arch"
+	"rewire/internal/dfg"
+	"rewire/internal/mapping"
+	"rewire/internal/mrrg"
+	"rewire/internal/placer"
+	"rewire/internal/route"
+	"rewire/internal/stats"
+)
+
+// Options tunes the mapper. Zero values select the defaults.
+type Options struct {
+	// Seed drives all randomized tie-breaking; runs are reproducible per
+	// seed.
+	Seed int64
+	// MaxII caps the explored initiation intervals (default 32).
+	MaxII int
+	// TimePerII bounds the wall-clock spent per II (default 10s; the
+	// paper allowed one hour on a Xeon).
+	TimePerII time.Duration
+	// RemapsPerII bounds single-node remapping iterations per II
+	// (default 40 per DFG node).
+	RemapsPerII int
+	// CandidateBeam is how many of the estimate-ranked placement
+	// candidates get full trial routing per (re)placement. 0 (the
+	// default) evaluates every candidate, as the paper describes PF*
+	// doing ("PF* evaluates all the placement candidates for each
+	// single-node remapping and selects the best one"); Rewire's
+	// initial-mapping phase uses a narrow beam instead, since amendment
+	// only needs a rough starting point.
+	CandidateBeam int
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.MaxII == 0 {
+		o.MaxII = 32
+	}
+	if o.TimePerII == 0 {
+		o.TimePerII = 10 * time.Second
+	}
+	if o.RemapsPerII == 0 {
+		o.RemapsPerII = 40 * n
+	}
+	return o
+}
+
+// Map runs PF* to completion: II sweeps from MII upward until a valid
+// mapping is found or the limits are hit.
+func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Result) {
+	opt = opt.withDefaults(g.NumNodes())
+	res := stats.Result{Mapper: "PF*", Kernel: g.Name, Arch: a.Name}
+	res.MII = mapping.MII(g, a)
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	totalRemaps := 0
+	iisExplored := 0
+	for ii := res.MII; ii <= opt.MaxII; ii++ {
+		iisExplored++
+		p := newPerII(g, a, ii, rng, &res)
+		p.beam = opt.CandidateBeam
+		ok := p.run(opt)
+		totalRemaps += p.remaps
+		if ok {
+			res.Success = true
+			res.II = ii
+			res.Duration = time.Since(start)
+			res.RemapIterations = totalRemaps / iisExplored
+			res.RouterExpansions = p.router.Expansions
+			finalize(p.sess.M, &res)
+			return p.sess.M, res
+		}
+	}
+	res.Duration = time.Since(start)
+	if iisExplored > 0 {
+		res.RemapIterations = totalRemaps / iisExplored
+	}
+	return nil, res
+}
+
+// finalize validates the result defensively; an invalid "success" is a
+// mapper bug and must surface immediately.
+func finalize(m *mapping.Mapping, res *stats.Result) {
+	if err := mapping.Validate(m); err != nil {
+		panic("pathfinder: produced invalid mapping: " + err.Error())
+	}
+}
+
+// BuildInitial runs only the initial-placement phase at the mapping's II
+// and returns the (typically partial/ill) session and the router. Rewire
+// amends this mapping, so a narrow candidate beam suffices: amendment
+// only needs a rough starting point, not PF*'s exhaustive per-node
+// candidate evaluation.
+func BuildInitial(m *mapping.Mapping, seed int64, res *stats.Result) (*mapping.Session, *route.Router) {
+	rng := rand.New(rand.NewSource(seed))
+	p := newPerII(m.DFG, m.Arch, m.II, rng, res)
+	p.beam = 8
+	p.initialPlacement(time.Now().Add(time.Minute))
+	return p.sess, p.router
+}
+
+// perII is the mapping state for one II attempt.
+type perII struct {
+	g      *dfg.Graph
+	sess   *mapping.Session
+	router *route.Router
+	rng    *rand.Rand
+	res    *stats.Result
+	hist   []float64 // per MRRG node contention history
+	slack  int
+	asap   []int
+	remaps int
+	beam   int // candidates fully routed per placement; 0 = all
+}
+
+func newPerII(g *dfg.Graph, a *arch.CGRA, ii int, rng *rand.Rand, res *stats.Result) *perII {
+	m := mapping.New(g, a, ii)
+	sess := mapping.NewSession(m)
+	asap, err := g.ASAP(ii)
+	if err != nil {
+		// II below RecMII: caller starts at MII, so this is unreachable,
+		// but fall back to zeros to stay total.
+		asap = make([]int, g.NumNodes())
+	}
+	return &perII{
+		g:      g,
+		sess:   sess,
+		router: route.ForSession(sess),
+		rng:    rng,
+		res:    res,
+		hist:   make([]float64, sess.Graph.NumNodes()),
+		slack:  placer.DefaultSlack(ii),
+		asap:   asap,
+	}
+}
+
+// cost prices a resource for routing: unit base plus accumulated
+// contention history, with own-net reuse nearly free (PathFinder's
+// b(n) + h(n) with strict present-sharing).
+func (p *perII) cost(net mrrg.Net) route.CostFn {
+	st := p.sess.State
+	return func(n mrrg.Node, phase int) (float64, bool) {
+		if !st.Usable(n, net, phase) {
+			return 0, false
+		}
+		if occ, _ := st.Occupant(n); occ == net {
+			return 0.05, true
+		}
+		return 1 + p.hist[n], true
+	}
+}
+
+func (p *perII) run(opt Options) bool {
+	deadline := time.Now().Add(opt.TimePerII)
+	p.initialPlacement(deadline)
+	for p.remaps < opt.RemapsPerII && time.Now().Before(deadline) {
+		ill := p.sess.IllMapped()
+		if len(ill) == 0 {
+			return true
+		}
+		v := ill[p.rng.Intn(len(ill))]
+		p.remaps++
+		p.ripWithHistory(v)
+		if !p.placeNode(v, p.beam) {
+			// Could not even place: evict a random placed node to open
+			// room; it becomes ill and is remapped on a later iteration.
+			p.evictRandom(v)
+		}
+	}
+	return len(p.sess.IllMapped()) == 0
+}
+
+// initialPlacement maps nodes in topological order, each at its minimal
+// routing-cost candidate; nodes whose edges cannot all be routed are
+// still placed best-effort (leaving ill routes), matching the paper's
+// "initial mapping" that Rewire amends. Exhaustive candidate evaluation
+// on large fabrics can be slow, so the per-II deadline applies here too.
+func (p *perII) initialPlacement(deadline time.Time) {
+	order, err := p.g.TopoOrder()
+	if err != nil {
+		return
+	}
+	for _, v := range order {
+		if !time.Now().Before(deadline) {
+			return
+		}
+		p.placeNode(v, p.beam)
+	}
+}
+
+// candidate is a slot plus its cheap cost estimate.
+type candidate struct {
+	pl  mapping.Placement
+	est float64
+}
+
+// placeNode places v at the best candidate it can fully route; if none
+// routes completely it commits the best partial candidate. Returns false
+// if no candidate slot existed at all.
+//
+// With beam == 0 every candidate is trial-routed and the one with the
+// minimal total route cost wins (the paper's PF*); with beam > 0 only
+// the top estimate-ranked candidates are routed and the first fully
+// routable one wins (the fast variant used for initial mappings).
+func (p *perII) placeNode(v int, beam int) bool {
+	cands := p.rankedCandidates(v)
+	if len(cands) == 0 {
+		return false
+	}
+	exhaustive := beam <= 0
+	if exhaustive || beam > len(cands) {
+		beam = len(cands)
+	}
+	type outcome struct {
+		pl     mapping.Placement
+		routed int
+		cost   int
+		ok     bool
+	}
+	best := outcome{routed: -1}
+	bestFull := outcome{cost: int(^uint(0) >> 1), ok: false}
+	for _, c := range cands[:beam] {
+		p.res.PlacementsTried++
+		if err := p.sess.PlaceNode(v, c.pl.PE, c.pl.Time); err != nil {
+			continue
+		}
+		routed, total := p.routeIncident(v)
+		if routed == total {
+			if !exhaustive {
+				return true // fast variant: first full route wins
+			}
+			cost := p.routeCost(v)
+			if cost < bestFull.cost {
+				bestFull = outcome{pl: c.pl, cost: cost, ok: true}
+			}
+		} else if routed > best.routed {
+			best = outcome{pl: c.pl, routed: routed}
+		}
+		p.ripRoutesOnly(v)
+		p.sess.UnplaceNode(v)
+	}
+	commit := func(pl mapping.Placement) bool {
+		if err := p.sess.PlaceNode(v, pl.PE, pl.Time); err != nil {
+			return false
+		}
+		p.routeIncident(v)
+		return true
+	}
+	if bestFull.ok {
+		return commit(bestFull.pl)
+	}
+	if best.routed < 0 {
+		return false
+	}
+	return commit(best.pl)
+}
+
+// routeCost totals the committed route lengths of v's incident edges.
+func (p *perII) routeCost(v int) int {
+	c := 0
+	for _, eid := range append(append([]int{}, p.g.InEdges(v)...), p.g.OutEdges(v)...) {
+		if p.sess.M.Routed(eid) {
+			c += len(p.sess.M.Routes[eid]) + 1
+		}
+	}
+	return c
+}
+
+// rankedCandidates enumerates v's feasible slots and sorts them by a
+// cheap estimate: total edge latency slack, Manhattan-distance
+// infeasibility penalties, FU history, and a small random jitter for
+// tie-breaking diversity.
+func (p *perII) rankedCandidates(v int) []candidate {
+	w := placer.TimeWindow(p.sess, v, p.asap[v], p.slack)
+	if w.Empty() {
+		return nil
+	}
+	slots := placer.Candidates(p.sess, v, w)
+	cands := make([]candidate, 0, len(slots))
+	for _, pl := range slots {
+		est, feasible := p.estimate(v, pl)
+		if !feasible {
+			continue
+		}
+		cands = append(cands, candidate{pl: pl, est: est + p.rng.Float64()*0.1})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].est < cands[j].est })
+	return cands
+}
+
+// estimate prices a slot without routing: for each edge to a placed
+// neighbour, latency must be >= 1 and >= the Manhattan distance (strictly
+// necessary conditions); the cost is the total latency plus FU history.
+func (p *perII) estimate(v int, pl mapping.Placement) (float64, bool) {
+	g := p.g
+	a := p.sess.M.Arch
+	ii := p.sess.M.II
+	cost := p.hist[p.sess.Graph.FU(pl.PE, pl.Time)]
+	for _, eid := range g.InEdges(v) {
+		e := g.Edges[eid]
+		if e.From == v || !p.sess.M.Placed(e.From) {
+			continue
+		}
+		from := p.sess.M.Place[e.From]
+		lat := pl.Time - from.Time + e.Dist*ii
+		if lat < 1 || lat < minHops(a, from.PE, pl.PE) {
+			return 0, false
+		}
+		cost += float64(lat)
+	}
+	for _, eid := range g.OutEdges(v) {
+		e := g.Edges[eid]
+		if e.To == v || !p.sess.M.Placed(e.To) {
+			continue
+		}
+		to := p.sess.M.Place[e.To]
+		lat := to.Time - pl.Time + e.Dist*ii
+		if lat < 1 || lat < minHops(a, pl.PE, to.PE) {
+			return 0, false
+		}
+		cost += float64(lat)
+	}
+	// Self recurrences need latency dist*II >= 1, always true.
+	return cost, true
+}
+
+// minHops is the minimum latency to move a value between two PEs: the
+// mesh distance, or 1 for same-PE forwarding.
+func minHops(a *arch.CGRA, from, to int) int {
+	if from == to {
+		return 1
+	}
+	// Each mesh hop takes one cycle and delivery into the FU costs one
+	// more (link at t feeds FU at t+1), so distance d needs latency d+1.
+	return a.Manhattan(from, to) + 1
+}
+
+// routeIncident strictly routes v's edges whose other endpoint is placed,
+// returning how many of them are now routed and the total needing routes.
+func (p *perII) routeIncident(v int) (routed, total int) {
+	g := p.g
+	try := func(eid int) {
+		e := g.Edges[eid]
+		other := e.From + e.To - v
+		if e.From == v && e.To == v {
+			other = v
+		}
+		if !p.sess.M.Placed(other) {
+			return
+		}
+		total++
+		if p.sess.M.Routed(eid) {
+			routed++
+			return
+		}
+		if p.routeEdge(eid) {
+			routed++
+		}
+	}
+	for _, eid := range g.InEdges(v) {
+		try(eid)
+	}
+	for _, eid := range g.OutEdges(v) {
+		if e := g.Edges[eid]; e.From == v && e.To == v {
+			continue // already handled from InEdges
+		}
+		try(eid)
+	}
+	return routed, total
+}
+
+func (p *perII) routeEdge(eid int) bool {
+	e := p.g.Edges[eid]
+	m := p.sess.M
+	lat := m.Latency(eid)
+	if lat < 1 {
+		return false
+	}
+	src := p.sess.Graph.FU(m.Place[e.From].PE, m.Place[e.From].Time)
+	dst := p.sess.Graph.FU(m.Place[e.To].PE, m.Place[e.To].Time)
+	path, ok := p.router.FindPath(src, dst, lat, p.cost(mrrg.Net(e.From)))
+	if !ok {
+		return false
+	}
+	return p.sess.RouteEdge(eid, path) == nil
+}
+
+// ripRoutesOnly unroutes v's incident edges without unplacing it.
+func (p *perII) ripRoutesOnly(v int) {
+	for _, eid := range p.g.InEdges(v) {
+		p.sess.UnrouteEdge(eid)
+	}
+	for _, eid := range p.g.OutEdges(v) {
+		p.sess.UnrouteEdge(eid)
+	}
+}
+
+// ripWithHistory rips v and charges history on every resource its routes
+// held, so future routes negotiate away from contested regions.
+func (p *perII) ripWithHistory(v int) {
+	for _, eid := range append(append([]int{}, p.g.InEdges(v)...), p.g.OutEdges(v)...) {
+		if p.sess.M.Routed(eid) {
+			for _, n := range p.sess.M.Routes[eid] {
+				p.hist[n] += 0.5
+			}
+		}
+	}
+	if p.sess.M.Placed(v) {
+		pl := p.sess.M.Place[v]
+		p.hist[p.sess.Graph.FU(pl.PE, pl.Time)] += 1
+	}
+	p.sess.RipNode(v)
+}
+
+// evictRandom rips one random placed node (other than v) to open space.
+func (p *perII) evictRandom(v int) {
+	var placed []int
+	for u := range p.sess.M.Place {
+		if u != v && p.sess.M.Placed(u) {
+			placed = append(placed, u)
+		}
+	}
+	if len(placed) == 0 {
+		return
+	}
+	u := placed[p.rng.Intn(len(placed))]
+	p.ripWithHistory(u)
+}

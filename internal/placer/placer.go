@@ -1,0 +1,83 @@
+// Package placer provides the candidate-enumeration and scheduling-window
+// helpers shared by all three mappers: which (PE, time) slots a DFG node
+// may occupy given the placements of its already-mapped neighbours.
+package placer
+
+import (
+	"math"
+
+	"rewire/internal/dfg"
+	"rewire/internal/mapping"
+)
+
+// Window is the inclusive absolute-time range a node may execute in.
+type Window struct {
+	Lo, Hi int
+}
+
+// Empty reports whether no time satisfies the window.
+func (w Window) Empty() bool { return w.Lo > w.Hi }
+
+// TimeWindow computes the schedule window for node v implied by its
+// placed neighbours: every placed parent p with edge distance d forces
+// T_v >= T_p + 1 - d*II, every placed child c forces T_v <= T_c - 1 + d*II.
+// Unconstrained sides fall back to [base, base+slack]; the result is
+// clamped to at most slack cycles wide starting from the lower bound.
+func TimeWindow(s *mapping.Session, v, base, slack int) Window {
+	g := s.M.DFG
+	ii := s.M.II
+	lo := math.MinInt32
+	hi := math.MaxInt32
+	for _, eid := range g.InEdges(v) {
+		e := g.Edges[eid]
+		if e.From == v {
+			continue // self recurrence constrains nothing here
+		}
+		if s.M.Placed(e.From) {
+			if b := s.M.Place[e.From].Time + dfg.OpLatency - e.Dist*ii; b > lo {
+				lo = b
+			}
+		}
+	}
+	for _, eid := range g.OutEdges(v) {
+		e := g.Edges[eid]
+		if e.To == v {
+			continue
+		}
+		if s.M.Placed(e.To) {
+			if b := s.M.Place[e.To].Time - dfg.OpLatency + e.Dist*ii; b < hi {
+				hi = b
+			}
+		}
+	}
+	if lo == math.MinInt32 {
+		lo = base
+	}
+	if hi == math.MaxInt32 {
+		hi = lo + slack
+	}
+	if hi > lo+slack {
+		hi = lo + slack
+	}
+	return Window{Lo: lo, Hi: hi}
+}
+
+// Candidates lists every (PE, T) slot in the window where v could be
+// placed under the current occupancy (free compatible FU, bank port for
+// memory ops). The order is deterministic: time-major, then PE index.
+func Candidates(s *mapping.Session, v int, w Window) []mapping.Placement {
+	var out []mapping.Placement
+	numPEs := s.M.Arch.NumPEs()
+	for T := w.Lo; T <= w.Hi; T++ {
+		for pe := 0; pe < numPEs; pe++ {
+			if s.CanPlace(v, pe, T) {
+				out = append(out, mapping.Placement{PE: pe, Time: T})
+			}
+		}
+	}
+	return out
+}
+
+// DefaultSlack is the scheduling window width the mappers explore per
+// node: one full II of modulo slots plus room for routing detours.
+func DefaultSlack(ii int) int { return ii + 3 }

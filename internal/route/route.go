@@ -1,0 +1,243 @@
+// Package route implements routing over the MRRG: finding a minimum-cost
+// chain of routing resources of an exact latency between a producer FU
+// and a consumer FU. Latency is exact because in a modulo schedule the
+// consumer's execution cycle is fixed by its placement; the value must
+// arrive on that cycle, not merely by it.
+//
+// The search runs over layered states (resource, elapsed): every MRRG
+// adjacency step advances elapsed by one cycle, so a route of latency L
+// visits exactly L-1 intermediate resources at elapsed 1..L-1. The cost
+// of a resource may depend on the phase (= elapsed) at which it is
+// crossed, which lets PathFinder-style congestion negotiation and
+// strict free-only routing share one engine.
+package route
+
+import (
+	"container/heap"
+
+	"rewire/internal/mrrg"
+)
+
+// CostFn prices using resource n at the given phase for the net being
+// routed. ok=false forbids the resource entirely. Costs must be
+// non-negative.
+type CostFn func(n mrrg.Node, phase int) (cost float64, ok bool)
+
+// StrictCost returns a CostFn admitting only resources that are free or
+// already held by (net, phase), at unit cost — the final, conflict-free
+// routing regime used by Rewire's verification and by committed routes.
+func StrictCost(st *mrrg.State, net mrrg.Net) CostFn {
+	return func(n mrrg.Node, phase int) (float64, bool) {
+		if !st.Usable(n, net, phase) {
+			return 0, false
+		}
+		if occ, _ := st.Occupant(n); occ == net {
+			return 0.05, true // sharing an own-net resource is nearly free
+		}
+		return 1, true
+	}
+}
+
+// Router finds exact-latency paths on one MRRG. It reuses internal
+// buffers across calls, so a Router is not safe for concurrent use.
+type Router struct {
+	g      *mrrg.Graph
+	maxLat int
+
+	dist  []float64
+	from  []int32
+	stamp []int32
+	epoch int32
+	pq    stateHeap
+
+	// Expansions counts states popped from the queue across all calls;
+	// the evaluation uses it as a hardware-independent work measure.
+	Expansions int64
+}
+
+// NewRouter builds a router for g accepting latencies up to maxLat. A
+// good bound is a few IIs plus the mesh diameter; latencies beyond that
+// produce unprofitably long routes anyway.
+func NewRouter(g *mrrg.Graph, maxLat int) *Router {
+	if maxLat < 1 {
+		maxLat = 1
+	}
+	n := g.NumNodes() * (maxLat + 1)
+	return &Router{
+		g:      g,
+		maxLat: maxLat,
+		dist:   make([]float64, n),
+		from:   make([]int32, n),
+		stamp:  make([]int32, n),
+	}
+}
+
+// MaxLat returns the largest latency this router accepts.
+func (r *Router) MaxLat() int { return r.maxLat }
+
+// DefaultMaxLat is a reasonable routing-latency bound for an
+// architecture at a given II: wandering longer than two full IIs plus
+// the mesh diameter is never profitable in practice.
+func DefaultMaxLat(rows, cols, ii int) int {
+	d := rows + cols + 2*ii + 2
+	if d < 8 {
+		d = 8
+	}
+	return d
+}
+
+type state struct {
+	node    mrrg.Node
+	elapsed int32
+	cost    float64
+}
+
+type stateHeap []state
+
+func (h stateHeap) Len() int            { return len(h) }
+func (h stateHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h stateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *stateHeap) Push(x interface{}) { *h = append(*h, x.(state)) }
+func (h *stateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// FindPath returns the minimum-cost chain of lat-1 routing resources
+// carrying a value from the FU node src (where the producer executes) to
+// the FU node dst (where the consumer executes, lat cycles later). The
+// chain excludes both FUs. ok is false if no path of that exact latency
+// exists under the cost function.
+//
+// The returned path never repeats a resource (a repeat would collide
+// with a neighbouring iteration); when the cheapest path would repeat,
+// up to three increasingly constrained retries look for a simple
+// alternative.
+func (r *Router) FindPath(src, dst mrrg.Node, lat int, cost CostFn) (path []mrrg.Node, ok bool) {
+	if lat < 1 || lat > r.maxLat {
+		return nil, false
+	}
+	banned := map[mrrg.Node]bool{}
+	for attempt := 0; attempt < 3; attempt++ {
+		p, found := r.findOnce(src, dst, lat, cost, banned)
+		if !found {
+			return nil, false
+		}
+		if dup := firstDuplicate(p); dup != mrrg.Invalid {
+			banned[dup] = true
+			continue
+		}
+		return p, true
+	}
+	return nil, false
+}
+
+func (r *Router) findOnce(src, dst mrrg.Node, lat int, cost CostFn, banned map[mrrg.Node]bool) ([]mrrg.Node, bool) {
+	r.epoch++
+	idx := func(n mrrg.Node, e int) int { return int(n)*(r.maxLat+1) + e }
+	arch := r.g.Arch
+	dstPE := r.g.PE(dst)
+	// tooFar prunes states that cannot possibly reach the destination FU
+	// in the remaining cycles: a value held by resource n needs at least
+	// one cycle to enter a FU at FeedsPE(n), plus one registered mesh hop
+	// per Manhattan step from there (admissible, so no path is lost).
+	tooFar := func(n mrrg.Node, e int) bool {
+		fp := r.g.FeedsPE(n)
+		need := 1
+		if fp != dstPE {
+			need = arch.Manhattan(fp, dstPE) + 1
+		}
+		return e+need > lat
+	}
+	r.pq = r.pq[:0]
+	heap.Push(&r.pq, state{node: src, elapsed: 0, cost: 0})
+	si := idx(src, 0)
+	r.stamp[si] = r.epoch
+	r.dist[si] = 0
+	r.from[si] = -1
+	if tooFar(src, 0) {
+		return nil, false
+	}
+
+	for len(r.pq) > 0 {
+		cur := heap.Pop(&r.pq).(state)
+		r.Expansions++
+		ci := idx(cur.node, int(cur.elapsed))
+		if cur.cost > r.dist[ci] {
+			continue // stale entry
+		}
+		if cur.node == dst && int(cur.elapsed) == lat {
+			return r.reconstruct(src, dst, lat, idx), true
+		}
+		if int(cur.elapsed) >= lat {
+			continue
+		}
+		nextE := int(cur.elapsed) + 1
+		for _, nxt := range r.g.Succs(cur.node) {
+			// The final hop must be exactly the destination FU; routing
+			// through other FUs mid-path is allowed (move operations).
+			if nextE == lat {
+				if nxt != dst {
+					continue
+				}
+				// Entering the consumer FU costs nothing extra: the
+				// consumer's own placement already reserved it.
+				r.relax(idx, nxt, nextE, cur, 0)
+				continue
+			}
+			if nxt == dst && r.g.Kind(nxt) == mrrg.KindFU {
+				// Passing through the consumer FU before the arrival
+				// cycle would collide with the consumer's reservation.
+				continue
+			}
+			if tooFar(nxt, nextE) || banned[nxt] {
+				continue
+			}
+			c, usable := cost(nxt, nextE)
+			if !usable {
+				continue
+			}
+			r.relax(idx, nxt, nextE, cur, c)
+		}
+	}
+	return nil, false
+}
+
+func (r *Router) relax(idx func(mrrg.Node, int) int, nxt mrrg.Node, e int, cur state, c float64) {
+	ni := idx(nxt, e)
+	nc := cur.cost + c
+	if r.stamp[ni] == r.epoch && r.dist[ni] <= nc {
+		return
+	}
+	r.stamp[ni] = r.epoch
+	r.dist[ni] = nc
+	r.from[ni] = int32(idx(cur.node, int(cur.elapsed)))
+	heap.Push(&r.pq, state{node: nxt, elapsed: int32(e), cost: nc})
+}
+
+func (r *Router) reconstruct(src, dst mrrg.Node, lat int, idx func(mrrg.Node, int) int) []mrrg.Node {
+	path := make([]mrrg.Node, lat-1)
+	cur := idx(dst, lat)
+	for e := lat - 1; e >= 1; e-- {
+		cur = int(r.from[cur])
+		path[e-1] = mrrg.Node(cur / (r.maxLat + 1))
+	}
+	return path
+}
+
+func firstDuplicate(path []mrrg.Node) mrrg.Node {
+	if len(path) < 2 {
+		return mrrg.Invalid
+	}
+	seen := make(map[mrrg.Node]bool, len(path))
+	for _, n := range path {
+		if seen[n] {
+			return n
+		}
+		seen[n] = true
+	}
+	return mrrg.Invalid
+}

@@ -1,0 +1,74 @@
+package route
+
+import (
+	"fmt"
+
+	"rewire/internal/mapping"
+	"rewire/internal/mrrg"
+)
+
+// ForSession builds a router sized for a mapping session's architecture
+// and II.
+func ForSession(s *mapping.Session) *Router {
+	a := s.M.Arch
+	return NewRouter(s.Graph, DefaultMaxLat(a.Rows, a.Cols, s.M.II))
+}
+
+// Edge routes edge e of the session strictly (free or own-net resources
+// only) and commits the route. Both endpoints must be placed.
+func Edge(s *mapping.Session, r *Router, e int) error {
+	ed := s.M.DFG.Edges[e]
+	if !s.M.Placed(ed.From) || !s.M.Placed(ed.To) {
+		return fmt.Errorf("route: edge %d endpoint unplaced", e)
+	}
+	lat := s.M.Latency(e)
+	if lat < 1 {
+		return fmt.Errorf("route: edge %d latency %d < 1", e, lat)
+	}
+	src := s.Graph.FU(s.M.Place[ed.From].PE, s.M.Place[ed.From].Time)
+	dst := s.Graph.FU(s.M.Place[ed.To].PE, s.M.Place[ed.To].Time)
+	path, ok := r.FindPath(src, dst, lat, StrictCost(s.State, mrrg.Net(ed.From)))
+	if !ok {
+		return fmt.Errorf("route: no conflict-free path for edge %d (lat %d, %s -> %s)",
+			e, lat, s.Graph.String(src), s.Graph.String(dst))
+	}
+	return s.RouteEdge(e, path)
+}
+
+// NodeEdges strictly routes every edge of v whose other endpoint is
+// placed, committing the routes; on the first failure it rips the routes
+// it just made and reports the failing edge.
+func NodeEdges(s *mapping.Session, r *Router, v int) error {
+	var done []int
+	tryAll := func(edges []int) error {
+		for _, eid := range edges {
+			ed := s.M.DFG.Edges[eid]
+			other := ed.From
+			if other == v {
+				other = ed.To
+			}
+			if ed.From == v && ed.To == v {
+				other = v // distance-1 self edge (single-node recurrence)
+			}
+			if !s.M.Placed(other) || s.M.Routed(eid) {
+				continue
+			}
+			if err := Edge(s, r, eid); err != nil {
+				return err
+			}
+			done = append(done, eid)
+		}
+		return nil
+	}
+	err := tryAll(s.M.DFG.InEdges(v))
+	if err == nil {
+		err = tryAll(s.M.DFG.OutEdges(v))
+	}
+	if err != nil {
+		for _, eid := range done {
+			s.UnrouteEdge(eid)
+		}
+		return err
+	}
+	return nil
+}

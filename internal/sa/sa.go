@@ -1,0 +1,371 @@
+// Package sa implements the simulated-annealing baseline mapper the paper
+// compares against (as used in CGRA-ME-, Morpher- and DSAGen-style
+// flows). It anneals over placements (random single-node moves and pair
+// swaps with Metropolis acceptance, VPR-style) against a smooth
+// routability estimate, periodically attempting a full conflict-free
+// routing of the current placement; it succeeds when a routing attempt
+// completes, and gives up on an II after the paper's stopping rule — no
+// cost improvement for a patience window — exhausts its restarts.
+//
+// Unlike PF*, SA picks one random candidate per move instead of
+// evaluating all candidates — the paper attributes SA's much larger
+// remapping-iteration counts (Table I) exactly to this.
+package sa
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"rewire/internal/arch"
+	"rewire/internal/dfg"
+	"rewire/internal/mapping"
+	"rewire/internal/placer"
+	"rewire/internal/route"
+	"rewire/internal/stats"
+)
+
+// Options tunes the annealer. Zero values select the defaults.
+type Options struct {
+	// Seed drives all randomness; runs are reproducible per seed.
+	Seed int64
+	// MaxII caps the explored initiation intervals (default 32).
+	MaxII int
+	// TimePerII bounds the wall-clock per II (default 10s).
+	TimePerII time.Duration
+	// Patience is the non-improving move budget per annealing round
+	// (default 100, the paper's stopping rule).
+	Patience int
+	// InitTemp and Cooling control the annealing schedule (defaults 20
+	// and 0.99 per move).
+	InitTemp float64
+	Cooling  float64
+	// Restarts is how many annealing rounds run per II before giving up
+	// (default 6); each draws a fresh random initial placement.
+	Restarts int
+	// RouteEvery is how often (in moves) a full routing attempt is made
+	// when the placement estimate looks feasible (default 25).
+	RouteEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxII == 0 {
+		o.MaxII = 32
+	}
+	if o.TimePerII == 0 {
+		o.TimePerII = 10 * time.Second
+	}
+	if o.Patience == 0 {
+		o.Patience = 100
+	}
+	if o.InitTemp == 0 {
+		o.InitTemp = 20
+	}
+	if o.Cooling == 0 {
+		o.Cooling = 0.99
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 6
+	}
+	if o.RouteEvery == 0 {
+		o.RouteEvery = 25
+	}
+	return o
+}
+
+// Map runs the annealer, sweeping II from MII upward.
+func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Result) {
+	opt = opt.withDefaults()
+	res := stats.Result{Mapper: "SA", Kernel: g.Name, Arch: a.Name}
+	res.MII = mapping.MII(g, a)
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	totalMoves := 0
+	iisExplored := 0
+	for ii := res.MII; ii <= opt.MaxII; ii++ {
+		iisExplored++
+		deadline := time.Now().Add(opt.TimePerII)
+		for restart := 0; restart < opt.Restarts && time.Now().Before(deadline); restart++ {
+			an := newAnnealer(g, a, ii, rng, &res)
+			ok := an.run(opt, deadline)
+			totalMoves += an.moves
+			if !ok {
+				continue
+			}
+			res.Success = true
+			res.II = ii
+			res.Duration = time.Since(start)
+			res.RemapIterations = totalMoves / iisExplored
+			res.RouterExpansions = an.router.Expansions
+			if err := mapping.Validate(an.sess.M); err != nil {
+				panic("sa: produced invalid mapping: " + err.Error())
+			}
+			return an.sess.M, res
+		}
+	}
+	res.Duration = time.Since(start)
+	if iisExplored > 0 {
+		res.RemapIterations = totalMoves / iisExplored
+	}
+	return nil, res
+}
+
+type annealer struct {
+	g      *dfg.Graph
+	sess   *mapping.Session
+	router *route.Router
+	rng    *rand.Rand
+	res    *stats.Result
+	asap   []int
+	slack  int
+	moves  int
+}
+
+func newAnnealer(g *dfg.Graph, a *arch.CGRA, ii int, rng *rand.Rand, res *stats.Result) *annealer {
+	sess := mapping.NewSession(mapping.New(g, a, ii))
+	asap, err := g.ASAP(ii)
+	if err != nil {
+		asap = make([]int, g.NumNodes())
+	}
+	return &annealer{
+		g:      g,
+		sess:   sess,
+		router: route.ForSession(sess),
+		rng:    rng,
+		res:    res,
+		asap:   asap,
+		slack:  placer.DefaultSlack(ii),
+	}
+}
+
+func (an *annealer) run(opt Options, deadline time.Time) bool {
+	an.initialRandom()
+	cost := an.totalCost()
+	best := cost
+	sinceImprove := 0
+	temp := opt.InitTemp
+
+	for sinceImprove < opt.Patience && time.Now().Before(deadline) {
+		an.moves++
+		delta, revert := an.move()
+		if delta <= 0 || an.rng.Float64() < math.Exp(-float64(delta)/temp) {
+			cost += delta
+		} else if revert != nil {
+			revert()
+		}
+		if cost < best {
+			best = cost
+			sinceImprove = 0
+		} else {
+			sinceImprove++
+		}
+		temp *= opt.Cooling
+		if temp < 0.5 {
+			temp = 0.5
+		}
+		// When the placement estimate carries no infeasibility penalties,
+		// try to actually route everything.
+		if an.moves%opt.RouteEvery == 0 && cost < penaltyUnroutable {
+			if an.routeAll() {
+				return true
+			}
+		}
+	}
+	if cost < penaltyUnroutable && an.routeAll() {
+		return true
+	}
+	an.clearRoutes()
+	return false
+}
+
+const (
+	penaltyUnplaced   = 5000
+	penaltyUnroutable = 1000
+)
+
+// edgeCost estimates edge e's routing cost from placements alone: its
+// latency when feasible, a large penalty plus the feasibility deficit
+// when the latency cannot possibly route.
+func (an *annealer) edgeCost(e int) int {
+	ed := an.g.Edges[e]
+	m := an.sess.M
+	if !m.Placed(ed.From) || !m.Placed(ed.To) {
+		return 0 // charged via the unplaced node
+	}
+	lat := m.Latency(e)
+	need := minHops(m.Arch, m.Place[ed.From].PE, m.Place[ed.To].PE)
+	if lat < 1 || lat < need {
+		deficit := need - lat
+		if deficit < 1 {
+			deficit = 1
+		}
+		return penaltyUnroutable + 10*deficit
+	}
+	return lat
+}
+
+func minHops(a *arch.CGRA, from, to int) int {
+	if from == to {
+		return 1
+	}
+	return a.Manhattan(from, to) + 1
+}
+
+func (an *annealer) totalCost() int {
+	c := 0
+	for v := range an.sess.M.Place {
+		if !an.sess.M.Placed(v) {
+			c += penaltyUnplaced
+		}
+	}
+	for e := range an.g.Edges {
+		c += an.edgeCost(e)
+	}
+	return c
+}
+
+// nodeLocalCost sums the cost terms the given nodes participate in.
+func (an *annealer) nodeLocalCost(vs ...int) int {
+	c := 0
+	seen := map[int]bool{}
+	for _, v := range vs {
+		if !an.sess.M.Placed(v) {
+			c += penaltyUnplaced
+		}
+		for _, eid := range append(append([]int{}, an.g.InEdges(v)...), an.g.OutEdges(v)...) {
+			if !seen[eid] {
+				seen[eid] = true
+				c += an.edgeCost(eid)
+			}
+		}
+	}
+	return c
+}
+
+// initialRandom places every node at a random feasible slot, in
+// topological order so dependency windows are meaningful. No routes are
+// committed during annealing.
+func (an *annealer) initialRandom() {
+	order, err := an.g.TopoOrder()
+	if err != nil {
+		return
+	}
+	for _, v := range order {
+		w := placer.TimeWindow(an.sess, v, an.asap[v], an.slack)
+		if w.Empty() {
+			continue
+		}
+		cands := placer.Candidates(an.sess, v, w)
+		if len(cands) == 0 {
+			continue
+		}
+		pl := cands[an.rng.Intn(len(cands))]
+		an.res.PlacementsTried++
+		_ = an.sess.PlaceNode(v, pl.PE, pl.Time)
+	}
+}
+
+// move perturbs the placement: relocate one random node to one random
+// candidate slot, or swap two nodes' slots. Returns the cost delta and a
+// revert closure (nil if the move was a no-op).
+func (an *annealer) move() (int, func()) {
+	v := an.rng.Intn(an.g.NumNodes())
+	if an.sess.M.Placed(v) && an.rng.Float64() < 0.3 {
+		return an.swapMove(v)
+	}
+	return an.relocateMove(v)
+}
+
+func (an *annealer) relocateMove(v int) (int, func()) {
+	before := an.nodeLocalCost(v)
+	oldPl := an.sess.M.Place[v]
+	if an.sess.M.Placed(v) {
+		an.sess.UnplaceNode(v)
+	}
+	// SA "selects one candidate randomly" (§V, Table I discussion): half
+	// the moves draw from the dependency-feasible window, half from the
+	// node's whole static schedule window — the blind draws are what make
+	// SA need so many more iterations than PF*.
+	w := placer.TimeWindow(an.sess, v, an.asap[v], an.slack)
+	if an.rng.Intn(2) == 0 || w.Empty() {
+		w = placer.Window{Lo: an.asap[v], Hi: an.asap[v] + an.slack}
+	}
+	if !w.Empty() {
+		if cands := placer.Candidates(an.sess, v, w); len(cands) > 0 {
+			pl := cands[an.rng.Intn(len(cands))]
+			an.res.PlacementsTried++
+			_ = an.sess.PlaceNode(v, pl.PE, pl.Time)
+		}
+	}
+	after := an.nodeLocalCost(v)
+	return after - before, func() {
+		if an.sess.M.Placed(v) {
+			an.sess.UnplaceNode(v)
+		}
+		if oldPl.PE >= 0 {
+			if err := an.sess.PlaceNode(v, oldPl.PE, oldPl.Time); err != nil {
+				panic("sa: revert failed: " + err.Error())
+			}
+		}
+	}
+}
+
+func (an *annealer) swapMove(v int) (int, func()) {
+	u := an.rng.Intn(an.g.NumNodes())
+	if u == v || !an.sess.M.Placed(u) || !an.sess.M.Placed(v) {
+		return 0, nil
+	}
+	pv, pu := an.sess.M.Place[v], an.sess.M.Place[u]
+	before := an.nodeLocalCost(v, u)
+	an.sess.UnplaceNode(v)
+	an.sess.UnplaceNode(u)
+	an.res.PlacementsTried++
+	if an.sess.PlaceNode(v, pu.PE, pu.Time) != nil || an.sess.PlaceNode(u, pv.PE, pv.Time) != nil {
+		// Incompatible swap (memory rules or bank ports): undo outright.
+		an.forcePlaceBack(v, pv, u, pu)
+		return 0, nil
+	}
+	after := an.nodeLocalCost(v, u)
+	return after - before, func() {
+		an.sess.UnplaceNode(v)
+		an.sess.UnplaceNode(u)
+		an.forcePlaceBack(v, pv, u, pu)
+	}
+}
+
+func (an *annealer) forcePlaceBack(v int, pv mapping.Placement, u int, pu mapping.Placement) {
+	if an.sess.M.Placed(v) {
+		an.sess.UnplaceNode(v)
+	}
+	if an.sess.M.Placed(u) {
+		an.sess.UnplaceNode(u)
+	}
+	if err := an.sess.PlaceNode(v, pv.PE, pv.Time); err != nil {
+		panic("sa: swap revert failed: " + err.Error())
+	}
+	if err := an.sess.PlaceNode(u, pu.PE, pu.Time); err != nil {
+		panic("sa: swap revert failed: " + err.Error())
+	}
+}
+
+// routeAll attempts a complete strict routing of the current placement;
+// on failure every route is ripped again and the annealing continues.
+func (an *annealer) routeAll() bool {
+	if len(an.sess.M.UnplacedNodes()) > 0 {
+		return false
+	}
+	for e := range an.g.Edges {
+		if err := route.Edge(an.sess, an.router, e); err != nil {
+			an.clearRoutes()
+			return false
+		}
+	}
+	return true
+}
+
+func (an *annealer) clearRoutes() {
+	for e := range an.g.Edges {
+		an.sess.UnrouteEdge(e)
+	}
+}

@@ -1,0 +1,74 @@
+// Package stats defines the instrumentation record every mapper fills in:
+// mapping quality (II vs MII), compilation effort (wall-clock time,
+// single-node remapping iterations, router work) and Rewire-specific
+// counters (cluster amendments, Placement(U) verification rate). The
+// evaluation harness aggregates these into the paper's figures and
+// tables.
+package stats
+
+import (
+	"fmt"
+	"time"
+)
+
+// Result records one mapping run.
+type Result struct {
+	// Mapper, Kernel and Arch identify the run.
+	Mapper string
+	Kernel string
+	Arch   string
+
+	// Success reports whether a valid mapping was found.
+	Success bool
+	// II is the achieved initiation interval (meaningful when Success).
+	II int
+	// MII is the theoretical minimum II for this kernel/architecture.
+	MII int
+
+	// RemapIterations counts single-node remapping iterations for PF* and
+	// SA (each iteration unmaps one node), matching Table I of the paper.
+	RemapIterations int
+	// ClusterAmendments counts Rewire's multi-node amendment rounds (one
+	// per cluster mapped in one shot); Rewire's analogue of remapping.
+	ClusterAmendments int
+	// PlacementsTried counts candidate Placement(U) combinations Rewire
+	// enumerated, and candidate evaluations for PF*/SA.
+	PlacementsTried int64
+	// VerifyAttempts / VerifySuccesses measure Rewire's Placement(U)
+	// routing-verification success rate (the paper reports ~95%).
+	VerifyAttempts  int64
+	VerifySuccesses int64
+	// RouterExpansions counts priority-queue pops in the router: a
+	// hardware-independent proxy for routing work.
+	RouterExpansions int64
+
+	// Duration is the mapping wall-clock time.
+	Duration time.Duration
+}
+
+// Optimal reports whether the mapping achieved the theoretical MII.
+func (r Result) Optimal() bool { return r.Success && r.II == r.MII }
+
+// NearOptimal reports whether the mapping is within one of MII (the
+// paper's "near-optimal" criterion includes optimal).
+func (r Result) NearOptimal() bool { return r.Success && r.II-r.MII <= 1 }
+
+// VerifyRate returns the Placement(U) verification success rate in
+// [0,1], or 0 when nothing was verified.
+func (r Result) VerifyRate() float64 {
+	if r.VerifyAttempts == 0 {
+		return 0
+	}
+	return float64(r.VerifySuccesses) / float64(r.VerifyAttempts)
+}
+
+// String gives a compact one-line summary.
+func (r Result) String() string {
+	status := fmt.Sprintf("II=%d (MII=%d)", r.II, r.MII)
+	if !r.Success {
+		status = fmt.Sprintf("FAILED (MII=%d)", r.MII)
+	}
+	return fmt.Sprintf("%-8s %-12s %-8s %s  %8.1fms  remaps=%d amendments=%d",
+		r.Mapper, r.Kernel, r.Arch, status,
+		float64(r.Duration.Microseconds())/1000, r.RemapIterations, r.ClusterAmendments)
+}
