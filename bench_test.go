@@ -16,7 +16,9 @@
 package rewire
 
 import (
+	"fmt"
 	"math/rand"
+	"strconv"
 	"testing"
 	"time"
 
@@ -185,27 +187,14 @@ func ablationRun(b *testing.B, opt core.Options) {
 }
 
 func bname(k string, v int) string {
-	return k + "=" + itoa(v)
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
+	return fmt.Sprintf("%s=%s", k, strconv.Itoa(v))
 }
 
 // --- substrate micro-benchmarks ---
 
 // BenchmarkSubRouter measures the exact-latency router on an 8x8 fabric.
 func BenchmarkSubRouter(b *testing.B) {
+	b.ReportAllocs()
 	g := mrrg.New(arch.New8x8(4), 4)
 	st := mrrg.NewState(g)
 	r := route.NewRouter(g, route.DefaultMaxLat(8, 8, 4))
@@ -222,6 +211,7 @@ func BenchmarkSubRouter(b *testing.B) {
 
 // BenchmarkSubMRRGBuild measures modulo-resource-graph construction.
 func BenchmarkSubMRRGBuild(b *testing.B) {
+	b.ReportAllocs()
 	a := arch.New8x8(4)
 	for i := 0; i < b.N; i++ {
 		mrrg.New(a, 6)
@@ -231,6 +221,7 @@ func BenchmarkSubMRRGBuild(b *testing.B) {
 // BenchmarkSubKernelLowering measures IR parse+unroll+lower for the whole
 // registry.
 func BenchmarkSubKernelLowering(b *testing.B) {
+	b.ReportAllocs()
 	names := kernels.Names()
 	for i := 0; i < b.N; i++ {
 		for _, n := range names {
@@ -241,6 +232,7 @@ func BenchmarkSubKernelLowering(b *testing.B) {
 
 // BenchmarkSubPFInitial measures the initial-mapping phase Rewire amends.
 func BenchmarkSubPFInitial(b *testing.B) {
+	b.ReportAllocs()
 	g := kernels.MustLoad("gemver")
 	a := arch.New4x4(4)
 	mii := g.MII(a.NumPEs(), a.NumMemPEs(), a.BankPorts())
@@ -252,6 +244,7 @@ func BenchmarkSubPFInitial(b *testing.B) {
 
 // BenchmarkSubValidate measures the independent mapping validator.
 func BenchmarkSubValidate(b *testing.B) {
+	b.ReportAllocs()
 	g := kernels.MustLoad("mvt")
 	a := arch.New4x4(4)
 	m, res := pathfinder.Map(g, a, pathfinder.Options{Seed: 1, TimePerII: 2 * time.Second})
@@ -268,6 +261,7 @@ func BenchmarkSubValidate(b *testing.B) {
 
 // BenchmarkSubRecMII measures the recurrence-bound computation.
 func BenchmarkSubRecMII(b *testing.B) {
+	b.ReportAllocs()
 	g := kernels.MustLoad("crc")
 	for i := 0; i < b.N; i++ {
 		if g.RecMII() != 8 {

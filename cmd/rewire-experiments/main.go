@@ -8,12 +8,18 @@
 //	rewire-experiments                  # everything (fig5+fig6+table1+summary)
 //	rewire-experiments -fig5            # just the mapping-quality table
 //	rewire-experiments -time-per-ii 5s  # larger per-II budgets (closer to the paper's 1h)
+//	rewire-experiments -j 8             # fan the runs across 8 workers (-j 1 = serial)
+//
+// Runs are deterministic in -seed at every -j: each worker builds its
+// own mapping state and results are collected in canonical order, so
+// only the wall-clock changes with the parallelism.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"rewire/internal/eval"
@@ -28,6 +34,7 @@ func main() {
 		scaling = flag.Bool("scaling", false, "run the fabric-size scaling study instead of the main evaluation")
 		seed    = flag.Int64("seed", 1, "random seed for all mappers")
 		budget  = flag.Duration("time-per-ii", 2*time.Second, "per-II wall-clock budget per mapper")
+		jobs    = flag.Int("j", runtime.NumCPU(), "concurrent mapper runs (1 = serial)")
 		quiet   = flag.Bool("quiet", false, "suppress per-run progress lines")
 	)
 	flag.Parse()
@@ -35,6 +42,7 @@ func main() {
 	cfg := eval.Config{
 		Seed:      *seed,
 		TimePerII: *budget,
+		Jobs:      *jobs,
 		Verbose:   !*quiet,
 		Out:       os.Stdout,
 	}
@@ -42,8 +50,14 @@ func main() {
 		eval.Scaling(cfg, os.Stdout)
 		return
 	}
-	fmt.Printf("running %d combos x %d mappers (budget %s per II, seed %d)...\n\n",
-		len(eval.Combos()), len(eval.Mappers), *budget, *seed)
+	// The -j 1 banner matches the historical serial harness byte for
+	// byte; the worker count is only announced when there is a pool.
+	workers := ""
+	if *jobs > 1 {
+		workers = fmt.Sprintf(", %d workers", *jobs)
+	}
+	fmt.Printf("running %d combos x %d mappers (budget %s per II, seed %d%s)...\n\n",
+		len(eval.Combos()), len(eval.Mappers), *budget, *seed, workers)
 	results := eval.RunAll(cfg)
 	fmt.Println()
 

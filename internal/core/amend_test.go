@@ -21,7 +21,9 @@ func TestAmendRepairsForeignInitialMapping(t *testing.T) {
 	sess, _ := pathfinder.BuildInitial(mapping.New(g, a, mii+2), 3, &tmp)
 	initial := sess.M.Clone()
 
-	repaired, res, err := Amend(initial, Options{Seed: 1, TimePerII: 5 * time.Second})
+	// Generous budget: the amendment is work-bounded (ClusterFailBudget),
+	// and a tight wall-clock cutoff flakes under -race's ~20x slowdown.
+	repaired, res, err := Amend(initial, Options{Seed: 1, TimePerII: time.Hour})
 	if err != nil {
 		t.Fatalf("amend failed: %v", err)
 	}

@@ -79,6 +79,11 @@ type Options struct {
 	// DisableCyclePruning turns off the execution-cycle constraint checks
 	// of Algorithm 2, leaving all pruning to routing verification.
 	DisableCyclePruning bool
+	// SerialPropagation runs the per-anchor probe floods on the calling
+	// goroutine instead of the worker pool. The floods are bit-identical
+	// either way; the switch exists for the determinism test and for
+	// single-core profiling.
+	SerialPropagation bool
 }
 
 func (o Options) withDefaults() Options {
@@ -208,15 +213,19 @@ func (a *amender) mapCluster(u *cluster, deadline time.Time) bool {
 		props := a.propagateAll(u)
 		cands := a.intersect(u, props)
 		if a.generate(u, cands, props, deadline, &budget) {
+			releaseProps(props)
 			return true
 		}
 		if budget <= 0 || len(u.nodes) >= a.opt.ClusterCap {
+			releaseProps(props)
 			return false
 		}
 		// Prefer absorbing the anchor that is starving a candidate-less
 		// node (it is boxed in on the fabric); otherwise the nearest
 		// connected node.
-		if !a.growTowardsBlocker(u, cands, props) && !a.growCluster(u) {
+		grew := a.growTowardsBlocker(u, cands, props) || a.growCluster(u)
+		releaseProps(props)
+		if !grew {
 			return false
 		}
 		if !time.Now().Before(deadline) {

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"rewire/internal/mrrg"
 )
 
@@ -71,26 +75,127 @@ func (p *propagation) minCycles(q int) int {
 // propagateAll floods probes from every anchor of U: forward from
 // Parents(U), backward from Children(U) (§IV-C). The returned map is
 // keyed by anchor node ID.
+//
+// The floods are independent by construction — each reads only the
+// shared session (placements, occupancy, graph) and writes only its own
+// propagation — and contention-blind by design (the paper continues
+// propagation through resources other tuples traversed), so they run on
+// a bounded worker pool. Results are bit-identical to the serial order:
+// each flood is a deterministic function of (anchor, direction, rounds),
+// and tasks land in pre-assigned slots regardless of completion order.
 func (a *amender) propagateAll(u *cluster) map[int]*propagation {
 	parents := a.parents(u)
 	children := a.children(u)
 	rounds := a.rounds(u, parents, children)
-	props := make(map[int]*propagation, len(parents)+len(children))
+
+	type task struct {
+		key     int // props map key (backwardKey for dual-role anchors)
+		source  int
+		forward bool
+	}
+	tasks := make([]task, 0, len(parents)+len(children))
+	isParent := make(map[int]bool, len(parents))
 	for _, s := range parents {
-		props[s] = a.propagate(s, true, rounds)
+		isParent[s] = true
+		tasks = append(tasks, task{key: s, source: s, forward: true})
 	}
 	for _, s := range children {
 		// An anchor can be both parent and child of U; the backward
 		// flood is stored under the same key only if no forward one
 		// exists (forward constraints are the more selective ones), so
 		// keep both directions distinguishable via composite keys.
-		if _, dup := props[s]; dup {
-			props[backwardKey(s)] = a.propagate(s, false, rounds)
-		} else {
-			props[s] = a.propagate(s, false, rounds)
+		key := s
+		if isParent[s] {
+			key = backwardKey(s)
 		}
+		tasks = append(tasks, task{key: key, source: s, forward: false})
+	}
+
+	results := make([]*propagation, len(tasks))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if a.opt.SerialPropagation || workers <= 1 {
+		for i, t := range tasks {
+			results[i] = a.propagate(t.source, t.forward, rounds)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(tasks) {
+						return
+					}
+					t := tasks[i]
+					results[i] = a.propagate(t.source, t.forward, rounds)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	props := make(map[int]*propagation, len(tasks))
+	for i, t := range tasks {
+		props[t.key] = results[i]
 	}
 	return props
+}
+
+// releaseProps returns the flood scratch of a propagation set to the
+// pools. The propagations must not be used afterwards (extractPath
+// would walk a recycled parent array).
+func releaseProps(props map[int]*propagation) {
+	for _, p := range props {
+		if p.par != nil {
+			putInt32Scratch(p.par)
+			p.par = nil
+		}
+	}
+}
+
+// Pools of flood scratch. A probe flood needs two NumNodes*(rounds+1)
+// arrays (parent pointers and a visited set); reallocating them per
+// anchor per amendment iteration dominated the allocation profile, so
+// both are pooled: the visited set returns as soon as its flood
+// finishes, the parent array when the cluster iteration is done with
+// the propagation (releaseProps).
+var (
+	int32ScratchPool = sync.Pool{New: func() any { return new([]int32) }}
+	boolScratchPool  = sync.Pool{New: func() any { return new([]bool) }}
+)
+
+func getInt32Scratch(n int) []int32 {
+	p := int32ScratchPool.Get().(*[]int32)
+	if cap(*p) < n {
+		*p = make([]int32, n)
+	}
+	return (*p)[:n]
+}
+
+func putInt32Scratch(s []int32) {
+	int32ScratchPool.Put(&s)
+}
+
+// getBoolScratch returns an all-false slice of length n.
+func getBoolScratch(n int) []bool {
+	p := boolScratchPool.Get().(*[]bool)
+	if cap(*p) < n {
+		*p = make([]bool, n)
+		return (*p)[:n]
+	}
+	s := (*p)[:n]
+	clear(s)
+	return s
+}
+
+func putBoolScratch(s []bool) {
+	boolScratchPool.Put(&s)
 }
 
 // backwardKey disambiguates an anchor that needs both directions.
@@ -155,14 +260,15 @@ func (a *amender) rounds(u *cluster, parents, children []int) int {
 // placements must later be verified by real routing.
 func (a *amender) propagate(s int, forward bool, rounds int) *propagation {
 	pl := a.sess.M.Place[s]
+	states := a.sess.Graph.NumNodes() * (rounds + 1)
 	p := &propagation{
 		source:  s,
 		forward: forward,
 		srcTime: pl.Time,
 		rounds:  rounds,
 		g:       a.sess.Graph,
-		par:     make([]int32, a.sess.Graph.NumNodes()*(rounds+1)),
-		visited: make([]bool, a.sess.Graph.NumNodes()*(rounds+1)),
+		par:     getInt32Scratch(states),
+		visited: getBoolScratch(states),
 		arrive:  make(map[int][]arrival),
 	}
 	seed := a.sess.Graph.FU(pl.PE, pl.Time)
@@ -198,6 +304,10 @@ func (a *amender) propagate(s int, forward bool, rounds int) *propagation {
 		}
 		frontier = next
 	}
+	// The visited set only guards the flood itself; the parent array
+	// stays live for extractPath until releaseProps.
+	putBoolScratch(p.visited)
+	p.visited = nil
 	return p
 }
 

@@ -9,7 +9,10 @@ package eval
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"rewire/internal/arch"
@@ -32,7 +35,14 @@ type Config struct {
 	TimePerII time.Duration
 	// MaxII caps the II sweep (default 32).
 	MaxII int
-	// Verbose streams one line per finished run to Out.
+	// Jobs is the number of mapper runs executed concurrently (default
+	// GOMAXPROCS). Every run is deterministic in Config.Seed and owns its
+	// MRRG, router and mapping state, so results are identical at every
+	// job count; Jobs=1 reproduces the serial harness exactly. See
+	// docs/CONCURRENCY.md.
+	Jobs int
+	// Verbose streams one line per finished run to Out, in canonical
+	// combo order regardless of Jobs.
 	Verbose bool
 	// Out receives progress and reports (required).
 	Out io.Writer
@@ -44,6 +54,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxII == 0 {
 		c.MaxII = 32
+	}
+	if c.Jobs == 0 {
+		c.Jobs = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -138,19 +151,93 @@ func (r *Results) Get(mapper string, cb Combo) (stats.Result, bool) {
 	return res, ok
 }
 
-// RunAll executes every mapper on every combo.
+// RunAll executes every mapper on every combo, fanning the runs across
+// Config.Jobs workers.
 func RunAll(cfg Config) *Results {
+	return RunCombos(cfg, Combos())
+}
+
+// RunCombos executes every mapper on the given combos on a worker pool
+// of Config.Jobs goroutines. Each run constructs its own mapping state
+// (DFG, MRRG, router, RNG seeded from Config.Seed), so nothing mutable
+// is shared between workers and the per-combo results are identical at
+// every job count. Results are collected — and verbose progress lines
+// printed — in the canonical (combo, mapper) order, so reports are
+// byte-stable apart from measured durations.
+func RunCombos(cfg Config, combos []Combo) *Results {
 	cfg = cfg.withDefaults()
-	out := &Results{Combos: Combos(), ByRun: map[string]stats.Result{}}
+	out := &Results{Combos: combos, ByRun: make(map[string]stats.Result, len(combos)*len(Mappers))}
 	start := time.Now()
-	for _, cb := range out.Combos {
+
+	type task struct {
+		mapper string
+		cb     Combo
+	}
+	tasks := make([]task, 0, len(combos)*len(Mappers))
+	for _, cb := range combos {
 		for _, mapper := range Mappers {
-			_, res := Run(mapper, cb, cfg)
-			out.ByRun[runKey(mapper, cb)] = res
+			tasks = append(tasks, task{mapper: mapper, cb: cb})
+		}
+	}
+	results := make([]stats.Result, len(tasks))
+
+	jobs := cfg.Jobs
+	if jobs > len(tasks) {
+		jobs = len(tasks)
+	}
+	if jobs <= 1 {
+		// Serial path: identical to the historical harness, line for line.
+		for i, t := range tasks {
+			_, res := Run(t.mapper, t.cb, cfg)
+			results[i] = res
 			if cfg.Verbose {
 				fmt.Fprintln(cfg.Out, res)
 			}
 		}
+	} else {
+		type done struct {
+			i   int
+			res stats.Result
+		}
+		var next atomic.Int64
+		ch := make(chan done, jobs)
+		var wg sync.WaitGroup
+		wg.Add(jobs)
+		for w := 0; w < jobs; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(tasks) {
+						return
+					}
+					_, res := Run(tasks[i].mapper, tasks[i].cb, cfg)
+					ch <- done{i: i, res: res}
+				}
+			}()
+		}
+		go func() {
+			wg.Wait()
+			close(ch)
+		}()
+		// In-order flush: a finished run's line prints only once every
+		// earlier run has printed, keeping the stream deterministic.
+		ready := make([]bool, len(tasks))
+		flushed := 0
+		for d := range ch {
+			results[d.i] = d.res
+			ready[d.i] = true
+			for flushed < len(tasks) && ready[flushed] {
+				if cfg.Verbose {
+					fmt.Fprintln(cfg.Out, results[flushed])
+				}
+				flushed++
+			}
+		}
+	}
+
+	for i, t := range tasks {
+		out.ByRun[runKey(t.mapper, t.cb)] = results[i]
 	}
 	out.Elapsed = time.Since(start)
 	return out

@@ -1,0 +1,100 @@
+package eval
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// smallCombos is a cheap cross-section of the evaluation: a few easy
+// kernels on the friendliest fabric, enough for the worker pool to
+// interleave runs without making the test slow.
+func smallCombos() []Combo {
+	all := Combos()
+	var out []Combo
+	for _, cb := range all {
+		if cb.Arch.Name != "4x4r4" {
+			continue
+		}
+		switch cb.Kernel {
+		case "atax", "fft", "mvt", "viterbi":
+			out = append(out, cb)
+		}
+	}
+	return out
+}
+
+// TestRunCombosParallelMatchesSerial is the harness determinism test:
+// the same seed at -j 1 and -j 4 must give identical per-combo
+// (II, Success) for every mapper, and the verbose progress stream must
+// come out in the same canonical order.
+//
+// Every mapper is work-bounded (RemapsPerII, Patience×Restarts,
+// AttemptsPerII) as well as time-bounded; runs are identical across job
+// counts exactly when the work bounds bind first, so the test uses a
+// wall-clock budget generous enough that contention between workers
+// cannot starve a run below its work bound (see docs/CONCURRENCY.md).
+func TestRunCombosParallelMatchesSerial(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	combos := smallCombos()
+	if len(combos) < 3 {
+		t.Fatalf("small combo set too small: %d", len(combos))
+	}
+	base := Config{Seed: 9, TimePerII: time.Hour, MaxII: 12}
+
+	var serialLog, parallelLog bytes.Buffer
+	serialCfg := base
+	serialCfg.Jobs, serialCfg.Verbose, serialCfg.Out = 1, true, &serialLog
+	parallelCfg := base
+	parallelCfg.Jobs, parallelCfg.Verbose, parallelCfg.Out = 4, true, &parallelLog
+
+	serial := RunCombos(serialCfg, combos)
+	parallel := RunCombos(parallelCfg, combos)
+
+	for _, cb := range combos {
+		for _, m := range Mappers {
+			s, sok := serial.Get(m, cb)
+			p, pok := parallel.Get(m, cb)
+			if sok != pok || s.Success != p.Success || s.II != p.II {
+				t.Errorf("%s on %s@%s: serial (II=%d ok=%v) vs parallel (II=%d ok=%v)",
+					m, cb.Kernel, cb.Arch.Name, s.II, s.Success, p.II, p.Success)
+			}
+		}
+	}
+
+	// The progress streams must list runs in the same order. Durations
+	// differ run to run, so compare only the order-bearing prefix of
+	// each line (mapper + kernel + arch + status).
+	sLines := bytes.Split(serialLog.Bytes(), []byte("\n"))
+	pLines := bytes.Split(parallelLog.Bytes(), []byte("\n"))
+	if len(sLines) != len(pLines) {
+		t.Fatalf("progress line counts differ: %d vs %d", len(sLines), len(pLines))
+	}
+	for i := range sLines {
+		sp, pp := linePrefix(sLines[i]), linePrefix(pLines[i])
+		if !bytes.Equal(sp, pp) {
+			t.Errorf("progress line %d differs:\n  serial:   %s\n  parallel: %s", i, sp, pp)
+		}
+	}
+}
+
+// linePrefix strips the timing tail of a stats.Result line ("...ms
+// remaps=..."), keeping the deterministic identity and status columns.
+func linePrefix(line []byte) []byte {
+	if i := bytes.Index(line, []byte(")")); i >= 0 {
+		return line[:i+1] // "... II=n (MII=m)" / "... FAILED (MII=m)"
+	}
+	return line
+}
+
+// TestRunCombosJobsCap checks that oversized pools degrade gracefully:
+// more workers than tasks must not deadlock or drop results.
+func TestRunCombosJobsCap(t *testing.T) {
+	combos := smallCombos()[:1]
+	cfg := Config{Seed: 3, TimePerII: 200 * time.Millisecond, MaxII: 12, Jobs: 32}
+	r := RunCombos(cfg, combos)
+	if len(r.ByRun) != len(Mappers) {
+		t.Fatalf("results = %d, want %d", len(r.ByRun), len(Mappers))
+	}
+}

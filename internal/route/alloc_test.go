@@ -1,0 +1,71 @@
+package route
+
+import (
+	"testing"
+
+	"rewire/internal/arch"
+	"rewire/internal/mrrg"
+)
+
+// TestFindPathAllocs pins the router hot path's allocation budget: one
+// allocation per successful call (the returned path, which callers
+// retain) and zero per failed call. A regression here means the banned
+// set, duplicate detector, or priority queue started allocating again.
+func TestFindPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	g := mrrg.New(arch.New8x8(4), 4)
+	st := mrrg.NewState(g)
+	r := NewRouter(g, DefaultMaxLat(8, 8, 4))
+	cost := StrictCost(st, 1)
+
+	src, dst := g.FU(0, 0), g.FU(9, 1)
+	if _, ok := r.FindPath(src, dst, 5, cost); !ok {
+		t.Fatal("setup route must exist")
+	}
+	got := testing.AllocsPerRun(100, func() {
+		if _, ok := r.FindPath(src, dst, 5, cost); !ok {
+			t.Fatal("route vanished")
+		}
+	})
+	if got > 1 {
+		t.Errorf("successful FindPath allocates %.1f/op, want <= 1 (the returned path)", got)
+	}
+
+	// An impossible latency fails before searching; an unreachable exact
+	// latency fails after searching. Neither may allocate.
+	got = testing.AllocsPerRun(100, func() {
+		if _, ok := r.FindPath(src, dst, 2, cost); ok {
+			t.Fatal("latency 2 to a Manhattan-3 PE should be unroutable")
+		}
+	})
+	if got > 0 {
+		t.Errorf("failed FindPath allocates %.1f/op, want 0", got)
+	}
+}
+
+// TestRouterTrimsQueue checks the retained-capacity cap: after a search
+// whose queue grew past maxRetainedPQ, the router must not pin that
+// peak-size buffer. The overgrown queue is injected directly — typical
+// fabrics drain the queue too fast to reach the cap organically, which
+// is exactly why an occasional pathological search would otherwise pin
+// its peak allocation for the router's lifetime.
+func TestRouterTrimsQueue(t *testing.T) {
+	g := mrrg.New(arch.New8x8(4), 4)
+	st := mrrg.NewState(g)
+	r := NewRouter(g, DefaultMaxLat(8, 8, 4))
+	cost := StrictCost(st, 1)
+
+	r.pq = make(stateHeap, 0, 4*maxRetainedPQ)
+	if _, ok := r.FindPath(g.FU(0, 0), g.FU(9, 1), 5, cost); !ok {
+		t.Fatal("route must exist")
+	}
+	if cap(r.pq) > maxRetainedPQ {
+		t.Errorf("router retains pq capacity %d after FindPath, cap is %d", cap(r.pq), maxRetainedPQ)
+	}
+	// And routing still works with the fresh queue.
+	if _, ok := r.FindPath(g.FU(0, 0), g.FU(9, 1), 5, cost); !ok {
+		t.Fatal("route must survive the trim")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package route
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count assertions are skipped under instrumentation.
+const raceEnabled = false

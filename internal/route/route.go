@@ -13,7 +13,7 @@
 package route
 
 import (
-	"container/heap"
+	"math"
 
 	"rewire/internal/mrrg"
 )
@@ -39,7 +39,14 @@ func StrictCost(st *mrrg.State, net mrrg.Net) CostFn {
 }
 
 // Router finds exact-latency paths on one MRRG. It reuses internal
-// buffers across calls, so a Router is not safe for concurrent use.
+// buffers across calls, so a Router is not safe for concurrent use; give
+// each goroutine its own Router (see docs/CONCURRENCY.md).
+//
+// The hot path is allocation-free apart from the returned path slice
+// (which callers retain): the search state is epoch-stamped rather than
+// cleared, the priority queue is a concrete-typed heap (no interface
+// boxing), and the retry ban set and duplicate detector are epoch-stamped
+// scratch slices instead of per-call maps.
 type Router struct {
 	g      *mrrg.Graph
 	maxLat int
@@ -50,10 +57,24 @@ type Router struct {
 	epoch int32
 	pq    stateHeap
 
+	// banStamp/banEpoch implement FindPath's per-call retry ban set;
+	// nodeStamp/nodeEpoch back firstDuplicate. Both are per-node (not
+	// per-state) scratch, stamped instead of cleared.
+	banStamp  []int32
+	banEpoch  int32
+	nodeStamp []int32
+	nodeEpoch int32
+
 	// Expansions counts states popped from the queue across all calls;
 	// the evaluation uses it as a hardware-independent work measure.
 	Expansions int64
 }
+
+// maxRetainedPQ bounds the queue capacity a Router keeps between calls.
+// One pathological search can grow the queue to the full state count;
+// trimming afterwards keeps long-lived routers from pinning peak-size
+// buffers.
+const maxRetainedPQ = 4096
 
 // NewRouter builds a router for g accepting latencies up to maxLat. A
 // good bound is a few IIs plus the mesh diameter; latencies beyond that
@@ -64,11 +85,13 @@ func NewRouter(g *mrrg.Graph, maxLat int) *Router {
 	}
 	n := g.NumNodes() * (maxLat + 1)
 	return &Router{
-		g:      g,
-		maxLat: maxLat,
-		dist:   make([]float64, n),
-		from:   make([]int32, n),
-		stamp:  make([]int32, n),
+		g:         g,
+		maxLat:    maxLat,
+		dist:      make([]float64, n),
+		from:      make([]int32, n),
+		stamp:     make([]int32, n),
+		banStamp:  make([]int32, g.NumNodes()),
+		nodeStamp: make([]int32, g.NumNodes()),
 	}
 }
 
@@ -92,18 +115,64 @@ type state struct {
 	cost    float64
 }
 
+// stateHeap is a concrete-typed binary min-heap ordered by cost. It
+// reproduces container/heap's sift order exactly (strict-less child
+// promotion) so paths are bit-identical to the boxed implementation it
+// replaced, without the per-push interface{} allocation.
 type stateHeap []state
 
-func (h stateHeap) Len() int            { return len(h) }
-func (h stateHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
-func (h stateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *stateHeap) Push(x interface{}) { *h = append(*h, x.(state)) }
-func (h *stateHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (r *Router) pushState(s state) {
+	h := append(r.pq, s)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !(h[i].cost < h[p].cost) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	r.pq = h
+}
+
+func (r *Router) popState() state {
+	h := r.pq
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if rt := l + 1; rt < n && h[rt].cost < h[l].cost {
+			m = rt
+		}
+		if !(h[m].cost < h[i].cost) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	r.pq = h
+	return top
+}
+
+// bumpEpoch advances an epoch counter, clearing its stamp slice on the
+// (astronomically rare) int32 wrap so stale stamps can never alias a
+// fresh epoch.
+func bumpEpoch(e *int32, stamps []int32) int32 {
+	if *e == math.MaxInt32 {
+		for i := range stamps {
+			stamps[i] = 0
+		}
+		*e = 0
+	}
+	*e++
+	return *e
 }
 
 // FindPath returns the minimum-cost chain of lat-1 routing resources
@@ -120,14 +189,19 @@ func (r *Router) FindPath(src, dst mrrg.Node, lat int, cost CostFn) (path []mrrg
 	if lat < 1 || lat > r.maxLat {
 		return nil, false
 	}
-	banned := map[mrrg.Node]bool{}
+	defer func() {
+		if cap(r.pq) > maxRetainedPQ {
+			r.pq = nil
+		}
+	}()
+	ban := bumpEpoch(&r.banEpoch, r.banStamp)
 	for attempt := 0; attempt < 3; attempt++ {
-		p, found := r.findOnce(src, dst, lat, cost, banned)
+		p, found := r.findOnce(src, dst, lat, cost, ban)
 		if !found {
 			return nil, false
 		}
-		if dup := firstDuplicate(p); dup != mrrg.Invalid {
-			banned[dup] = true
+		if dup := r.firstDuplicate(p); dup != mrrg.Invalid {
+			r.banStamp[dup] = ban
 			continue
 		}
 		return p, true
@@ -135,8 +209,8 @@ func (r *Router) FindPath(src, dst mrrg.Node, lat int, cost CostFn) (path []mrrg
 	return nil, false
 }
 
-func (r *Router) findOnce(src, dst mrrg.Node, lat int, cost CostFn, banned map[mrrg.Node]bool) ([]mrrg.Node, bool) {
-	r.epoch++
+func (r *Router) findOnce(src, dst mrrg.Node, lat int, cost CostFn, ban int32) ([]mrrg.Node, bool) {
+	bumpEpoch(&r.epoch, r.stamp)
 	idx := func(n mrrg.Node, e int) int { return int(n)*(r.maxLat+1) + e }
 	arch := r.g.Arch
 	dstPE := r.g.PE(dst)
@@ -153,7 +227,7 @@ func (r *Router) findOnce(src, dst mrrg.Node, lat int, cost CostFn, banned map[m
 		return e+need > lat
 	}
 	r.pq = r.pq[:0]
-	heap.Push(&r.pq, state{node: src, elapsed: 0, cost: 0})
+	r.pushState(state{node: src, elapsed: 0, cost: 0})
 	si := idx(src, 0)
 	r.stamp[si] = r.epoch
 	r.dist[si] = 0
@@ -163,7 +237,7 @@ func (r *Router) findOnce(src, dst mrrg.Node, lat int, cost CostFn, banned map[m
 	}
 
 	for len(r.pq) > 0 {
-		cur := heap.Pop(&r.pq).(state)
+		cur := r.popState()
 		r.Expansions++
 		ci := idx(cur.node, int(cur.elapsed))
 		if cur.cost > r.dist[ci] {
@@ -193,7 +267,7 @@ func (r *Router) findOnce(src, dst mrrg.Node, lat int, cost CostFn, banned map[m
 				// cycle would collide with the consumer's reservation.
 				continue
 			}
-			if tooFar(nxt, nextE) || banned[nxt] {
+			if tooFar(nxt, nextE) || r.banStamp[nxt] == ban {
 				continue
 			}
 			c, usable := cost(nxt, nextE)
@@ -215,7 +289,7 @@ func (r *Router) relax(idx func(mrrg.Node, int) int, nxt mrrg.Node, e int, cur s
 	r.stamp[ni] = r.epoch
 	r.dist[ni] = nc
 	r.from[ni] = int32(idx(cur.node, int(cur.elapsed)))
-	heap.Push(&r.pq, state{node: nxt, elapsed: int32(e), cost: nc})
+	r.pushState(state{node: nxt, elapsed: int32(e), cost: nc})
 }
 
 func (r *Router) reconstruct(src, dst mrrg.Node, lat int, idx func(mrrg.Node, int) int) []mrrg.Node {
@@ -228,16 +302,18 @@ func (r *Router) reconstruct(src, dst mrrg.Node, lat int, idx func(mrrg.Node, in
 	return path
 }
 
-func firstDuplicate(path []mrrg.Node) mrrg.Node {
+// firstDuplicate returns the first resource repeated within path, using
+// the router's epoch-stamped per-node scratch instead of a per-call map.
+func (r *Router) firstDuplicate(path []mrrg.Node) mrrg.Node {
 	if len(path) < 2 {
 		return mrrg.Invalid
 	}
-	seen := make(map[mrrg.Node]bool, len(path))
+	seen := bumpEpoch(&r.nodeEpoch, r.nodeStamp)
 	for _, n := range path {
-		if seen[n] {
+		if r.nodeStamp[n] == seen {
 			return n
 		}
-		seen[n] = true
+		r.nodeStamp[n] = seen
 	}
 	return mrrg.Invalid
 }

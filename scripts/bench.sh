@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# bench.sh — track the performance trajectory across PRs.
+#
+# Runs the substrate micro-benchmarks (BenchmarkSub*) and the Figure 6
+# compilation-time benchmarks, then emits BENCH_<date>.json: one record
+# per benchmark with ns/op, B/op, allocs/op and any custom metrics
+# (sumII, fails, ...). Compare two files to see whether a PR moved the
+# hot paths.
+#
+# Usage:
+#   scripts/bench.sh                # writes BENCH_YYYY-MM-DD.json in the repo root
+#   scripts/bench.sh out.json       # explicit output path
+#   BENCHTIME=2000x scripts/bench.sh  # override -benchtime (default 1x)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_$(date +%F).json}"
+benchtime="${BENCHTIME:-1x}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "running Sub + Fig6 benchmarks (benchtime $benchtime)..." >&2
+# -timeout 0: the Fig6 benchmarks run the full mappers, which at large
+# -benchtime values outlives go test's default 10m limit.
+go test -run '^$' -bench 'BenchmarkSub|BenchmarkFig6' -benchmem \
+	-benchtime "$benchtime" -timeout 0 . | tee "$raw" >&2
+
+# Parse `go test -bench` lines into JSON. A line looks like:
+#   BenchmarkSubRouter  2000  43163 ns/op  4015 B/op  249 allocs/op  3 sumII
+go run ./scripts/benchjson "$raw" >"$out"
+echo "wrote $out" >&2

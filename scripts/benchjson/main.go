@@ -1,0 +1,88 @@
+// Command benchjson converts `go test -bench` output into a JSON array,
+// one record per benchmark line, so scripts/bench.sh can emit machine-
+// readable BENCH_<date>.json files and the perf trajectory can be
+// diffed across PRs.
+//
+// Input lines look like:
+//
+//	BenchmarkSubRouter  2000  43163 ns/op  4015 B/op  249 allocs/op  3.0 sumII
+//
+// Every "<value> <unit>" pair after the iteration count becomes a field
+// keyed by unit ("ns/op", "B/op", "allocs/op", custom metrics).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Record is one benchmark result.
+type Record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Output is the whole file: a stamped, ordered run.
+type Output struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go,omitempty"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+func main() {
+	in := os.Stdin
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	out := Output{Date: time.Now().Format("2006-01-02"), Benchmarks: []Record{}}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "go: ") {
+			out.GoVersion = strings.TrimPrefix(line, "go: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. a "Benchmark...--- FAIL" artifact
+		}
+		rec := Record{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			rec.Metrics[fields[i+1]] = v
+		}
+		out.Benchmarks = append(out.Benchmarks, rec)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
