@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rewire/internal/eval"
@@ -36,8 +37,25 @@ func main() {
 		budget  = flag.Duration("time-per-ii", 2*time.Second, "per-II wall-clock budget per mapper")
 		jobs    = flag.Int("j", runtime.NumCPU(), "concurrent mapper runs (1 = serial)")
 		quiet   = flag.Bool("quiet", false, "suppress per-run progress lines")
+
+		jsonOut    = flag.String("json", "", "write the aggregated result set as JSON to this path")
+		traceDir   = flag.String("trace-dir", "", "write one Chrome trace + JSONL trace per mapper run into this directory")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole evaluation to this path (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this path (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memProfile)
 
 	cfg := eval.Config{
 		Seed:      *seed,
@@ -45,6 +63,7 @@ func main() {
 		Jobs:      *jobs,
 		Verbose:   !*quiet,
 		Out:       os.Stdout,
+		TraceDir:  *traceDir,
 	}
 	if *scaling {
 		eval.Scaling(cfg, os.Stdout)
@@ -61,6 +80,20 @@ func main() {
 	results := eval.RunAll(cfg)
 	fmt.Println()
 
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := results.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("results written to %s\n\n", *jsonOut)
+	}
+
 	specific := *fig5 || *fig6 || *table1 || *summary
 	if !specific || *fig5 {
 		results.Figure5(os.Stdout)
@@ -73,5 +106,29 @@ func main() {
 	}
 	if !specific || *summary {
 		results.Summary(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rewire-experiments: %v\n", err)
+	os.Exit(1)
+}
+
+// writeMemProfile snapshots the heap after the evaluation (post-GC, so
+// the profile shows retained memory, not garbage).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
 	}
 }

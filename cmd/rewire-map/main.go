@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -32,6 +34,11 @@ func main() {
 		simIter  = flag.Int("simulate", 0, "functionally verify the mapping over N simulated iterations")
 		saveTo   = flag.String("save", "", "write the mapping as a JSON bundle to this path")
 		list     = flag.Bool("list", false, "list bundled kernels and exit")
+
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event file of the mapping run to this path (open in Perfetto / chrome://tracing)")
+		traceJSONL = flag.String("trace-jsonl", "", "write the structured JSONL trace (spans, counters, histograms) to this path")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path (inspect with: go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this path (inspect with: go tool pprof)")
 	)
 	flag.Parse()
 
@@ -68,12 +75,43 @@ func main() {
 	}
 	fmt.Printf("kernel: %s\narch:   %s\nMII:    %d\n\n", g.Stats(), cgra, rewire.MII(g, cgra))
 
+	var tr *rewire.Tracer
+	if *traceOut != "" || *traceJSONL != "" {
+		tr = rewire.NewTracer()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+	}
 	m, res, err := rewire.Map(g, cgra, rewire.Options{
 		Mapper:    rewire.MapperName(*mapper),
 		Seed:      *seed,
 		TimePerII: *budget,
 		MaxII:     *maxII,
+		Tracer:    tr,
 	})
+	// Profiles and traces are written before the success check: a failed
+	// mapping run is exactly the one worth profiling.
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, ferr := os.Create(*memProfile)
+		if ferr != nil {
+			fatalf("memprofile: %v", ferr)
+		}
+		runtime.GC()
+		if ferr := pprof.WriteHeapProfile(f); ferr != nil {
+			fatalf("memprofile: %v", ferr)
+		}
+		f.Close()
+	}
+	writeTrace(tr, *traceOut, *traceJSONL)
 	fmt.Println(res)
 	if err != nil {
 		fatalf("%v", err)
@@ -137,6 +175,33 @@ func parseArch(s string) (*rewire.CGRA, error) {
 		return rewire.NewCGRA(s, rows, cols, regs, rows, 0, cols-1), nil
 	default:
 		return rewire.NewCGRA(s, rows, cols, regs, 2, 0), nil
+	}
+}
+
+// writeTrace exports the run's tracer in the requested formats.
+func writeTrace(tr *rewire.Tracer, chromePath, jsonlPath string) {
+	if tr == nil {
+		return
+	}
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			fatalf("trace: %v", err)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			fatalf("trace: %v", err)
+		}
+		f.Close()
+	}
+	if jsonlPath != "" {
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			fatalf("trace-jsonl: %v", err)
+		}
+		if err := tr.WriteJSONL(f); err != nil {
+			fatalf("trace-jsonl: %v", err)
+		}
+		f.Close()
 	}
 }
 

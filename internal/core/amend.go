@@ -26,6 +26,10 @@ func Amend(m *mapping.Mapping, opt Options) (*mapping.Mapping, stats.Result, err
 	if err != nil {
 		return nil, res, fmt.Errorf("rewire: initial mapping is inconsistent: %w", err)
 	}
+	tr := opt.Tracer
+	root := tr.StartSpan(nil, "rewire.amend").
+		WithStr("kernel", m.DFG.Name).WithStr("arch", m.Arch.Name).WithInt("ii", int64(m.II))
+	defer root.End()
 	am := &amender{
 		g:      m.DFG,
 		sess:   sess,
@@ -33,9 +37,18 @@ func Amend(m *mapping.Mapping, opt Options) (*mapping.Mapping, stats.Result, err
 		rng:    rand.New(rand.NewSource(opt.Seed)),
 		res:    &res,
 		opt:    opt,
+		tr:     tr,
+		ctr:    newCounters(tr),
+		span:   root,
 	}
+	am.router.Instrument(tr)
 	deadline := time.Now().Add(opt.TimePerII)
-	if !am.amend(deadline) {
+	ok := am.amend(deadline)
+	// Count router work on failure too (the audit contract: effort
+	// counters are filled on every path, not only successes).
+	res.RouterExpansions = am.router.Expansions
+	am.ctr.routerExpansions.Add(am.router.Expansions)
+	if !ok {
 		res.Duration = time.Since(start)
 		return nil, res, fmt.Errorf("rewire: could not amend %q on %s at II=%d within %s",
 			m.DFG.Name, m.Arch.Name, m.II, opt.TimePerII)
@@ -43,7 +56,6 @@ func Amend(m *mapping.Mapping, opt Options) (*mapping.Mapping, stats.Result, err
 	res.Success = true
 	res.II = m.II
 	res.Duration = time.Since(start)
-	res.RouterExpansions = am.router.Expansions
 	if err := mapping.Validate(am.sess.M); err != nil {
 		panic("rewire: amend produced invalid mapping: " + err.Error())
 	}

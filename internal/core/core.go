@@ -30,6 +30,7 @@ import (
 	"rewire/internal/pathfinder"
 	"rewire/internal/route"
 	"rewire/internal/stats"
+	"rewire/internal/trace"
 )
 
 // Options tunes Rewire. Zero values select the defaults (the paper's
@@ -84,6 +85,11 @@ type Options struct {
 	// either way; the switch exists for the determinism test and for
 	// single-core profiling.
 	SerialPropagation bool
+
+	// Tracer receives phase spans and work counters for the run (see
+	// internal/trace and docs/OBSERVABILITY.md). nil disables tracing at
+	// ~zero hot-path cost.
+	Tracer *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -129,15 +135,23 @@ func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Resul
 	start := time.Now()
 	rng := rand.New(rand.NewSource(opt.Seed))
 
+	tr := opt.Tracer
+	ctr := newCounters(tr)
+	root := tr.StartSpan(nil, "rewire.map").
+		WithStr("kernel", g.Name).WithStr("arch", a.Name).WithInt("mii", int64(res.MII))
+	defer root.End()
+
 	for ii := res.MII; ii <= opt.MaxII; ii++ {
 		deadline := time.Now().Add(opt.TimePerII)
+		iiSpan := tr.StartSpan(root, "ii").WithInt("ii", int64(ii))
 		// Rewire amends whatever initial mapping it is given; initial
 		// mappings vary a lot in amendability, so each II retries with a
 		// few fresh PF* initial seeds (bounded by AttemptsPerII and the
 		// time budget).
 		for attempt := int64(0); attempt < int64(opt.AttemptsPerII) && (attempt == 0 || time.Now().Before(deadline)); attempt++ {
+			aSpan := tr.StartSpan(iiSpan, "attempt").WithInt("attempt", attempt)
 			m := mapping.New(g, a, ii)
-			sess, router := pathfinder.BuildInitial(m, opt.Seed^int64(ii)^(attempt<<16), &res)
+			sess, router := pathfinder.BuildInitialTraced(m, opt.Seed^int64(ii)^(attempt<<16), &res, tr, aSpan)
 			am := &amender{
 				g:      g,
 				sess:   sess,
@@ -145,19 +159,30 @@ func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Resul
 				rng:    rng,
 				res:    &res,
 				opt:    opt,
+				tr:     tr,
+				ctr:    ctr,
+				span:   aSpan,
 			}
-			if !am.amend(deadline) {
+			ok := am.amend(deadline)
+			// Router work is accumulated per attempt — failed attempts
+			// spend real routing effort too, and each attempt owns a fresh
+			// router, so a final-attempt snapshot would drop the rest.
+			res.RouterExpansions += router.Expansions
+			ctr.routerExpansions.Add(router.Expansions)
+			aSpan.WithBool("ok", ok).End()
+			if !ok {
 				continue
 			}
 			res.Success = true
 			res.II = ii
 			res.Duration = time.Since(start)
-			res.RouterExpansions = router.Expansions
 			if err := mapping.Validate(am.sess.M); err != nil {
 				panic("rewire: produced invalid mapping: " + err.Error())
 			}
+			iiSpan.WithBool("ok", true).End()
 			return am.sess.M, res
 		}
+		iiSpan.WithBool("ok", false).End()
 	}
 	res.Duration = time.Since(start)
 	return nil, res
@@ -171,6 +196,13 @@ type amender struct {
 	rng    *rand.Rand
 	res    *stats.Result
 	opt    Options
+
+	// tr/ctr/span instrument the amendment; all stay nil/zero when
+	// tracing is disabled (every emit call is then a pointer check).
+	tr   *trace.Tracer
+	ctr  counters
+	span *trace.Span // parent for cluster_amendment spans
+	cur  *trace.Span // the open cluster_amendment span (parent of phase spans)
 }
 
 // amend repairs the initial mapping cluster by cluster (Algorithm 1,
@@ -206,12 +238,22 @@ func (a *amender) amend(deadline time.Time) bool {
 // growing it on failure up to the cap (Algorithm 1, lines 7-13). The
 // routed-trial budget is shared across the growth retries so one stubborn
 // cluster cannot consume the whole II deadline.
-func (a *amender) mapCluster(u *cluster, deadline time.Time) bool {
+func (a *amender) mapCluster(u *cluster, deadline time.Time) (ok bool) {
+	cs := a.tr.StartSpan(a.span, "cluster_amendment").WithInt("initial_size", int64(len(u.nodes)))
+	defer func() {
+		cs.WithInt("final_size", int64(len(u.nodes))).WithBool("ok", ok).End()
+	}()
+	prevCur := a.cur
+	a.cur = cs
+	defer func() { a.cur = prevCur }()
+
 	budget := a.opt.MaxCombos
 	for {
 		a.res.ClusterAmendments++
+		a.ctr.clusterAmendments.Add(1)
+		a.ctr.clusterSize.Observe(int64(len(u.nodes)))
 		props := a.propagateAll(u)
-		cands := a.intersect(u, props)
+		cands := a.intersectTraced(u, props)
 		if a.generate(u, cands, props, deadline, &budget) {
 			releaseProps(props)
 			return true
@@ -232,4 +274,24 @@ func (a *amender) mapCluster(u *cluster, deadline time.Time) bool {
 			return false
 		}
 	}
+}
+
+// intersectTraced wraps intersect in its phase span and records the
+// PCandidate-set size metrics (Eq. 1's output: how constrained each
+// cluster node is).
+func (a *amender) intersectTraced(u *cluster, props map[int]*propagation) map[int][]pcand {
+	is := a.tr.StartSpan(a.cur, "intersect").WithInt("nodes", int64(len(u.nodes)))
+	cands := a.intersect(u, props)
+	if a.tr.Enabled() {
+		total := 0
+		for _, v := range u.nodes {
+			n := len(cands[v])
+			total += n
+			a.ctr.pcandsPerNode.Observe(int64(n))
+		}
+		a.ctr.pcands.Add(int64(total))
+		is.WithInt("pcandidates", int64(total))
+	}
+	is.End()
+	return cands
 }

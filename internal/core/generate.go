@@ -5,6 +5,7 @@ import (
 
 	"rewire/internal/mrrg"
 	"rewire/internal/route"
+	"rewire/internal/trace"
 )
 
 // generate implements Algorithm 2: build Placement(U) by assigning
@@ -18,8 +19,10 @@ import (
 // instead of poisoning a full Placement(U). The first complete verified
 // placement is committed.
 func (a *amender) generate(u *cluster, cands map[int][]pcand, props map[int]*propagation, deadline time.Time, budget *int) bool {
+	gs := a.tr.StartSpan(a.cur, "placement_enum").WithInt("budget", int64(*budget))
 	for _, v := range u.nodes {
 		if len(cands[v]) == 0 {
+			gs.WithBool("ok", false).End()
 			return false // some node has no candidate at all
 		}
 	}
@@ -31,8 +34,11 @@ func (a *amender) generate(u *cluster, cands map[int][]pcand, props map[int]*pro
 		deadline: deadline,
 		chosen:   make([]pcand, len(u.nodes)),
 		budget:   budget,
+		span:     gs,
 	}
-	return gen.assign(0)
+	ok := gen.assign(0)
+	gs.WithBool("ok", ok).End()
+	return ok
 }
 
 type generator struct {
@@ -43,6 +49,7 @@ type generator struct {
 	deadline time.Time
 	chosen   []pcand
 	budget   *int
+	span     *trace.Span // the placement_enum span; parent of verify spans
 }
 
 // assign recursively picks a candidate for the i-th cluster node (the
@@ -58,19 +65,27 @@ func (g *generator) assign(i int) bool {
 	v := g.u.nodes[i]
 	for _, c := range g.cands[v] {
 		g.a.res.PlacementsTried++
+		g.a.ctr.placementsTried.Add(1)
 		if !g.admissible(i, v, c) {
+			g.a.ctr.placementsPruned.Add(1)
 			continue
 		}
 		if g.a.sess.PlaceNode(v, c.pe, c.T) != nil {
+			g.a.ctr.placementsPruned.Add(1)
 			continue
 		}
 		// Only routed placement trials count against the budget; the
 		// cheap execution-cycle rejections above are nearly free.
 		*g.budget--
 		g.a.res.VerifyAttempts++
+		g.a.ctr.verifyAttempts.Add(1)
+		vs := g.a.tr.StartSpan(g.span, "verify").
+			WithInt("node", int64(v)).WithInt("pe", int64(c.pe)).WithInt("t", int64(c.T))
 		routed, ok := g.routeNode(v)
+		vs.WithBool("ok", ok).End()
 		if ok {
 			g.a.res.VerifySuccesses++
+			g.a.ctr.verifySuccesses.Add(1)
 			g.chosen[i] = c
 			if g.assign(i + 1) {
 				return true

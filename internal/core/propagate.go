@@ -32,6 +32,10 @@ type propagation struct {
 	// arrive[pe] lists tuples sorted by cycles; endState points at the
 	// final resource of the probe path for extraction.
 	arrive map[int][]arrival
+	// dedups counts tuples suppressed by the per-(PE, cycles) dedup rule;
+	// a plain int because each flood is single-goroutine, folded into the
+	// tracer's propagate.tuples_deduped counter afterwards.
+	dedups int
 }
 
 type arrival struct {
@@ -112,13 +116,35 @@ func (a *amender) propagateAll(u *cluster) map[int]*propagation {
 	}
 
 	results := make([]*propagation, len(tasks))
+	ps := a.tr.StartSpan(a.cur, "propagate").
+		WithInt("anchors", int64(len(tasks))).WithInt("rounds", int64(rounds))
+	// runTask floods one anchor under its own probe span. Span starts and
+	// counter adds are tracer-synchronised, so the instrumentation is
+	// worker-pool-safe; with tracing disabled every call is a nil check.
+	runTask := func(i int, t task) {
+		sp := a.tr.StartSpan(ps, "probe").
+			WithInt("anchor", int64(t.source)).WithBool("forward", t.forward)
+		p := a.propagate(t.source, t.forward, rounds)
+		if a.tr.Enabled() {
+			tuples := 0
+			for _, list := range p.arrive {
+				tuples += len(list)
+			}
+			a.ctr.tuples.Add(int64(tuples))
+			a.ctr.tuplesDeduped.Add(int64(p.dedups))
+			sp.WithInt("tuples", int64(tuples)).WithInt("deduped", int64(p.dedups))
+		}
+		sp.End()
+		results[i] = p
+	}
+
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
 	if a.opt.SerialPropagation || workers <= 1 {
 		for i, t := range tasks {
-			results[i] = a.propagate(t.source, t.forward, rounds)
+			runTask(i, t)
 		}
 	} else {
 		var next atomic.Int64
@@ -132,13 +158,13 @@ func (a *amender) propagateAll(u *cluster) map[int]*propagation {
 					if i >= len(tasks) {
 						return
 					}
-					t := tasks[i]
-					results[i] = a.propagate(t.source, t.forward, rounds)
+					runTask(i, tasks[i])
 				}
 			}()
 		}
 		wg.Wait()
 	}
+	ps.End()
 
 	props := make(map[int]*propagation, len(tasks))
 	for i, t := range tasks {
@@ -341,6 +367,7 @@ func (p *propagation) emit(n mrrg.Node, e int, state int32) {
 	// Dedup per (PE, cycles): BFS visits states in increasing e, so the
 	// list stays sorted and the check is a tail comparison.
 	if len(list) > 0 && list[len(list)-1].cycles == cycles {
+		p.dedups++
 		return
 	}
 	p.arrive[q] = append(list, arrival{cycles: cycles, endState: state})

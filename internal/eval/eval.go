@@ -9,8 +9,11 @@ package eval
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +26,7 @@ import (
 	"rewire/internal/pathfinder"
 	"rewire/internal/sa"
 	"rewire/internal/stats"
+	"rewire/internal/trace"
 )
 
 // Config tunes an evaluation run.
@@ -46,6 +50,16 @@ type Config struct {
 	Verbose bool
 	// Out receives progress and reports (required).
 	Out io.Writer
+	// Tracer, when non-nil, receives phase spans and counters from every
+	// run dispatched through Run/RunDFG. A nil tracer costs one pointer
+	// check per instrumentation point (see docs/OBSERVABILITY.md).
+	Tracer *trace.Tracer
+	// TraceDir, when non-empty, makes RunCombos give every mapper run its
+	// own tracer and export it to <TraceDir>/<mapper>_<kernel>@<arch>
+	// .trace.json (Chrome trace_event, Perfetto-loadable) and .jsonl
+	// (structured spans/counters). Per-run tracers keep the counter
+	// totals attributable to a single run even under Jobs>1.
+	TraceDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -108,7 +122,10 @@ var Mappers = []string{"Rewire", "PF*", "SA"}
 
 // Run maps one combo with one mapper under the config's budgets.
 func Run(mapper string, cb Combo, cfg Config) (*mapping.Mapping, stats.Result) {
-	return RunDFG(mapper, kernels.MustLoad(cb.Kernel), cb.Arch, cfg)
+	sp := cfg.Tracer.StartSpan(nil, "dfg_load").WithStr("kernel", cb.Kernel)
+	g := kernels.MustLoad(cb.Kernel)
+	sp.WithInt("nodes", int64(g.NumNodes())).End()
+	return RunDFG(mapper, g, cb.Arch, cfg)
 }
 
 // RunDFG maps an arbitrary DFG (not necessarily a registry kernel) on an
@@ -119,14 +136,17 @@ func RunDFG(mapper string, g *dfg.Graph, a *arch.CGRA, cfg Config) (*mapping.Map
 	case "Rewire":
 		return core.Map(g, a, core.Options{
 			Seed: cfg.Seed, MaxII: cfg.MaxII, TimePerII: cfg.TimePerII,
+			Tracer: cfg.Tracer,
 		})
 	case "PF*":
 		return pathfinder.Map(g, a, pathfinder.Options{
 			Seed: cfg.Seed, MaxII: cfg.MaxII, TimePerII: cfg.TimePerII,
+			Tracer: cfg.Tracer,
 		})
 	case "SA":
 		return sa.Map(g, a, sa.Options{
 			Seed: cfg.Seed, MaxII: cfg.MaxII, TimePerII: cfg.TimePerII,
+			Tracer: cfg.Tracer,
 		})
 	default:
 		panic("eval: unknown mapper " + mapper)
@@ -188,7 +208,7 @@ func RunCombos(cfg Config, combos []Combo) *Results {
 	if jobs <= 1 {
 		// Serial path: identical to the historical harness, line for line.
 		for i, t := range tasks {
-			_, res := Run(t.mapper, t.cb, cfg)
+			res := runOne(t.mapper, t.cb, cfg)
 			results[i] = res
 			if cfg.Verbose {
 				fmt.Fprintln(cfg.Out, res)
@@ -211,8 +231,7 @@ func RunCombos(cfg Config, combos []Combo) *Results {
 					if i >= len(tasks) {
 						return
 					}
-					_, res := Run(tasks[i].mapper, tasks[i].cb, cfg)
-					ch <- done{i: i, res: res}
+					ch <- done{i: i, res: runOne(tasks[i].mapper, tasks[i].cb, cfg)}
 				}
 			}()
 		}
@@ -241,6 +260,73 @@ func RunCombos(cfg Config, combos []Combo) *Results {
 	}
 	out.Elapsed = time.Since(start)
 	return out
+}
+
+// runOne executes one mapper run for RunCombos. With Config.TraceDir set
+// the run gets a private tracer whose spans and counters are exported to
+// a pair of files named after the run; otherwise the shared Config.Tracer
+// (usually nil) is used as-is. Export failures are reported on stderr —
+// never on Config.Out, which the in-order flush owns.
+func runOne(mapper string, cb Combo, cfg Config) stats.Result {
+	if cfg.TraceDir == "" {
+		_, res := Run(mapper, cb, cfg)
+		return res
+	}
+	tr := trace.New()
+	cfg.Tracer = tr
+	_, res := Run(mapper, cb, cfg)
+	if err := exportTrace(tr, cfg.TraceDir, mapper, cb); err != nil {
+		fmt.Fprintf(os.Stderr, "eval: trace export for %s on %s: %v\n", mapper, comboKey(cb), err)
+	}
+	return res
+}
+
+// exportTrace writes one run's tracer as <base>.trace.json (Chrome
+// trace_event) and <base>.jsonl (structured) under dir.
+func exportTrace(tr *trace.Tracer, dir, mapper string, cb Combo) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	base := traceFileBase(mapper, cb)
+	chrome, err := os.Create(filepath.Join(dir, base+".trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(chrome); err != nil {
+		chrome.Close()
+		return err
+	}
+	if err := chrome.Close(); err != nil {
+		return err
+	}
+	jsonl, err := os.Create(filepath.Join(dir, base+".jsonl"))
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSONL(jsonl); err != nil {
+		jsonl.Close()
+		return err
+	}
+	return jsonl.Close()
+}
+
+// traceFileBase derives a filesystem-safe file stem from a run's
+// identity: "PF*" and "bicg(u)" carry characters that shells and some
+// filesystems dislike, so anything outside [A-Za-z0-9@._-] becomes '_'.
+func traceFileBase(mapper string, cb Combo) string {
+	return sanitizeFilename(mapper + "_" + comboKey(cb))
+}
+
+func sanitizeFilename(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '@', r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
 }
 
 // MIIOf computes the theoretical minimum II of a combo.

@@ -1,0 +1,115 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"rewire/internal/arch"
+	"rewire/internal/stats"
+)
+
+// The JSON form of a full evaluation. Runs are serialised in canonical
+// (combo, mapper) order with their eval-level mapper name spelled out,
+// so a decoded Results answers Get() exactly like the original — the
+// stats.Result.Mapper field alone is not enough ("Rewire(amend)" vs the
+// harness key "Rewire").
+type resultsJSON struct {
+	Combos  []comboJSON `json:"combos"`
+	Elapsed int64       `json:"elapsed_ns"`
+	Runs    []runJSON   `json:"runs"`
+}
+
+type comboJSON struct {
+	Kernel string `json:"kernel"`
+	Arch   string `json:"arch"`
+}
+
+type runJSON struct {
+	Mapper string       `json:"mapper"`
+	Kernel string       `json:"kernel"`
+	Arch   string       `json:"arch"`
+	Result stats.Result `json:"result"`
+}
+
+// WriteJSON serialises the full result set — combos, elapsed wall-clock,
+// every recorded run — as indented JSON.
+func (r *Results) WriteJSON(w io.Writer) error {
+	out := resultsJSON{Elapsed: int64(r.Elapsed)}
+	for _, cb := range r.Combos {
+		out.Combos = append(out.Combos, comboJSON{Kernel: cb.Kernel, Arch: cb.Arch.Name})
+		for _, mapper := range Mappers {
+			if res, ok := r.Get(mapper, cb); ok {
+				out.Runs = append(out.Runs, runJSON{
+					Mapper: mapper, Kernel: cb.Kernel, Arch: cb.Arch.Name, Result: res,
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ResultsFromJSON decodes a WriteJSON document back into a Results,
+// rebuilding each architecture from its "RxCrN" name (4x4 and 8x8 names
+// resolve to the paper presets with their memory configuration).
+func ResultsFromJSON(data []byte) (*Results, error) {
+	var in resultsJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("eval: decode results: %w", err)
+	}
+	archs := map[string]*arch.CGRA{}
+	lookup := func(name string) (*arch.CGRA, error) {
+		if a, ok := archs[name]; ok {
+			return a, nil
+		}
+		a, err := archFromName(name)
+		if err != nil {
+			return nil, err
+		}
+		archs[name] = a
+		return a, nil
+	}
+	out := &Results{
+		ByRun:   make(map[string]stats.Result, len(in.Runs)),
+		Elapsed: time.Duration(in.Elapsed),
+	}
+	for _, cb := range in.Combos {
+		a, err := lookup(cb.Arch)
+		if err != nil {
+			return nil, err
+		}
+		out.Combos = append(out.Combos, Combo{Kernel: cb.Kernel, Arch: a})
+	}
+	for _, run := range in.Runs {
+		a, err := lookup(run.Arch)
+		if err != nil {
+			return nil, err
+		}
+		out.ByRun[runKey(run.Mapper, Combo{Kernel: run.Kernel, Arch: a})] = run.Result
+	}
+	return out, nil
+}
+
+// archFromName rebuilds an architecture from its canonical "RxCrN" name,
+// mirroring the grids rewire-map accepts: the 4x4/8x8 paper presets, and
+// the generic banks-on-the-outer-columns construction otherwise.
+func archFromName(name string) (*arch.CGRA, error) {
+	var rows, cols, regs int
+	if _, err := fmt.Sscanf(strings.ToLower(name), "%dx%dr%d", &rows, &cols, &regs); err != nil {
+		return nil, fmt.Errorf("eval: architecture name %q is not RxCrN: %v", name, err)
+	}
+	switch {
+	case rows == 4 && cols == 4:
+		return arch.New4x4(regs), nil
+	case rows == 8 && cols == 8:
+		return arch.New8x8(regs), nil
+	case cols > 4:
+		return arch.New(name, rows, cols, regs, rows, 0, cols-1), nil
+	default:
+		return arch.New(name, rows, cols, regs, 2, 0), nil
+	}
+}

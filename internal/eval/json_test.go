@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"rewire/internal/arch"
+	"rewire/internal/stats"
+)
+
+// WriteJSON → ResultsFromJSON must be lossless: same combos (by kernel
+// and architecture name), same per-run results, same Get() answers.
+func TestResultsJSONRoundTrip(t *testing.T) {
+	combos := []Combo{
+		{Kernel: "mvt", Arch: arch.New4x4(4)},
+		{Kernel: "bicg(u)", Arch: arch.New8x8(4)},
+	}
+	in := &Results{
+		Combos:  combos,
+		ByRun:   map[string]stats.Result{},
+		Elapsed: 1234 * time.Millisecond,
+	}
+	for i, cb := range combos {
+		for j, mapper := range Mappers {
+			in.ByRun[runKey(mapper, cb)] = stats.Result{
+				Mapper: mapper, Kernel: cb.Kernel, Arch: cb.Arch.Name,
+				Success: true, II: 3 + i, MII: 2,
+				RemapIterations: 10 * j, ClusterAmendments: i,
+				PlacementsTried: int64(100*i + j), VerifyAttempts: 7, VerifySuccesses: 6,
+				RouterExpansions: 9999, Duration: time.Duration(i+j) * time.Millisecond,
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	out, err := ResultsFromJSON(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ResultsFromJSON: %v", err)
+	}
+
+	if out.Elapsed != in.Elapsed {
+		t.Errorf("Elapsed = %v, want %v", out.Elapsed, in.Elapsed)
+	}
+	if len(out.Combos) != len(in.Combos) {
+		t.Fatalf("got %d combos, want %d", len(out.Combos), len(in.Combos))
+	}
+	for i, cb := range out.Combos {
+		if cb.Kernel != in.Combos[i].Kernel || cb.Arch.Name != in.Combos[i].Arch.Name {
+			t.Errorf("combo %d = %s@%s, want %s@%s",
+				i, cb.Kernel, cb.Arch.Name, in.Combos[i].Kernel, in.Combos[i].Arch.Name)
+		}
+	}
+	if !reflect.DeepEqual(out.ByRun, in.ByRun) {
+		t.Errorf("ByRun differs after round trip:\n got %+v\nwant %+v", out.ByRun, in.ByRun)
+	}
+	// The decoded architectures must be full presets, usable by reports.
+	for _, cb := range out.Combos {
+		res, ok := out.Get("Rewire", cb)
+		if !ok || !res.Success {
+			t.Errorf("Get(Rewire, %s@%s) lost the result", cb.Kernel, cb.Arch.Name)
+		}
+		if cb.Arch.NumMemPEs() == 0 {
+			t.Errorf("rebuilt arch %s has no memory PEs", cb.Arch.Name)
+		}
+	}
+}
+
+func TestResultsFromJSONRejectsGarbage(t *testing.T) {
+	if _, err := ResultsFromJSON([]byte("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := ResultsFromJSON([]byte(`{"combos":[{"kernel":"x","arch":"weird"}]}`)); err == nil {
+		t.Error("unparseable architecture name accepted")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"rewire/internal/placer"
 	"rewire/internal/route"
 	"rewire/internal/stats"
+	"rewire/internal/trace"
 )
 
 // Options tunes the mapper. Zero values select the defaults.
@@ -47,6 +48,11 @@ type Options struct {
 	// initial-mapping phase uses a narrow beam instead, since amendment
 	// only needs a rough starting point.
 	CandidateBeam int
+
+	// Tracer receives phase spans and work counters for the run (see
+	// internal/trace and docs/OBSERVABILITY.md). nil disables tracing at
+	// ~zero hot-path cost.
+	Tracer *trace.Tracer
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -71,20 +77,33 @@ func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Resul
 	start := time.Now()
 	rng := rand.New(rand.NewSource(opt.Seed))
 
+	tr := opt.Tracer
+	root := tr.StartSpan(nil, "pf.map").
+		WithStr("kernel", g.Name).WithStr("arch", a.Name).WithInt("mii", int64(res.MII))
+	defer root.End()
+
 	totalRemaps := 0
 	iisExplored := 0
 	for ii := res.MII; ii <= opt.MaxII; ii++ {
 		iisExplored++
+		iiSpan := tr.StartSpan(root, "ii").WithInt("ii", int64(ii))
+		ms := tr.StartSpan(iiSpan, "mrrg_build")
 		p := newPerII(g, a, ii, rng, &res)
+		ms.End()
 		p.beam = opt.CandidateBeam
+		p.instrument(tr, iiSpan)
 		ok := p.run(opt)
 		totalRemaps += p.remaps
+		// Each II owns a fresh router; accumulate its work win or lose so
+		// RouterExpansions reflects the whole sweep, not the last II.
+		res.RouterExpansions += p.router.Expansions
+		p.ctr.routerExpansions.Add(p.router.Expansions)
+		iiSpan.WithBool("ok", ok).WithInt("remaps", int64(p.remaps)).End()
 		if ok {
 			res.Success = true
 			res.II = ii
 			res.Duration = time.Since(start)
 			res.RemapIterations = totalRemaps / iisExplored
-			res.RouterExpansions = p.router.Expansions
 			finalize(p.sess.M, &res)
 			return p.sess.M, res
 		}
@@ -110,10 +129,24 @@ func finalize(m *mapping.Mapping, res *stats.Result) {
 // only needs a rough starting point, not PF*'s exhaustive per-node
 // candidate evaluation.
 func BuildInitial(m *mapping.Mapping, seed int64, res *stats.Result) (*mapping.Session, *route.Router) {
+	return BuildInitialTraced(m, seed, res, nil, nil)
+}
+
+// BuildInitialTraced is BuildInitial with the initial-mapping phase
+// recorded under parent: an initial_mapping span wrapping mrrg_build and
+// initial_placement child spans. A nil tracer is the untraced path.
+func BuildInitialTraced(m *mapping.Mapping, seed int64, res *stats.Result, tr *trace.Tracer, parent *trace.Span) (*mapping.Session, *route.Router) {
 	rng := rand.New(rand.NewSource(seed))
+	sp := tr.StartSpan(parent, "initial_mapping").WithInt("seed", seed)
+	ms := tr.StartSpan(sp, "mrrg_build")
 	p := newPerII(m.DFG, m.Arch, m.II, rng, res)
+	ms.End()
 	p.beam = 8
+	p.instrument(tr, sp)
+	ps := tr.StartSpan(sp, "initial_placement")
 	p.initialPlacement(time.Now().Add(time.Minute))
+	ps.End()
+	sp.End()
 	return p.sess, p.router
 }
 
@@ -129,6 +162,33 @@ type perII struct {
 	asap   []int
 	remaps int
 	beam   int // candidates fully routed per placement; 0 = all
+
+	tr   *trace.Tracer
+	span *trace.Span // parent for this II's phase spans
+	ctr  pfCounters
+}
+
+// pfCounters caches the tracer's metric handles (nil when disabled; all
+// methods are nil-safe no-ops then). Names are shared with the other
+// mappers so one traced run aggregates coherently.
+type pfCounters struct {
+	placementsTried  *trace.Counter
+	routerExpansions *trace.Counter
+	remaps           *trace.Counter
+}
+
+// instrument attaches the tracer to this II's state. A nil tracer
+// leaves everything nil — the untraced fast path.
+func (p *perII) instrument(tr *trace.Tracer, span *trace.Span) {
+	p.tr, p.span = tr, span
+	p.router.Instrument(tr)
+	if tr.Enabled() {
+		p.ctr = pfCounters{
+			placementsTried:  tr.Counter("placements.tried"),
+			routerExpansions: tr.Counter("router.expansions"),
+			remaps:           tr.Counter("pf.remaps"),
+		}
+	}
 }
 
 func newPerII(g *dfg.Graph, a *arch.CGRA, ii int, rng *rand.Rand, res *stats.Result) *perII {
@@ -170,7 +230,11 @@ func (p *perII) cost(net mrrg.Net) route.CostFn {
 
 func (p *perII) run(opt Options) bool {
 	deadline := time.Now().Add(opt.TimePerII)
+	is := p.tr.StartSpan(p.span, "initial_placement")
 	p.initialPlacement(deadline)
+	is.End()
+	rs := p.tr.StartSpan(p.span, "remap_loop")
+	defer func() { rs.WithInt("remaps", int64(p.remaps)).End() }()
 	for p.remaps < opt.RemapsPerII && time.Now().Before(deadline) {
 		ill := p.sess.IllMapped()
 		if len(ill) == 0 {
@@ -178,6 +242,7 @@ func (p *perII) run(opt Options) bool {
 		}
 		v := ill[p.rng.Intn(len(ill))]
 		p.remaps++
+		p.ctr.remaps.Add(1)
 		p.ripWithHistory(v)
 		if !p.placeNode(v, p.beam) {
 			// Could not even place: evict a random placed node to open
@@ -239,6 +304,7 @@ func (p *perII) placeNode(v int, beam int) bool {
 	bestFull := outcome{cost: int(^uint(0) >> 1), ok: false}
 	for _, c := range cands[:beam] {
 		p.res.PlacementsTried++
+		p.ctr.placementsTried.Add(1)
 		if err := p.sess.PlaceNode(v, c.pl.PE, c.pl.Time); err != nil {
 			continue
 		}

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"rewire/internal/mrrg"
+	"rewire/internal/trace"
 )
 
 // CostFn prices using resource n at the given phase for the net being
@@ -68,6 +69,11 @@ type Router struct {
 	// Expansions counts states popped from the queue across all calls;
 	// the evaluation uses it as a hardware-independent work measure.
 	Expansions int64
+
+	// calls/found are tracer counters attached by Instrument; nil (the
+	// default) makes FindPath's bookkeeping a pointer-check no-op.
+	calls *trace.Counter
+	found *trace.Counter
 }
 
 // maxRetainedPQ bounds the queue capacity a Router keeps between calls.
@@ -97,6 +103,19 @@ func NewRouter(g *mrrg.Graph, maxLat int) *Router {
 
 // MaxLat returns the largest latency this router accepts.
 func (r *Router) MaxLat() int { return r.maxLat }
+
+// Instrument attaches per-call tracer counters (route.findpath.calls,
+// route.findpath.found) to this router. The cost when attached is one
+// atomic add per FindPath call — never per queue pop; the PQ-pop total
+// stays in Expansions, which mappers fold into "router.expansions" at
+// attempt boundaries. A nil tracer leaves the router uninstrumented.
+func (r *Router) Instrument(tr *trace.Tracer) {
+	if !tr.Enabled() {
+		return
+	}
+	r.calls = tr.Counter("route.findpath.calls")
+	r.found = tr.Counter("route.findpath.found")
+}
 
 // DefaultMaxLat is a reasonable routing-latency bound for an
 // architecture at a given II: wandering longer than two full IIs plus
@@ -186,6 +205,7 @@ func bumpEpoch(e *int32, stamps []int32) int32 {
 // up to three increasingly constrained retries look for a simple
 // alternative.
 func (r *Router) FindPath(src, dst mrrg.Node, lat int, cost CostFn) (path []mrrg.Node, ok bool) {
+	r.calls.Add(1)
 	if lat < 1 || lat > r.maxLat {
 		return nil, false
 	}
@@ -204,6 +224,7 @@ func (r *Router) FindPath(src, dst mrrg.Node, lat int, cost CostFn) (path []mrrg
 			r.banStamp[dup] = ban
 			continue
 		}
+		r.found.Add(1)
 		return p, true
 	}
 	return nil, false

@@ -23,6 +23,7 @@ import (
 	"rewire/internal/placer"
 	"rewire/internal/route"
 	"rewire/internal/stats"
+	"rewire/internal/trace"
 )
 
 // Options tunes the annealer. Zero values select the defaults.
@@ -46,6 +47,11 @@ type Options struct {
 	// RouteEvery is how often (in moves) a full routing attempt is made
 	// when the placement estimate looks feasible (default 25).
 	RouteEvery int
+
+	// Tracer receives phase spans and work counters for the run (see
+	// internal/trace and docs/OBSERVABILITY.md). nil disables tracing at
+	// ~zero hot-path cost.
+	Tracer *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -81,15 +87,33 @@ func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Resul
 	start := time.Now()
 	rng := rand.New(rand.NewSource(opt.Seed))
 
+	tr := opt.Tracer
+	ctr := newCounters(tr)
+	root := tr.StartSpan(nil, "sa.map").
+		WithStr("kernel", g.Name).WithStr("arch", a.Name).WithInt("mii", int64(res.MII))
+	defer root.End()
+
 	totalMoves := 0
 	iisExplored := 0
 	for ii := res.MII; ii <= opt.MaxII; ii++ {
 		iisExplored++
 		deadline := time.Now().Add(opt.TimePerII)
+		iiSpan := tr.StartSpan(root, "ii").WithInt("ii", int64(ii))
 		for restart := 0; restart < opt.Restarts && time.Now().Before(deadline); restart++ {
+			rSpan := tr.StartSpan(iiSpan, "anneal").WithInt("restart", int64(restart))
+			ms := tr.StartSpan(rSpan, "mrrg_build")
 			an := newAnnealer(g, a, ii, rng, &res)
+			ms.End()
+			an.tr, an.span, an.ctr = tr, rSpan, ctr
+			an.router.Instrument(tr)
 			ok := an.run(opt, deadline)
 			totalMoves += an.moves
+			ctr.moves.Add(int64(an.moves))
+			// Each restart owns a fresh router; fold its work in win or
+			// lose so RouterExpansions covers the whole search.
+			res.RouterExpansions += an.router.Expansions
+			ctr.routerExpansions.Add(an.router.Expansions)
+			rSpan.WithBool("ok", ok).WithInt("moves", int64(an.moves)).End()
 			if !ok {
 				continue
 			}
@@ -97,12 +121,13 @@ func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Resul
 			res.II = ii
 			res.Duration = time.Since(start)
 			res.RemapIterations = totalMoves / iisExplored
-			res.RouterExpansions = an.router.Expansions
 			if err := mapping.Validate(an.sess.M); err != nil {
 				panic("sa: produced invalid mapping: " + err.Error())
 			}
+			iiSpan.WithBool("ok", true).End()
 			return an.sess.M, res
 		}
+		iiSpan.WithBool("ok", false).End()
 	}
 	res.Duration = time.Since(start)
 	if iisExplored > 0 {
@@ -120,6 +145,29 @@ type annealer struct {
 	asap   []int
 	slack  int
 	moves  int
+
+	tr   *trace.Tracer
+	span *trace.Span // this restart's anneal span
+	ctr  saCounters
+}
+
+// saCounters caches the tracer's metric handles (nil-safe no-ops when
+// tracing is disabled). Names are shared with the other mappers.
+type saCounters struct {
+	placementsTried  *trace.Counter
+	routerExpansions *trace.Counter
+	moves            *trace.Counter
+}
+
+func newCounters(tr *trace.Tracer) saCounters {
+	if !tr.Enabled() {
+		return saCounters{}
+	}
+	return saCounters{
+		placementsTried:  tr.Counter("placements.tried"),
+		routerExpansions: tr.Counter("router.expansions"),
+		moves:            tr.Counter("sa.moves"),
+	}
 }
 
 func newAnnealer(g *dfg.Graph, a *arch.CGRA, ii int, rng *rand.Rand, res *stats.Result) *annealer {
@@ -262,6 +310,7 @@ func (an *annealer) initialRandom() {
 		}
 		pl := cands[an.rng.Intn(len(cands))]
 		an.res.PlacementsTried++
+		an.ctr.placementsTried.Add(1)
 		_ = an.sess.PlaceNode(v, pl.PE, pl.Time)
 	}
 }
@@ -295,6 +344,7 @@ func (an *annealer) relocateMove(v int) (int, func()) {
 		if cands := placer.Candidates(an.sess, v, w); len(cands) > 0 {
 			pl := cands[an.rng.Intn(len(cands))]
 			an.res.PlacementsTried++
+			an.ctr.placementsTried.Add(1)
 			_ = an.sess.PlaceNode(v, pl.PE, pl.Time)
 		}
 	}
@@ -321,6 +371,7 @@ func (an *annealer) swapMove(v int) (int, func()) {
 	an.sess.UnplaceNode(v)
 	an.sess.UnplaceNode(u)
 	an.res.PlacementsTried++
+	an.ctr.placementsTried.Add(1)
 	if an.sess.PlaceNode(v, pu.PE, pu.Time) != nil || an.sess.PlaceNode(u, pv.PE, pv.Time) != nil {
 		// Incompatible swap (memory rules or bank ports): undo outright.
 		an.forcePlaceBack(v, pv, u, pu)
@@ -351,7 +402,9 @@ func (an *annealer) forcePlaceBack(v int, pv mapping.Placement, u int, pu mappin
 
 // routeAll attempts a complete strict routing of the current placement;
 // on failure every route is ripped again and the annealing continues.
-func (an *annealer) routeAll() bool {
+func (an *annealer) routeAll() (ok bool) {
+	rs := an.tr.StartSpan(an.span, "route_all").WithInt("move", int64(an.moves))
+	defer func() { rs.WithBool("ok", ok).End() }()
 	if len(an.sess.M.UnplacedNodes()) > 0 {
 		return false
 	}

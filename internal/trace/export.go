@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// jsonlSpan is the JSONL span record.
+type jsonlSpan struct {
+	Type    string         `json:"type"` // "span"
+	ID      uint64         `json:"id"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	Lane    int            `json:"lane"`
+	StartUS float64        `json:"start_us"`
+	DurUS   float64        `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value()
+	}
+	return m
+}
+
+// WriteJSONL writes the trace as one JSON record per line: a meta
+// header, every completed span in start order, then counters and
+// histograms sorted by name. Every line is an independent JSON object,
+// so the stream is greppable and tail-safe.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("trace: cannot export a disabled (nil) tracer")
+	}
+	spans := t.Spans()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+
+	enc := json.NewEncoder(w)
+	meta := struct {
+		Type     string `json:"type"` // "meta"
+		Format   string `json:"format"`
+		Started  string `json:"started"`
+		Spans    int    `json:"spans"`
+		Counters int    `json:"counters"`
+	}{Type: "meta", Format: "rewire-trace-v1", Started: t.t0.Format(time.RFC3339Nano), Spans: len(spans)}
+
+	t.cmu.Lock()
+	meta.Counters = len(t.counters)
+	t.cmu.Unlock()
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+
+	for _, s := range spans {
+		rec := jsonlSpan{
+			Type: "span", ID: s.ID, Parent: s.Parent, Name: s.Name, Lane: s.Lane,
+			StartUS: micros(s.Start), DurUS: micros(s.Dur), Attrs: attrMap(s.Attrs),
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+
+	totals := t.CounterTotals()
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		rec := struct {
+			Type  string `json:"type"` // "counter"
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		}{Type: "counter", Name: n, Value: totals[n]}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+
+	hists := t.HistogramStats()
+	hnames := make([]string, 0, len(hists))
+	for n := range hists {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		rec := struct {
+			Type string `json:"type"` // "histogram"
+			Name string `json:"name"`
+			HistStats
+		}{Type: "histogram", Name: n, HistStats: hists[n]}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one Chrome trace_event record. Spans export as complete
+// ("X") events; counters as counter ("C") events sampled once at the end
+// of the trace (Perfetto renders them as counter tracks).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the trace in Chrome trace_event JSON format:
+// open the file in chrome://tracing or drag it into
+// https://ui.perfetto.dev. Span lanes become thread tracks, so nested
+// phases stack and parallel probe floods render side by side.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("trace: cannot export a disabled (nil) tracer")
+	}
+	spans := t.Spans()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+
+	const pid = 1
+	events := make([]chromeEvent, 0, len(spans)+8)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+		Args: map[string]any{"name": "rewire"},
+	})
+	var endTS time.Duration
+	for _, s := range spans {
+		if e := s.Start + s.Dur; e > endTS {
+			endTS = e
+		}
+		args := attrMap(s.Attrs)
+		if s.Parent != 0 {
+			if args == nil {
+				args = map[string]any{}
+			}
+			args["span_id"] = s.ID
+			args["parent_id"] = s.Parent
+		}
+		dur := micros(s.Dur)
+		if dur <= 0 {
+			dur = 0.001 // zero-width slices are dropped by some viewers
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Ph: "X", Ts: micros(s.Start), Dur: &dur,
+			Pid: pid, Tid: s.Lane + 1, Args: args,
+		})
+	}
+
+	totals := t.CounterTotals()
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		events = append(events, chromeEvent{
+			Name: n, Ph: "C", Ts: micros(endTS), Pid: pid, Tid: 0,
+			Args: map[string]any{"value": totals[n]},
+		})
+	}
+
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildTrace makes a small trace with nesting, concurrency, counters and
+// a histogram — enough structure to exercise both exporters.
+func buildTrace() *Tracer {
+	tr := New()
+	root := tr.StartSpan(nil, "rewire.map").WithStr("kernel", "fft")
+	prop := tr.StartSpan(root, "propagate")
+	p1 := tr.StartSpan(prop, "probe").WithInt("anchor", 3)
+	p2 := tr.StartSpan(prop, "probe").WithInt("anchor", 7)
+	p1.End()
+	p2.End()
+	prop.End()
+	gen := tr.StartSpan(root, "placement_enum")
+	gen.WithBool("ok", true).End()
+	root.End()
+	tr.Counter("router.expansions").Add(123)
+	tr.Counter("placements.tried").Add(45)
+	tr.Histogram("cluster.size").Observe(4)
+	return tr
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := buildTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var types []string
+	counters := map[string]int64{}
+	spanCount := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if !json.Valid(line) {
+			t.Fatalf("invalid JSON line: %s", line)
+		}
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatal(err)
+		}
+		typ, _ := rec["type"].(string)
+		if typ == "" {
+			t.Fatalf("line without type: %s", line)
+		}
+		types = append(types, typ)
+		switch typ {
+		case "span":
+			spanCount++
+			if rec["name"] == "" || rec["id"] == nil {
+				t.Errorf("span line missing fields: %s", line)
+			}
+			if rec["dur_us"].(float64) < 0 {
+				t.Errorf("negative duration: %s", line)
+			}
+		case "counter":
+			counters[rec["name"].(string)] = int64(rec["value"].(float64))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if types[0] != "meta" {
+		t.Errorf("first line type %q, want meta", types[0])
+	}
+	if spanCount != 5 {
+		t.Errorf("got %d span lines, want 5", spanCount)
+	}
+	if counters["router.expansions"] != 123 || counters["placements.tried"] != 45 {
+		t.Errorf("counter lines = %v", counters)
+	}
+	if !strings.Contains(strings.Join(types, ","), "histogram") {
+		t.Errorf("no histogram line in %v", types)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := buildTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var xEvents, cEvents int
+	tidOf := map[string][]int{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			xEvents++
+			if e.Dur <= 0 {
+				t.Errorf("X event %q has dur %v", e.Name, e.Dur)
+			}
+			if e.Tid < 1 {
+				t.Errorf("X event %q has tid %d", e.Name, e.Tid)
+			}
+			tidOf[e.Name] = append(tidOf[e.Name], e.Tid)
+		case "C":
+			cEvents++
+			if e.Args["value"] == nil {
+				t.Errorf("C event %q without value", e.Name)
+			}
+		}
+	}
+	if xEvents != 5 {
+		t.Errorf("got %d X events, want 5", xEvents)
+	}
+	if cEvents != 2 {
+		t.Errorf("got %d C events, want 2", cEvents)
+	}
+	// The two concurrent probes must land on distinct tracks.
+	if tids := tidOf["probe"]; len(tids) == 2 && tids[0] == tids[1] {
+		t.Errorf("concurrent probes share tid %d", tids[0])
+	}
+}
+
+func TestExportDisabledTracerFails(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err == nil {
+		t.Error("WriteJSONL on nil tracer did not error")
+	}
+	if err := tr.WriteChromeTrace(&buf); err == nil {
+		t.Error("WriteChromeTrace on nil tracer did not error")
+	}
+}

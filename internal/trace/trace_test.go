@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNestingAndLanes(t *testing.T) {
+	tr := New()
+	root := tr.StartSpan(nil, "root").WithStr("kernel", "fft")
+	child := tr.StartSpan(root, "child").WithInt("ii", 4)
+	grand := tr.StartSpan(child, "grand")
+	grand.End()
+	child.End()
+	sib := tr.StartSpan(root, "sibling").WithBool("ok", true)
+	sib.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["root"].Parent != 0 {
+		t.Errorf("root has parent %d, want 0", byName["root"].Parent)
+	}
+	if byName["child"].Parent != byName["root"].ID {
+		t.Errorf("child parent = %d, want root's id %d", byName["child"].Parent, byName["root"].ID)
+	}
+	if byName["grand"].Parent != byName["child"].ID {
+		t.Errorf("grand parent = %d, want child's id %d", byName["grand"].Parent, byName["child"].ID)
+	}
+	// Sequential spans all share the root's lane: nesting renders as a
+	// stack on one Chrome track.
+	for _, n := range []string{"child", "grand", "sibling"} {
+		if byName[n].Lane != byName["root"].Lane {
+			t.Errorf("%s on lane %d, want root's lane %d", n, byName[n].Lane, byName["root"].Lane)
+		}
+	}
+	// Every span nests inside its parent's interval.
+	for _, n := range []string{"child", "grand", "sibling"} {
+		s, p := byName[n], byName["root"]
+		if s.Start < p.Start || s.Start+s.Dur > p.Start+p.Dur {
+			t.Errorf("%s [%v,%v] outside root [%v,%v]", n, s.Start, s.Start+s.Dur, p.Start, p.Start+p.Dur)
+		}
+	}
+	if a := byName["root"].Attrs; len(a) != 1 || a[0].Key != "kernel" || a[0].Value() != "fft" {
+		t.Errorf("root attrs = %+v", a)
+	}
+}
+
+func TestConcurrentSiblingsGetDistinctLanes(t *testing.T) {
+	tr := New()
+	root := tr.StartSpan(nil, "root")
+	a := tr.StartSpan(root, "a")
+	b := tr.StartSpan(root, "b") // concurrent with a: must not share a's lane
+	if got := tr.Spans(); len(got) != 0 {
+		t.Fatalf("open spans exported early: %d", len(got))
+	}
+	b.End()
+	a.End()
+	root.End()
+	spans := tr.Spans()
+	lanes := map[string]int{}
+	for _, s := range spans {
+		lanes[s.Name] = s.Lane
+	}
+	if lanes["a"] == lanes["b"] {
+		t.Errorf("concurrent siblings share lane %d", lanes["a"])
+	}
+	if lanes["a"] != lanes["root"] && lanes["b"] != lanes["root"] {
+		t.Errorf("neither sibling reused the parent lane: a=%d b=%d root=%d",
+			lanes["a"], lanes["b"], lanes["root"])
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	tr := New()
+	root := tr.StartSpan(nil, "root")
+	c := tr.Counter("work")
+	h := tr.Histogram("sizes")
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s := tr.StartSpan(root, "probe").WithInt("i", int64(i))
+				c.Add(1)
+				h.Observe(int64(i % 17))
+				s.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if got := len(tr.Spans()); got != workers*per+1 {
+		t.Errorf("got %d spans, want %d", got, workers*per+1)
+	}
+	if got := tr.CounterTotals()["work"]; got != workers*per {
+		t.Errorf("counter total %d, want %d", got, workers*per)
+	}
+	hs := tr.HistogramStats()["sizes"]
+	if hs.Count != workers*per {
+		t.Errorf("histogram count %d, want %d", hs.Count, workers*per)
+	}
+	if hs.Min != 0 || hs.Max != 16 {
+		t.Errorf("histogram min/max = %d/%d, want 0/16", hs.Min, hs.Max)
+	}
+}
+
+func TestDisabledTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := tr.StartSpan(nil, "x").WithInt("k", 1).WithStr("s", "v").WithBool("b", true)
+		child := tr.StartSpan(s, "y")
+		child.End()
+		s.End()
+		tr.Counter("c").Add(1)
+		tr.Histogram("h").Observe(7)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracer allocates %.1f allocs/op, want 0", allocs)
+	}
+	if tr.Enabled() {
+		t.Error("nil tracer reports Enabled")
+	}
+	if tr.CounterTotals() != nil || tr.HistogramStats() != nil || tr.Spans() != nil {
+		t.Error("nil tracer exports non-nil snapshots")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	tr := New()
+	h := tr.Histogram("h")
+	for _, v := range []int64{0, 1, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	st := tr.HistogramStats()["h"]
+	if st.Count != 6 || st.Sum != 110 || st.Min != 0 || st.Max != 100 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Mean < 18.3 || st.Mean > 18.4 {
+		t.Errorf("mean = %v", st.Mean)
+	}
+}
+
+func TestSpanDurations(t *testing.T) {
+	tr := New()
+	s := tr.StartSpan(nil, "sleep")
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].Dur < 2*time.Millisecond {
+		t.Errorf("duration %v < slept 2ms", spans[0].Dur)
+	}
+}
+
+// BenchmarkTracerDisabled pins the disabled-tracer guard path: the whole
+// instrumented sequence must be allocation-free when the tracer is nil.
+func BenchmarkTracerDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.StartSpan(nil, "phase").WithInt("ii", 4)
+		tr.Counter("router.expansions").Add(17)
+		tr.Histogram("cluster.size").Observe(5)
+		s.WithBool("ok", true).End()
+	}
+}
+
+// BenchmarkTracerEnabled measures the enabled cost per span (for the
+// overhead table in docs/OBSERVABILITY.md; not a regression gate).
+func BenchmarkTracerEnabled(b *testing.B) {
+	tr := New()
+	c := tr.Counter("router.expansions")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.StartSpan(nil, "phase").WithInt("ii", 4)
+		c.Add(17)
+		s.End()
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"rewire/internal/sa"
 	"rewire/internal/sim"
 	"rewire/internal/stats"
+	"rewire/internal/trace"
 	"rewire/internal/viz"
 )
 
@@ -57,7 +58,16 @@ type (
 	Trace = interp.Trace
 	// EnergyReport is a per-iteration activity and energy estimate.
 	EnergyReport = power.Report
+	// Tracer collects hierarchical phase spans, counters and histograms
+	// from a mapping run. A nil *Tracer is the disabled tracer: every
+	// method is a no-op costing one pointer check, so instrumented code
+	// needs no guards. Export with WriteChromeTrace (Perfetto-loadable)
+	// or WriteJSONL. See docs/OBSERVABILITY.md.
+	Tracer = trace.Tracer
 )
+
+// NewTracer returns an enabled tracer to pass in Options.Tracer.
+func NewTracer() *Tracer { return trace.New() }
 
 // MapperName selects which mapping algorithm Map uses.
 type MapperName string
@@ -80,6 +90,10 @@ type Options struct {
 	TimePerII time.Duration
 	// MaxII caps the initiation-interval sweep (default 32).
 	MaxII int
+	// Tracer, when non-nil, records phase spans and counters for the run
+	// (see NewTracer). Nil — the default — costs one pointer check per
+	// instrumentation point.
+	Tracer *Tracer
 }
 
 // New4x4 builds the paper's 4x4 CGRA preset with the given register-file
@@ -134,14 +148,17 @@ func Map(g *DFG, cgra *CGRA, opt Options) (*Mapping, Result, error) {
 	case MapperRewire, "":
 		m, res = core.Map(g, cgra, core.Options{
 			Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
+			Tracer: opt.Tracer,
 		})
 	case MapperPathFinder:
 		m, res = pathfinder.Map(g, cgra, pathfinder.Options{
 			Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
+			Tracer: opt.Tracer,
 		})
 	case MapperSA:
 		m, res = sa.Map(g, cgra, sa.Options{
 			Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
+			Tracer: opt.Tracer,
 		})
 	default:
 		return nil, res, fmt.Errorf("rewire: unknown mapper %q", opt.Mapper)
@@ -188,6 +205,7 @@ func RenderUtilisation(m *Mapping) (string, error) { return viz.Utilisation(m) }
 func Amend(m *Mapping, opt Options) (*Mapping, Result, error) {
 	return core.Amend(m, core.Options{
 		Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
+		Tracer: opt.Tracer,
 	})
 }
 

@@ -1,0 +1,136 @@
+// Command tracecheck validates trace files emitted by the mapping
+// pipeline: Chrome trace_event documents (*.trace.json, the format
+// Perfetto and chrome://tracing load) and structured JSONL traces
+// (*.jsonl). CI runs it over a small traced mapping so a malformed
+// exporter fails the build rather than the first person opening a trace.
+//
+// Usage:
+//
+//	tracecheck file.trace.json file.jsonl ...
+//
+// The format is picked per file by suffix (.jsonl vs anything else =
+// Chrome). Exit status is non-zero if any file is invalid.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace files...>")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		var err error
+		if strings.HasSuffix(path, ".jsonl") {
+			err = checkJSONL(path)
+		} else {
+			err = checkChrome(path)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("tracecheck: %s ok\n", path)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+// checkChrome verifies a Chrome trace_event JSON object: it parses, has
+// events, and contains at least one complete ("X") span with a name and
+// non-negative duration.
+func checkChrome(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			Name string  `json:"name"`
+			Dur  float64 `json:"dur"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("invalid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("no trace events")
+	}
+	spans := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Name == "" {
+			return fmt.Errorf("complete event with empty name at ts=%v", ev.Ts)
+		}
+		if ev.Dur < 0 {
+			return fmt.Errorf("span %q has negative duration %v", ev.Name, ev.Dur)
+		}
+		spans++
+	}
+	if spans == 0 {
+		return fmt.Errorf("no complete (ph=X) span events")
+	}
+	fmt.Printf("tracecheck: %s: %d events, %d spans\n", path, len(doc.TraceEvents), spans)
+	return nil
+}
+
+// checkJSONL verifies a structured JSONL trace: every line is valid
+// JSON, the first line is the rewire-trace-v1 meta record, and at least
+// one span line follows.
+func checkJSONL(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line, spans := 0, 0
+	for sc.Scan() {
+		line++
+		var rec struct {
+			Type   string `json:"type"`
+			Format string `json:"format"`
+			Name   string `json:"name"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("line %d: invalid JSON: %w", line, err)
+		}
+		if line == 1 {
+			if rec.Type != "meta" || rec.Format != "rewire-trace-v1" {
+				return fmt.Errorf("line 1 is not a rewire-trace-v1 meta record")
+			}
+			continue
+		}
+		if rec.Type == "span" {
+			if rec.Name == "" {
+				return fmt.Errorf("line %d: span without a name", line)
+			}
+			spans++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if line == 0 {
+		return fmt.Errorf("empty file")
+	}
+	if spans == 0 {
+		return fmt.Errorf("no span records")
+	}
+	fmt.Printf("tracecheck: %s: %d lines, %d spans\n", path, line, spans)
+	return nil
+}
