@@ -24,7 +24,12 @@ import (
 	"time"
 
 	"rewire/internal/eval"
+	"rewire/internal/obs"
 )
+
+// log writes structured diagnostics to stderr; the result tables on
+// stdout are untouched. Replaced in main once the flags are parsed.
+var log = obs.Default()
 
 func main() {
 	var (
@@ -42,8 +47,18 @@ func main() {
 		traceDir   = flag.String("trace-dir", "", "write one Chrome trace + JSONL trace per mapper run into this directory")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole evaluation to this path (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this path (go tool pprof)")
+
+		logLevel  = flag.String("log-level", "info", "stderr log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "stderr log format: text or json")
 	)
 	flag.Parse()
+
+	lg, lerr := obs.Setup(os.Stderr, *logLevel, *logFormat)
+	if lerr != nil {
+		log.Error("bad logging flags", "err", lerr)
+		os.Exit(2)
+	}
+	log = lg
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -64,6 +79,7 @@ func main() {
 		Verbose:   !*quiet,
 		Out:       os.Stdout,
 		TraceDir:  *traceDir,
+		Logger:    log,
 	}
 	if *scaling {
 		eval.Scaling(cfg, os.Stdout)
@@ -110,7 +126,7 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "rewire-experiments: %v\n", err)
+	log.Error("fatal", "err", err)
 	os.Exit(1)
 }
 

@@ -18,7 +18,12 @@ import (
 	"time"
 
 	"rewire"
+	"rewire/internal/obs"
 )
+
+// log writes structured diagnostics to stderr; stdout stays reserved
+// for the mapping report. Replaced in main once the flags are parsed.
+var log = obs.Default()
 
 func main() {
 	var (
@@ -39,8 +44,18 @@ func main() {
 		traceJSONL = flag.String("trace-jsonl", "", "write the structured JSONL trace (spans, counters, histograms) to this path")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path (inspect with: go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this path (inspect with: go tool pprof)")
+
+		logLevel  = flag.String("log-level", "info", "stderr log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "stderr log format: text or json")
 	)
 	flag.Parse()
+
+	lg, lerr := rewire.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if lerr != nil {
+		log.Error("bad logging flags", "err", lerr)
+		os.Exit(2)
+	}
+	log = lg
 
 	if *list {
 		for _, n := range rewire.Kernels() {
@@ -94,6 +109,7 @@ func main() {
 		TimePerII: *budget,
 		MaxII:     *maxII,
 		Tracer:    tr,
+		Logger:    log,
 	})
 	// Profiles and traces are written before the success check: a failed
 	// mapping run is exactly the one worth profiling.
@@ -206,6 +222,6 @@ func writeTrace(tr *rewire.Tracer, chromePath, jsonlPath string) {
 }
 
 func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "rewire-map: "+format+"\n", args...)
+	log.Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

@@ -1,0 +1,69 @@
+// Command rewire-serve is the online mapping daemon: it serves CGRA
+// mapping requests over HTTP with a bounded worker pool, and exposes
+// the telemetry a production deployment scrapes and alerts on —
+// Prometheus metrics (request rates, latency and mapping-quality
+// distributions, plus every offline trace counter folded per run),
+// structured per-request logs tied to run IDs, pprof endpoints, and a
+// flight recorder holding the last N runs with downloadable Chrome
+// traces.
+//
+// Usage:
+//
+//	rewire-serve -addr :8080 -workers 8 -log-format json
+//
+// Endpoints:
+//
+//	POST /map              map a kernel (JSON in/out; see docs/OBSERVABILITY.md)
+//	GET  /metrics          Prometheus text exposition (v0.0.4)
+//	GET  /healthz          liveness
+//	GET  /readyz           readiness (200 after kernel warmup)
+//	GET  /runs             flight recorder: last N run summaries, newest first
+//	GET  /runs/{id}/trace  one recorded run's Chrome trace (Perfetto-loadable)
+//	GET  /debug/pprof/     CPU/heap/goroutine profiles (go tool pprof)
+package main
+
+import (
+	"flag"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"rewire/internal/obs"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", runtime.NumCPU(), "concurrent mapping runs (further requests queue)")
+		timeout   = flag.Duration("request-timeout", 60*time.Second, "per-request wall-clock bound, queue wait included")
+		maxTPI    = flag.Duration("max-time-per-ii", 10*time.Second, "largest per-II budget a request may ask for")
+		maxII     = flag.Int("max-ii", 32, "largest II bound a request may ask for")
+		flight    = flag.Int("flight", 64, "flight recorder size (last N runs kept with traces)")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
+	)
+	flag.Parse()
+
+	lg, err := obs.Setup(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		obs.Default().Error("bad logging flags", "err", err)
+		os.Exit(2)
+	}
+
+	s := newServer(serverConfig{
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+		MaxTimePerII:   *maxTPI,
+		MaxII:          *maxII,
+		FlightSize:     *flight,
+	}, lg)
+	go s.warmup()
+
+	lg.Info("rewire-serve listening", "addr", *addr, "workers", s.cfg.Workers,
+		"request_timeout", timeout.String(), "flight_size", s.cfg.FlightSize)
+	if err := http.ListenAndServe(*addr, s.mux()); err != nil {
+		lg.Error("server exited", "err", err)
+		os.Exit(1)
+	}
+}

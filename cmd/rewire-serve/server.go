@@ -1,0 +1,566 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rewire"
+	"rewire/internal/metrics"
+	"rewire/internal/obs"
+	"rewire/internal/trace"
+)
+
+// serverConfig sizes the daemon.
+type serverConfig struct {
+	// Workers bounds how many mapping runs execute concurrently; further
+	// requests queue on the semaphore until a slot frees or their
+	// timeout expires. The same fixed-pool discipline as the PR 1
+	// evaluation harness (eval.RunCombos), applied to request traffic.
+	Workers int
+	// RequestTimeout bounds one request's total wall-clock, queue wait
+	// included.
+	RequestTimeout time.Duration
+	// MaxTimePerII / MaxII cap what a request may ask for, so a single
+	// client cannot park a worker on an hour-long sweep.
+	MaxTimePerII time.Duration
+	MaxII        int
+	// FlightSize is the flight recorder's ring capacity.
+	FlightSize int
+}
+
+func (c serverConfig) withDefaults() serverConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxTimePerII <= 0 {
+		c.MaxTimePerII = 10 * time.Second
+	}
+	if c.MaxII <= 0 {
+		c.MaxII = 32
+	}
+	if c.FlightSize <= 0 {
+		c.FlightSize = 64
+	}
+	return c
+}
+
+// server is the mapping daemon: a bounded worker pool around the
+// mapping engine, a metrics registry every run folds into, a flight
+// recorder of recent runs, and the HTTP surface over all of it.
+type server struct {
+	cfg    serverConfig
+	lg     *obs.Logger
+	reg    *metrics.Registry
+	sem    chan struct{} // worker-pool slots
+	flight *flightRecorder
+	ready  atomic.Bool
+	start  time.Time
+
+	mReqs     *metrics.CounterVec // rewire_map_requests_total{mapper,outcome}
+	mInflight *metrics.Gauge      // rewire_serve_inflight_requests
+	mQueued   *metrics.Gauge      // rewire_serve_queued_requests
+	mDur      *metrics.HistogramVec
+	mQueueDur *metrics.Histogram
+	mII       *metrics.HistogramVec
+	mSlack    *metrics.HistogramVec
+	mAmend    *metrics.HistogramVec
+	mUptime   *metrics.Gauge
+	mGoros    *metrics.Gauge
+	mHeap     *metrics.Gauge
+}
+
+func newServer(cfg serverConfig, lg *obs.Logger) *server {
+	cfg = cfg.withDefaults()
+	reg := metrics.NewRegistry()
+	s := &server{
+		cfg:    cfg,
+		lg:     lg,
+		reg:    reg,
+		sem:    make(chan struct{}, cfg.Workers),
+		flight: newFlightRecorder(cfg.FlightSize),
+		start:  time.Now(),
+
+		mReqs: reg.NewCounterVec("rewire_map_requests_total",
+			"POST /map requests by mapper and outcome (ok, failed, invalid, timeout, overload).",
+			"mapper", "outcome"),
+		mInflight: reg.NewGauge("rewire_serve_inflight_requests",
+			"Mapping runs currently executing on the worker pool."),
+		mQueued: reg.NewGauge("rewire_serve_queued_requests",
+			"Requests waiting for a worker-pool slot."),
+		mDur: reg.NewHistogramVec("rewire_map_duration_seconds",
+			"Wall-clock time of one mapping run.", metrics.DefBuckets, "mapper"),
+		mQueueDur: reg.NewHistogram("rewire_serve_queue_wait_seconds",
+			"Time requests spent waiting for a worker-pool slot.", metrics.DefBuckets),
+		mII: reg.NewHistogramVec("rewire_map_ii_units",
+			"Achieved initiation interval of successful mappings.", metrics.Pow2Buckets(8), "mapper"),
+		mSlack: reg.NewHistogramVec("rewire_map_ii_slack_units",
+			"Achieved II minus the theoretical MII (0 = optimal).", metrics.Pow2Buckets(6), "mapper"),
+		mAmend: reg.NewHistogramVec("rewire_map_amendment_rounds_units",
+			"Cluster amendment rounds per run (Rewire's remapping analogue).", metrics.Pow2Buckets(10), "mapper"),
+		mUptime: reg.NewGauge("rewire_process_uptime_seconds",
+			"Seconds since the daemon started."),
+		mGoros: reg.NewGauge("rewire_process_goroutines_units",
+			"Live goroutines."),
+		mHeap: reg.NewGauge("rewire_process_heap_alloc_bytes",
+			"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc)."),
+	}
+	return s
+}
+
+// mux wires the HTTP surface.
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("POST /map", s.handleMap)
+	m.Handle("GET /metrics", s.metricsHandler())
+	m.HandleFunc("GET /healthz", s.handleHealthz)
+	m.HandleFunc("GET /readyz", s.handleReadyz)
+	m.HandleFunc("GET /runs", s.handleRuns)
+	m.HandleFunc("GET /runs/{id}/trace", s.handleRunTrace)
+	m.HandleFunc("GET /debug/pprof/", pprof.Index)
+	m.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	m.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	m.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	m.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return m
+}
+
+// mapRequest is the POST /map body. Exactly one of Kernel (a bundled
+// benchmark name) or KernelSrc (loop-kernel IR source) selects the
+// kernel; Arch names a preset grid ("4x4r4") and ArchADL overrides it
+// with a full ADL spec.
+type mapRequest struct {
+	Kernel    string `json:"kernel,omitempty"`
+	KernelSrc string `json:"kernel_src,omitempty"`
+	Unroll    int    `json:"unroll,omitempty"`
+	Arch      string `json:"arch,omitempty"`
+	ArchADL   string `json:"arch_adl,omitempty"`
+	Mapper    string `json:"mapper,omitempty"` // rewire (default), pathfinder, sa
+	Seed      int64  `json:"seed,omitempty"`
+	MaxII     int    `json:"max_ii,omitempty"`
+	TimePerII int    `json:"time_per_ii_ms,omitempty"`
+	Render    bool   `json:"render,omitempty"` // include the ASCII schedule grid
+}
+
+// mapResponse is the POST /map answer. TraceURL points at the flight
+// recorder's Chrome-trace download for this run while it stays in the
+// ring.
+type mapResponse struct {
+	RunID      string           `json:"run_id"`
+	Success    bool             `json:"success"`
+	Mapper     string           `json:"mapper"`
+	Kernel     string           `json:"kernel"`
+	Arch       string           `json:"arch"`
+	II         int              `json:"ii,omitempty"`
+	MII        int              `json:"mii"`
+	DurationMS float64          `json:"duration_ms"`
+	Error      string           `json:"error,omitempty"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+	Grid       string           `json:"grid,omitempty"`
+	TraceURL   string           `json:"trace_url"`
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// parseMapRequest validates the body against the server's caps and
+// resolves kernel and architecture.
+func (s *server) parseMapRequest(req *mapRequest) (*rewire.DFG, *rewire.CGRA, rewire.MapperName, error) {
+	var mapper rewire.MapperName
+	switch strings.ToLower(req.Mapper) {
+	case "", "rewire":
+		mapper = rewire.MapperRewire
+	case "pathfinder", "pf", "pf*":
+		mapper = rewire.MapperPathFinder
+	case "sa":
+		mapper = rewire.MapperSA
+	default:
+		return nil, nil, "", fmt.Errorf("unknown mapper %q (want rewire, pathfinder or sa)", req.Mapper)
+	}
+	if req.MaxII < 0 || req.MaxII > s.cfg.MaxII {
+		return nil, nil, "", fmt.Errorf("max_ii %d out of range (server cap %d)", req.MaxII, s.cfg.MaxII)
+	}
+	if d := time.Duration(req.TimePerII) * time.Millisecond; d < 0 || d > s.cfg.MaxTimePerII {
+		return nil, nil, "", fmt.Errorf("time_per_ii_ms %d out of range (server cap %s)", req.TimePerII, s.cfg.MaxTimePerII)
+	}
+
+	var (
+		g   *rewire.DFG
+		err error
+	)
+	switch {
+	case req.Kernel != "" && req.KernelSrc != "":
+		return nil, nil, "", errors.New("set kernel or kernel_src, not both")
+	case req.Kernel != "":
+		g, err = rewire.LoadKernel(req.Kernel)
+	case req.KernelSrc != "":
+		g, err = rewire.ParseKernel(req.KernelSrc, req.Unroll)
+	default:
+		return nil, nil, "", errors.New("missing kernel (bundled name) or kernel_src (kernel IR)")
+	}
+	if err != nil {
+		return nil, nil, "", err
+	}
+
+	var cgra *rewire.CGRA
+	switch {
+	case req.ArchADL != "":
+		cgra, err = rewire.ParseArch(req.ArchADL)
+	case req.Arch != "":
+		cgra, err = parseArchName(req.Arch)
+	default:
+		return nil, nil, "", errors.New("missing arch (e.g. \"4x4r4\") or arch_adl")
+	}
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return g, cgra, mapper, nil
+}
+
+// parseArchName accepts "ROWSxCOLSrREGS" names, mirroring rewire-map's
+// -arch flag.
+func parseArchName(sarch string) (*rewire.CGRA, error) {
+	var rows, cols, regs int
+	if _, err := fmt.Sscanf(strings.ToLower(sarch), "%dx%dr%d", &rows, &cols, &regs); err != nil {
+		return nil, fmt.Errorf("bad arch %q (want e.g. 4x4r4): %v", sarch, err)
+	}
+	switch {
+	case rows == 4 && cols == 4:
+		return rewire.New4x4(regs), nil
+	case rows == 8 && cols == 8:
+		return rewire.New8x8(regs), nil
+	case cols > 4:
+		return rewire.NewCGRA(sarch, rows, cols, regs, rows, 0, cols-1), nil
+	default:
+		return rewire.NewCGRA(sarch, rows, cols, regs, 2, 0), nil
+	}
+}
+
+// handleMap serves POST /map: admission through the worker pool, one
+// traced mapping run, metrics fold, flight-recorder entry, JSON answer.
+func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
+	runID := obs.NewRunID()
+	lg := s.lg.WithRun(runID)
+
+	var req mapRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.mReqs.With("unknown", "invalid").Inc()
+		lg.Warn("bad request body", "err", err)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON body: " + err.Error()})
+		return
+	}
+	g, cgra, mapper, err := s.parseMapRequest(&req)
+	if err != nil {
+		s.mReqs.With(strings.ToLower(req.Mapper), "invalid").Inc()
+		lg.Warn("invalid mapping request", "err", err)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	// Admission: wait for a worker-pool slot, bounded by the request
+	// timeout and the client hanging up.
+	deadline := time.NewTimer(s.cfg.RequestTimeout)
+	defer deadline.Stop()
+	queued := time.Now()
+	s.mQueued.Add(1)
+	select {
+	case s.sem <- struct{}{}:
+		s.mQueued.Add(-1)
+	case <-deadline.C:
+		s.mQueued.Add(-1)
+		s.mReqs.With(string(mapper), "overload").Inc()
+		lg.Warn("request timed out waiting for a worker", "queue_wait_ms", time.Since(queued).Milliseconds())
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: "no mapping worker became free in time; retry later"})
+		return
+	case <-r.Context().Done():
+		s.mQueued.Add(-1)
+		s.mReqs.With(string(mapper), "canceled").Inc()
+		return
+	}
+	s.mQueueDur.Observe(time.Since(queued).Seconds())
+	s.mInflight.Add(1)
+	// The slot and the inflight gauge are released exactly once, on
+	// whichever path the run actually ends (in time or in the
+	// background after a 504) — no defers, they would double-release.
+	release := func() {
+		s.mInflight.Add(-1)
+		<-s.sem
+	}
+
+	// Run the mapper on its own goroutine so a budget overrun cannot
+	// hold the HTTP response past the request timeout. The run always
+	// completes (mappers have their own II/time budgets and take no
+	// context); on timeout the answer is 504 and the finished run still
+	// lands in the flight recorder and the metrics.
+	tpi := time.Duration(req.TimePerII) * time.Millisecond
+	if tpi == 0 {
+		tpi = 2 * time.Second
+	}
+	opts := rewire.Options{
+		Mapper:    mapper,
+		Seed:      req.Seed,
+		TimePerII: tpi,
+		MaxII:     req.MaxII,
+		Tracer:    rewire.NewTracer(),
+		Logger:    obs.New(lg.Slog()),
+	}
+	lg.Info("mapping request", "mapper", string(mapper), "kernel", g.Name,
+		"arch", cgra.Name, "seed", req.Seed, "time_per_ii_ms", tpi.Milliseconds())
+
+	type outcome struct {
+		m   *rewire.Mapping
+		res rewire.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		m, res, err := rewire.Map(g, cgra, opts)
+		done <- outcome{m: m, res: res, err: err}
+	}()
+
+	select {
+	case out := <-done:
+		release()
+		s.mReqs.With(string(mapper), boolOutcome(out.res.Success)).Inc()
+		s.finishRun(w, lg, runID, &req, opts, out.m, out.res, out.err)
+	case <-deadline.C:
+		s.mReqs.With(string(mapper), "timeout").Inc()
+		lg.Warn("mapping run exceeded the request timeout", "timeout_ms", s.cfg.RequestTimeout.Milliseconds())
+		writeJSON(w, http.StatusGatewayTimeout,
+			errorResponse{Error: fmt.Sprintf("mapping exceeded the %s request timeout", s.cfg.RequestTimeout)})
+		// Drain in the background so the run is still recorded when it
+		// finishes; its worker slot frees only then, which is what keeps
+		// abandoned runs from over-subscribing the pool.
+		go func() {
+			out := <-done
+			release()
+			s.recordRun(lg, runID, &req, opts, out.res)
+		}()
+	}
+}
+
+// boolOutcome maps a run's success flag to the requests_total outcome
+// label.
+func boolOutcome(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "failed"
+}
+
+// finishRun records a completed run and writes the success/failure
+// answer.
+func (s *server) finishRun(w http.ResponseWriter, lg *obs.Logger, runID string, req *mapRequest,
+	opts rewire.Options, m *rewire.Mapping, res rewire.Result, mapErr error) {
+	rec := s.recordRun(lg, runID, req, opts, res)
+	resp := mapResponse{
+		RunID:      runID,
+		Success:    res.Success,
+		Mapper:     string(opts.Mapper),
+		Kernel:     res.Kernel,
+		Arch:       res.Arch,
+		II:         res.II,
+		MII:        res.MII,
+		DurationMS: float64(res.Duration.Microseconds()) / 1000,
+		Counters:   rec.Counters,
+		TraceURL:   "/runs/" + runID + "/trace",
+	}
+	if mapErr != nil {
+		resp.Error = mapErr.Error()
+	}
+	if req.Render && m != nil {
+		resp.Grid = rewire.Render(m)
+	}
+	// A valid request whose kernel has no feasible schedule is a result,
+	// not a server error: 200 with success=false.
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// recordRun folds the run's tracer into the metrics registry and files
+// the flight-recorder entry. It is the single bookkeeping point for
+// both the on-time and the timed-out completion paths.
+func (s *server) recordRun(lg *obs.Logger, runID string, req *mapRequest,
+	opts rewire.Options, res rewire.Result) runRecord {
+	// requests_total is incremented by the caller (exactly once per
+	// request, whatever the outcome label); this method records the
+	// run-quality metrics, which apply on every completion path.
+	mapper := string(opts.Mapper)
+	s.mDur.With(mapper).Observe(res.Duration.Seconds())
+	if res.Success {
+		s.mII.With(mapper).Observe(float64(res.II))
+		s.mSlack.With(mapper).Observe(float64(res.II - res.MII))
+	}
+	s.mAmend.With(mapper).Observe(float64(res.ClusterAmendments))
+	metrics.FoldTracer(s.reg, opts.Tracer)
+
+	rec := runRecord{
+		ID:         runID,
+		Time:       time.Now().UTC(),
+		Kernel:     res.Kernel,
+		Arch:       res.Arch,
+		Mapper:     mapper,
+		Seed:       req.Seed,
+		Success:    res.Success,
+		II:         res.II,
+		MII:        res.MII,
+		DurationMS: float64(res.Duration.Microseconds()) / 1000,
+		Counters:   opts.Tracer.CounterTotals(),
+		tracer:     opts.Tracer,
+	}
+	s.flight.add(rec)
+	lg.Info("run recorded", "mapper", mapper, "kernel", res.Kernel, "arch", res.Arch,
+		"success", res.Success, "ii", res.II, "mii", res.MII,
+		"duration_ms", res.Duration.Milliseconds())
+	return rec
+}
+
+// metricsHandler refreshes the process gauges, then renders.
+func (s *server) metricsHandler() http.Handler {
+	inner := s.reg.Handler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		s.mUptime.Set(time.Since(s.start).Seconds())
+		s.mGoros.Set(float64(runtime.NumGoroutine()))
+		s.mHeap.Set(float64(ms.HeapAlloc))
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// handleHealthz: liveness — the process answers.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz: readiness — warmup done and not draining.
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "warming up"})
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+// warmup loads the kernel registry once so the first request doesn't
+// pay for it, then flips readiness.
+func (s *server) warmup() {
+	for _, name := range rewire.Kernels() {
+		if _, err := rewire.LoadKernel(name); err != nil {
+			s.lg.Error("kernel failed to load during warmup", "kernel", name, "err", err)
+		}
+	}
+	s.ready.Store(true)
+	s.lg.Info("ready", "workers", s.cfg.Workers, "flight_size", s.cfg.FlightSize)
+}
+
+// handleRuns serves the flight recorder, newest first.
+func (s *server) handleRuns(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.flight.list())
+}
+
+// handleRunTrace serves one recorded run's Chrome trace.
+func (s *server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.flight.get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: fmt.Sprintf("run %q is not in the flight recorder (keeps the last %d runs)", id, s.cfg.FlightSize)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", "run_"+id+".trace.json"))
+	if err := rec.tracer.WriteChromeTrace(w); err != nil {
+		s.lg.Error("trace export failed", "run_id", id, "err", err)
+	}
+}
+
+// runRecord is one flight-recorder entry: the run summary plus the
+// retained tracer backing the /runs/{id}/trace download.
+type runRecord struct {
+	ID         string           `json:"run_id"`
+	Time       time.Time        `json:"time"`
+	Kernel     string           `json:"kernel"`
+	Arch       string           `json:"arch"`
+	Mapper     string           `json:"mapper"`
+	Seed       int64            `json:"seed"`
+	Success    bool             `json:"success"`
+	II         int              `json:"ii,omitempty"`
+	MII        int              `json:"mii"`
+	DurationMS float64          `json:"duration_ms"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+
+	tracer *trace.Tracer
+}
+
+// flightRecorder is a fixed-size ring of the last N runs. Old entries
+// fall off the back, releasing their tracers (and span memory) to GC —
+// the daemon's trace retention is bounded by construction.
+type flightRecorder struct {
+	mu   sync.Mutex
+	buf  []runRecord
+	next int
+	full bool
+}
+
+func newFlightRecorder(n int) *flightRecorder {
+	return &flightRecorder{buf: make([]runRecord, n)}
+}
+
+func (f *flightRecorder) add(rec runRecord) {
+	f.mu.Lock()
+	f.buf[f.next] = rec
+	f.next = (f.next + 1) % len(f.buf)
+	if f.next == 0 {
+		f.full = true
+	}
+	f.mu.Unlock()
+}
+
+// list returns the recorded runs, newest first.
+func (f *flightRecorder) list() []runRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.next
+	if f.full {
+		n = len(f.buf)
+	}
+	out := make([]runRecord, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, f.buf[(f.next-i+len(f.buf))%len(f.buf)])
+	}
+	return out
+}
+
+func (f *flightRecorder) get(id string) (runRecord, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.buf {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return runRecord{}, false
+}

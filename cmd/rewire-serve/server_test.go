@@ -1,0 +1,278 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rewire/internal/obs"
+)
+
+// testServer builds a ready daemon with short budgets on an httptest
+// listener.
+func testServer(t *testing.T, cfg serverConfig) *httptest.Server {
+	t.Helper()
+	lg, err := obs.Setup(io.Discard, "debug", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(cfg, lg)
+	s.ready.Store(true)
+	ts := httptest.NewServer(s.mux())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// postMap sends one mapping request and decodes the response.
+func postMap(t *testing.T, ts *httptest.Server, body string) (mapResponse, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/map", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out mapResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("bad response JSON: %v", err)
+		}
+	}
+	return out, resp.StatusCode
+}
+
+func get(t *testing.T, url string) (string, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), resp.StatusCode
+}
+
+func TestMapEndToEnd(t *testing.T) {
+	ts := testServer(t, serverConfig{Workers: 2, FlightSize: 8})
+	out, code := postMap(t, ts,
+		`{"kernel":"mvt","arch":"4x4r4","mapper":"rewire","seed":1,"time_per_ii_ms":2000,"render":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("POST /map = %d", code)
+	}
+	if !out.Success {
+		t.Fatalf("mapping failed: %+v", out)
+	}
+	if out.II < out.MII || out.MII < 1 {
+		t.Fatalf("implausible II=%d MII=%d", out.II, out.MII)
+	}
+	if out.RunID == "" || out.Grid == "" {
+		t.Fatalf("missing run_id or grid: %+v", out)
+	}
+	if out.Counters["router.expansions"] == 0 {
+		t.Fatalf("no router work recorded: %v", out.Counters)
+	}
+
+	// The run must be visible in the flight recorder...
+	runsBody, code := get(t, ts.URL+"/runs")
+	if code != http.StatusOK {
+		t.Fatalf("GET /runs = %d", code)
+	}
+	var runs []runRecord
+	if err := json.Unmarshal([]byte(runsBody), &runs); err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].ID != out.RunID {
+		t.Fatalf("flight recorder = %+v, want the one run", runs)
+	}
+
+	// ...its trace must download and parse as a Chrome trace...
+	traceBody, code := get(t, ts.URL+out.TraceURL)
+	if code != http.StatusOK {
+		t.Fatalf("GET %s = %d", out.TraceURL, code)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(traceBody), &doc); err != nil {
+		t.Fatalf("trace is not Chrome trace JSON: %v", err)
+	}
+	spans := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Fatal("trace has no complete spans")
+	}
+
+	// ...and the metrics must show the request and the bridged counters.
+	mBody, code := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	for _, want := range []string{
+		`rewire_map_requests_total{mapper="rewire",outcome="ok"} 1`,
+		"rewire_router_expansions_total",
+		"rewire_map_duration_seconds_bucket",
+		"rewire_process_uptime_seconds",
+	} {
+		if !strings.Contains(mBody, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestConcurrentMapRequests hammers POST /map from several goroutines;
+// under -race this is the daemon's interleaving test (CI runs it).
+func TestConcurrentMapRequests(t *testing.T) {
+	ts := testServer(t, serverConfig{Workers: 4, FlightSize: 8})
+	const n = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"kernel":"mvt","arch":"4x4r4","seed":%d,"time_per_ii_ms":2000}`, seed)
+			resp, err := http.Post(ts.URL+"/map", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var out mapResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs <- err
+				return
+			}
+			if !out.Success {
+				errs <- fmt.Errorf("seed %d: mapping failed", seed)
+			}
+		}(i + 1)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	body, _ := get(t, ts.URL+"/runs")
+	var runs []runRecord
+	if err := json.Unmarshal([]byte(body), &runs); err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != n {
+		t.Fatalf("flight recorder has %d runs, want %d", len(runs), n)
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	ts := testServer(t, serverConfig{Workers: 1, MaxII: 16, MaxTimePerII: time.Second})
+	cases := []struct {
+		name, body string
+	}{
+		{"bad json", `{"kernel":`},
+		{"no kernel", `{"arch":"4x4r4"}`},
+		{"both kernels", `{"kernel":"mvt","kernel_src":"x","arch":"4x4r4"}`},
+		{"unknown kernel", `{"kernel":"nope","arch":"4x4r4"}`},
+		{"no arch", `{"kernel":"mvt"}`},
+		{"bad arch", `{"kernel":"mvt","arch":"tiny"}`},
+		{"bad mapper", `{"kernel":"mvt","arch":"4x4r4","mapper":"ilp"}`},
+		{"over max_ii cap", `{"kernel":"mvt","arch":"4x4r4","max_ii":99}`},
+		{"over time cap", `{"kernel":"mvt","arch":"4x4r4","time_per_ii_ms":60000}`},
+	}
+	for _, tc := range cases {
+		if _, code := postMap(t, ts, tc.body); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+		}
+	}
+	// Validation failures count as requests but never touch the pool.
+	body, _ := get(t, ts.URL+"/metrics")
+	if !strings.Contains(body, `outcome="invalid"`) {
+		t.Error("/metrics has no invalid-outcome samples")
+	}
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	lg, _ := obs.Setup(io.Discard, "info", "text")
+	s := newServer(serverConfig{}, lg)
+	ts := httptest.NewServer(s.mux())
+	defer ts.Close()
+
+	if _, code := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if _, code := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before warmup = %d, want 503", code)
+	}
+	s.ready.Store(true)
+	if _, code := get(t, ts.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after warmup = %d", code)
+	}
+}
+
+func TestRunTraceNotFound(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	if _, code := get(t, ts.URL+"/runs/doesnotexist/trace"); code != http.StatusNotFound {
+		t.Fatalf("missing run trace = %d, want 404", code)
+	}
+}
+
+func TestKernelSrcMapping(t *testing.T) {
+	ts := testServer(t, serverConfig{Workers: 1})
+	src := "kernel axpy\nparam a\ny[i] = a * x[i] + y[i]\n"
+	body, _ := json.Marshal(mapRequest{KernelSrc: src, Arch: "4x4r4", TimePerII: 2000})
+	out, code := postMap(t, ts, string(body))
+	if code != http.StatusOK {
+		t.Fatalf("kernel_src map = %d", code)
+	}
+	if !out.Success {
+		t.Fatalf("axpy failed to map: %+v", out)
+	}
+}
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := newFlightRecorder(3)
+	for i := 0; i < 5; i++ {
+		f.add(runRecord{ID: fmt.Sprintf("r%d", i)})
+	}
+	got := f.list()
+	if len(got) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(got))
+	}
+	for i, want := range []string{"r4", "r3", "r2"} {
+		if got[i].ID != want {
+			t.Fatalf("list[%d] = %s, want %s (newest first)", i, got[i].ID, want)
+		}
+	}
+	if _, ok := f.get("r1"); ok {
+		t.Fatal("evicted run still addressable")
+	}
+	if _, ok := f.get("r3"); !ok {
+		t.Fatal("retained run not addressable")
+	}
+}
+
+func TestMetricsExpositionContentType(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+}

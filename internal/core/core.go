@@ -27,6 +27,7 @@ import (
 	"rewire/internal/arch"
 	"rewire/internal/dfg"
 	"rewire/internal/mapping"
+	"rewire/internal/obs"
 	"rewire/internal/pathfinder"
 	"rewire/internal/route"
 	"rewire/internal/stats"
@@ -90,6 +91,10 @@ type Options struct {
 	// internal/trace and docs/OBSERVABILITY.md). nil disables tracing at
 	// ~zero hot-path cost.
 	Tracer *trace.Tracer
+	// Logger receives run- and II-level structured log records (never
+	// per-placement or per-tuple events). nil disables logging at one
+	// pointer check per site, like the tracer.
+	Logger *obs.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -140,6 +145,8 @@ func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Resul
 	root := tr.StartSpan(nil, "rewire.map").
 		WithStr("kernel", g.Name).WithStr("arch", a.Name).WithInt("mii", int64(res.MII))
 	defer root.End()
+	lg := opt.Logger.With("mapper", "rewire", "kernel", g.Name, "arch", a.Name)
+	lg.Debug("map start", "mii", res.MII, "max_ii", opt.MaxII)
 
 	for ii := res.MII; ii <= opt.MaxII; ii++ {
 		deadline := time.Now().Add(opt.TimePerII)
@@ -180,11 +187,18 @@ func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Resul
 				panic("rewire: produced invalid mapping: " + err.Error())
 			}
 			iiSpan.WithBool("ok", true).End()
+			lg.Info("mapped", "ii", ii, "mii", res.MII,
+				"amendments", res.ClusterAmendments, "duration_ms", res.Duration.Milliseconds())
 			return am.sess.M, res
 		}
 		iiSpan.WithBool("ok", false).End()
+		if lg.On() {
+			lg.Debug("ii exhausted", "ii", ii)
+		}
 	}
 	res.Duration = time.Since(start)
+	lg.Warn("mapping failed", "mii", res.MII, "max_ii", opt.MaxII,
+		"duration_ms", res.Duration.Milliseconds())
 	return nil, res
 }
 

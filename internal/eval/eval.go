@@ -23,6 +23,7 @@ import (
 	"rewire/internal/dfg"
 	"rewire/internal/kernels"
 	"rewire/internal/mapping"
+	"rewire/internal/obs"
 	"rewire/internal/pathfinder"
 	"rewire/internal/sa"
 	"rewire/internal/stats"
@@ -54,6 +55,11 @@ type Config struct {
 	// run dispatched through Run/RunDFG. A nil tracer costs one pointer
 	// check per instrumentation point (see docs/OBSERVABILITY.md).
 	Tracer *trace.Tracer
+	// Logger, when non-nil, receives structured run-level log records
+	// from the dispatched mappers and the harness itself. Errors the
+	// harness must not lose (e.g. a failed trace export) fall back to a
+	// default stderr logger when Logger is nil.
+	Logger *obs.Logger
 	// TraceDir, when non-empty, makes RunCombos give every mapper run its
 	// own tracer and export it to <TraceDir>/<mapper>_<kernel>@<arch>
 	// .trace.json (Chrome trace_event, Perfetto-loadable) and .jsonl
@@ -136,17 +142,17 @@ func RunDFG(mapper string, g *dfg.Graph, a *arch.CGRA, cfg Config) (*mapping.Map
 	case "Rewire":
 		return core.Map(g, a, core.Options{
 			Seed: cfg.Seed, MaxII: cfg.MaxII, TimePerII: cfg.TimePerII,
-			Tracer: cfg.Tracer,
+			Tracer: cfg.Tracer, Logger: cfg.Logger,
 		})
 	case "PF*":
 		return pathfinder.Map(g, a, pathfinder.Options{
 			Seed: cfg.Seed, MaxII: cfg.MaxII, TimePerII: cfg.TimePerII,
-			Tracer: cfg.Tracer,
+			Tracer: cfg.Tracer, Logger: cfg.Logger,
 		})
 	case "SA":
 		return sa.Map(g, a, sa.Options{
 			Seed: cfg.Seed, MaxII: cfg.MaxII, TimePerII: cfg.TimePerII,
-			Tracer: cfg.Tracer,
+			Tracer: cfg.Tracer, Logger: cfg.Logger,
 		})
 	default:
 		panic("eval: unknown mapper " + mapper)
@@ -276,7 +282,15 @@ func runOne(mapper string, cb Combo, cfg Config) stats.Result {
 	cfg.Tracer = tr
 	_, res := Run(mapper, cb, cfg)
 	if err := exportTrace(tr, cfg.TraceDir, mapper, cb); err != nil {
-		fmt.Fprintf(os.Stderr, "eval: trace export for %s on %s: %v\n", mapper, comboKey(cb), err)
+		// Surface export failures through the structured logger; with no
+		// logger wired, fall back to the shared stderr default rather
+		// than losing the error (Config.Out is owned by the in-order
+		// progress flush and stays untouched).
+		lg := cfg.Logger
+		if lg == nil {
+			lg = obs.Default()
+		}
+		lg.Error("trace export failed", "mapper", mapper, "combo", comboKey(cb), "err", err)
 	}
 	return res
 }

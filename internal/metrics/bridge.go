@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"strings"
+
+	"rewire/internal/trace"
+)
+
+// This file is the offline→online name bridge. internal/trace names
+// its counters with dots ("router.expansions" in the JSONL export);
+// the online registry names metrics per the Prometheus convention
+// (rewire_router_expansions_total). The mapping is mechanical — one
+// string function each way of the fold, no lookup table — so a
+// dashboard built on the online names can always be traced back to the
+// offline JSONL records and vice versa. TestBridgeNamesFollowConvention
+// audits the pipeline's actual counter catalog against it.
+
+// BridgeCounterName maps an offline trace counter name to its online
+// Prometheus name: dots become underscores, the rewire_ prefix and the
+// _total counter unit are appended.
+//
+//	router.expansions        -> rewire_router_expansions_total
+//	route.findpath.calls     -> rewire_route_findpath_calls_total
+//	propagate.tuples_deduped -> rewire_propagate_tuples_deduped_total
+func BridgeCounterName(traceName string) string {
+	return "rewire_" + strings.ReplaceAll(traceName, ".", "_") + "_total"
+}
+
+// BridgeHistogramName maps an offline trace histogram name to its
+// online Prometheus name. Trace histograms record dimensionless counts
+// (cluster sizes, candidates per node), so the unit segment is _units.
+//
+//	cluster.size -> rewire_cluster_size_units
+func BridgeHistogramName(traceName string) string {
+	return "rewire_" + strings.ReplaceAll(traceName, ".", "_") + "_units"
+}
+
+// bridgeBuckets matches internal/trace's power-of-two histogram: the
+// inclusive upper bound of trace bucket i is 2^(i+1)-1. Sixteen finite
+// buckets cover every distribution the pipeline records (cluster sizes
+// cap at 15, candidate sets at 64); larger values land in +Inf.
+var bridgeBuckets = Pow2Buckets(16)
+
+// FoldTracer folds a finished run's counters and histograms into the
+// registry: every trace counter total is added to the bridged counter
+// family, every trace histogram's bucket counts are merged into the
+// bridged histogram family. Call it once per run, after the mapper
+// returns — fold deltas accumulate across runs, which is exactly what
+// a scraped counter wants. Nil registry or nil tracer is a no-op.
+func FoldTracer(r *Registry, tr *trace.Tracer) {
+	if r == nil || tr == nil {
+		return
+	}
+	for name, total := range tr.CounterTotals() {
+		r.NewCounter(BridgeCounterName(name),
+			"Folded offline trace counter "+name+" (see docs/OBSERVABILITY.md).").Add(total)
+	}
+	for name, st := range tr.HistogramStats() {
+		h := r.NewHistogram(BridgeHistogramName(name),
+			"Folded offline trace histogram "+name+" (power-of-two buckets).", bridgeBuckets)
+		h.addRaw(st.Buckets, float64(st.Sum), st.Count)
+	}
+}

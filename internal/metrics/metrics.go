@@ -1,0 +1,410 @@
+// Package metrics is the online half of the observability layer: a
+// stdlib-only, process-wide metrics registry — counters, gauges and
+// fixed-bucket histograms, optionally labelled — that renders the
+// Prometheus text exposition format (v0.0.4) for scraping, plus a
+// bridge that folds a finished trace.Tracer's per-run counters and
+// histograms into the registry so the offline JSONL names and the
+// online metric names stay mechanically mappable.
+//
+// Naming convention (enforced by CheckName at registration):
+//
+//	rewire_<subsystem>_<name>_<unit>
+//
+// all lower-case, underscore-separated, at least three segments after
+// the rewire_ prefix is counted in; counters end in _total, histograms
+// and gauges end in a unit (_seconds, _bytes, _requests, _units for
+// dimensionless counts). The reserved exposition suffixes _bucket,
+// _sum and _count are rejected as base names.
+//
+// Like internal/trace, the API is nil-safe: a nil *Registry hands out
+// nil collectors and every method on a nil Counter, Gauge or Histogram
+// is a single pointer check (pinned by TestDisabledMetricsZeroAlloc).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Type discriminates metric families.
+type Type uint8
+
+// Metric family types.
+const (
+	TypeCounter Type = iota
+	TypeGauge
+	TypeHistogram
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// nameRE is the repo naming convention: rewire_ prefix and at least
+// three further lower-case segments (subsystem, name, unit).
+var nameRE = regexp.MustCompile(`^rewire(_[a-z][a-z0-9]*){3,}$`)
+
+// labelRE is the Prometheus label-name grammar (we additionally forbid
+// the reserved "le").
+var labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// CheckName validates a metric family name against the repo convention
+// (see the package comment). It is exported so tests — including the
+// counter-name audit — and code generating names from trace counters
+// can enforce the same rule the registry applies.
+func CheckName(name string, typ Type) error {
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("metrics: name %q does not match rewire_<subsystem>_<name>_<unit>", name)
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suffix) {
+			return fmt.Errorf("metrics: name %q ends in reserved exposition suffix %s", name, suffix)
+		}
+	}
+	isTotal := strings.HasSuffix(name, "_total")
+	if typ == TypeCounter && !isTotal {
+		return fmt.Errorf("metrics: counter %q must end in _total", name)
+	}
+	if typ != TypeCounter && isTotal {
+		return fmt.Errorf("metrics: %s %q must not end in _total", typ, name)
+	}
+	return nil
+}
+
+// Registry is a set of metric families. All methods are safe for
+// concurrent use; a nil *Registry is the disabled registry (every
+// getter returns nil, and nil collectors no-op).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric with a fixed label schema and one child
+// per observed label-value combination.
+type family struct {
+	name   string
+	help   string
+	typ    Type
+	labels []string
+	bounds []float64 // histogram upper bounds, ascending, +Inf implicit
+
+	mu       sync.Mutex
+	children map[string]*child
+}
+
+// child is one labelled series of a family.
+type child struct {
+	values []string // label values, aligned with family.labels
+
+	// counter / gauge state (gauges store float64 bits).
+	num atomic.Uint64
+
+	// histogram state, guarded by hmu so a render sees a consistent
+	// (counts, sum, count) triple.
+	hmu    sync.Mutex
+	counts []int64 // per-bucket (non-cumulative); len(bounds)+1, last = +Inf
+	sum    float64
+	count  int64
+}
+
+// register returns the named family, creating it on first use, and
+// panics on a convention violation or a redefinition with a different
+// type or label schema — both are programming errors, not runtime
+// conditions.
+func (r *Registry) register(name, help string, typ Type, bounds []float64, labels []string) *family {
+	if err := CheckName(name, typ); err != nil {
+		panic(err)
+	}
+	for _, l := range labels {
+		if !labelRE.MatchString(l) || l == "le" {
+			panic(fmt.Sprintf("metrics: bad label name %q on %s", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.families[name]; f != nil {
+		if f.typ != typ || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("metrics: %s redefined with different type or labels", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ, labels: labels,
+		bounds: bounds, children: make(map[string]*child),
+	}
+	r.families[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// get returns the child for the given label values, creating it on
+// first use.
+func (f *family) get(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := f.children[key]
+	if c == nil {
+		c = &child{values: append([]string(nil), values...)}
+		if f.typ == TypeHistogram {
+			c.counts = make([]int64, len(f.bounds)+1)
+		}
+		f.children[key] = c
+	}
+	return c
+}
+
+// Counter is a monotonically increasing metric. A nil *Counter ignores
+// every method.
+type Counter struct{ c *child }
+
+// Add increments the counter by d (negative deltas are dropped —
+// counters only go up).
+func (c *Counter) Add(d int64) {
+	if c == nil || d < 0 {
+		return
+	}
+	c.c.num.Add(uint64(d))
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return int64(c.c.num.Load())
+}
+
+// Gauge is a metric that can go up and down. A nil *Gauge ignores
+// every method.
+type Gauge struct{ c *child }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.c.num.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by d (d may be negative).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.c.num.Load()
+		if g.c.num.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.c.num.Load())
+}
+
+// Histogram records a distribution over fixed buckets. A nil
+// *Histogram ignores every method.
+type Histogram struct {
+	c *child
+	b []float64 // the family's bucket bounds
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	c := h.c
+	c.hmu.Lock()
+	c.count++
+	c.sum += v
+	c.counts[bucketIndex(h.b, v)]++
+	c.hmu.Unlock()
+}
+
+// bucketIndex returns the first bucket whose upper bound is >= v
+// (le-inclusive, as Prometheus defines it), or the +Inf bucket.
+func bucketIndex(bounds []float64, v float64) int {
+	lo, hi := 0, len(bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// addRaw folds pre-aggregated bucket counts (non-cumulative, aligned
+// with the histogram's bounds; overflow in the last slot) into the
+// histogram — the trace bridge uses this to merge a run's power-of-two
+// histogram without replaying samples.
+func (h *Histogram) addRaw(counts []int64, sum float64, count int64) {
+	if h == nil {
+		return
+	}
+	c := h.c
+	c.hmu.Lock()
+	for i, n := range counts {
+		if i >= len(c.counts) {
+			c.counts[len(c.counts)-1] += n
+			continue
+		}
+		c.counts[i] += n
+	}
+	c.sum += sum
+	c.count += count
+	c.hmu.Unlock()
+}
+
+// DefBuckets are the default latency buckets (seconds), spanning
+// sub-millisecond router calls to multi-minute mapping runs.
+var DefBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+
+// Pow2Buckets returns upper bounds 1, 3, 7, ..., 2^(n)-1: the inclusive
+// upper bounds of internal/trace's power-of-two histogram buckets, so
+// bridged histograms lose no precision.
+func Pow2Buckets(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(uint64(1)<<(i+1) - 1)
+	}
+	return out
+}
+
+// NewCounter registers (or fetches) an unlabelled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.NewCounterVec(name, help).With()
+}
+
+// NewCounterVec registers (or fetches) a counter family with the given
+// label names.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.register(name, help, TypeCounter, nil, labels)}
+}
+
+// NewGauge registers (or fetches) an unlabelled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.NewGaugeVec(name, help).With()
+}
+
+// NewGaugeVec registers (or fetches) a gauge family with the given
+// label names.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.register(name, help, TypeGauge, nil, labels)}
+}
+
+// NewHistogram registers (or fetches) an unlabelled histogram with the
+// given ascending bucket upper bounds (+Inf is implicit).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.NewHistogramVec(name, help, buckets).With()
+}
+
+// NewHistogramVec registers (or fetches) a histogram family with the
+// given buckets and label names.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	bs := append([]float64(nil), buckets...)
+	if !sort.Float64sAreSorted(bs) {
+		panic(fmt.Sprintf("metrics: %s buckets are not ascending", name))
+	}
+	return &HistogramVec{f: r.register(name, help, TypeHistogram, bs, labels)}
+}
+
+// CounterVec is a labelled counter family. A nil vec hands out nil
+// counters.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (aligned with the
+// label names the vec was registered with).
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return &Counter{c: v.f.get(values)}
+}
+
+// GaugeVec is a labelled gauge family. A nil vec hands out nil gauges.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return &Gauge{c: v.f.get(values)}
+}
+
+// HistogramVec is a labelled histogram family. A nil vec hands out nil
+// histograms.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return &Histogram{c: v.f.get(values), b: v.f.bounds}
+}

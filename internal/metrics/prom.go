@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type the
+// /metrics handler serves.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format v0.0.4: families sorted by name, one # HELP and
+// # TYPE line each, children sorted by label values, histograms as
+// cumulative _bucket series plus _sum and _count. The output is
+// deterministic for a given registry state (the golden test relies on
+// it). A nil registry renders nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make([]*family, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.write(bw)
+	}
+	return bw.Flush()
+}
+
+// Handler returns the GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WritePrometheus(w)
+	})
+}
+
+// write renders one family.
+func (f *family) write(w *bufio.Writer) {
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.help))
+	w.WriteByte('\n')
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.typ.String())
+	w.WriteByte('\n')
+
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	kids := make([]*child, len(keys))
+	for i, k := range keys {
+		kids[i] = f.children[k]
+	}
+	f.mu.Unlock()
+
+	for _, c := range kids {
+		switch f.typ {
+		case TypeCounter:
+			w.WriteString(f.name)
+			writeLabels(w, f.labels, c.values, "", 0)
+			w.WriteByte(' ')
+			w.WriteString(strconv.FormatInt(int64(c.num.Load()), 10))
+			w.WriteByte('\n')
+		case TypeGauge:
+			w.WriteString(f.name)
+			writeLabels(w, f.labels, c.values, "", 0)
+			w.WriteByte(' ')
+			w.WriteString(formatFloat(math.Float64frombits(c.num.Load())))
+			w.WriteByte('\n')
+		case TypeHistogram:
+			c.hmu.Lock()
+			counts := append([]int64(nil), c.counts...)
+			sum, count := c.sum, c.count
+			c.hmu.Unlock()
+			cum := int64(0)
+			for i, b := range f.bounds {
+				cum += counts[i]
+				w.WriteString(f.name)
+				w.WriteString("_bucket")
+				writeLabels(w, f.labels, c.values, "le", b)
+				w.WriteByte(' ')
+				w.WriteString(strconv.FormatInt(cum, 10))
+				w.WriteByte('\n')
+			}
+			cum += counts[len(counts)-1]
+			w.WriteString(f.name)
+			w.WriteString("_bucket")
+			writeLabels(w, f.labels, c.values, "le", math.Inf(1))
+			w.WriteByte(' ')
+			w.WriteString(strconv.FormatInt(cum, 10))
+			w.WriteByte('\n')
+			w.WriteString(f.name)
+			w.WriteString("_sum")
+			writeLabels(w, f.labels, c.values, "", 0)
+			w.WriteByte(' ')
+			w.WriteString(formatFloat(sum))
+			w.WriteByte('\n')
+			w.WriteString(f.name)
+			w.WriteString("_count")
+			writeLabels(w, f.labels, c.values, "", 0)
+			w.WriteByte(' ')
+			w.WriteString(strconv.FormatInt(count, 10))
+			w.WriteByte('\n')
+		}
+	}
+}
+
+// writeLabels renders `{k="v",...}` — nothing when there are no labels
+// and no le bound. leName is "le" for histogram bucket lines ("" to
+// omit); the bound renders as "+Inf" for infinity.
+func writeLabels(w *bufio.Writer, names, values []string, leName string, le float64) {
+	if len(names) == 0 && leName == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(n)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(values[i]))
+		w.WriteByte('"')
+	}
+	if leName != "" {
+		if len(names) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(leName)
+		w.WriteString(`="`)
+		if math.IsInf(le, 1) {
+			w.WriteString("+Inf")
+		} else {
+			w.WriteString(formatFloat(le))
+		}
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest representation that round-trips.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP text per the exposition format: backslash
+// and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

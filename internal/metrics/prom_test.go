@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"bufio"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with one of everything the daemon
+// exposes — labelled and unlabelled counters, a gauge, histograms with
+// and without labels, a bridged trace fold, and label values that need
+// escaping — with fixed values so the render is byte-stable.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+
+	reqs := r.NewCounterVec("rewire_map_requests_total",
+		"Total POST /map requests by mapper and outcome.", "mapper", "outcome")
+	reqs.With("rewire", "ok").Add(3)
+	reqs.With("rewire", "failed").Add(1)
+	reqs.With("sa", "ok").Add(2)
+
+	esc := r.NewCounterVec("rewire_serve_errors_total",
+		"Errors by kind.\nSecond help line with a \\ backslash.", "kind")
+	esc.With("bad\"quote").Inc()
+	esc.With(`back\slash`).Inc()
+	esc.With("new\nline").Inc()
+
+	g := r.NewGauge("rewire_serve_inflight_requests",
+		"Mapping requests currently being served.")
+	g.Set(2)
+
+	dur := r.NewHistogramVec("rewire_map_duration_seconds",
+		"Wall-clock time of one mapping run.", []float64{0.1, 0.5, 1, 5}, "mapper")
+	for _, v := range []float64{0.05, 0.3, 0.7, 4, 30} {
+		dur.With("rewire").Observe(v)
+	}
+
+	ii := r.NewHistogram("rewire_map_ii_units",
+		"Achieved initiation interval.", Pow2Buckets(6))
+	for _, v := range []float64{2, 4, 4, 7, 40} {
+		ii.Observe(v)
+	}
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/metrics -run Golden -update` to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionInvariants parses the rendered text and checks the
+// structural rules every Prometheus client library guarantees: HELP and
+// TYPE precede samples of each family, histogram buckets are cumulative
+// and end at +Inf == _count, and every line is well-formed.
+func TestExpositionInvariants(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	type histState struct {
+		last    int64
+		infSeen bool
+		inf     int64
+	}
+	hists := map[string]*histState{} // keyed by family+labels (minus le)
+	helped := map[string]bool{}
+	typed := map[string]bool{}
+
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			t.Fatal("blank line in exposition output")
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			helped[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if !helped[f[2]] {
+				t.Errorf("TYPE before HELP for %s", f[2])
+			}
+			typed[f[2]] = true
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(valStr, 64); err != nil {
+			t.Fatalf("sample %q has bad value %q", series, valStr)
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name = series[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !typed[base] && !typed[name] {
+			t.Errorf("sample %s before its TYPE line", name)
+		}
+
+		if strings.HasSuffix(name, "_bucket") {
+			le, rest := extractLE(t, series)
+			v, _ := strconv.ParseInt(valStr, 10, 64)
+			st := hists[rest]
+			if st == nil {
+				st = &histState{}
+				hists[rest] = st
+			}
+			if v < st.last {
+				t.Errorf("%s: bucket counts not cumulative (%d after %d)", rest, v, st.last)
+			}
+			st.last = v
+			if math.IsInf(le, 1) {
+				st.infSeen = true
+				st.inf = v
+			}
+		}
+		if strings.HasSuffix(name, "_count") {
+			key := strings.TrimSuffix(name, "_count") + "_bucket" + labelsOf(series)
+			st := hists[key]
+			if st == nil {
+				t.Errorf("%s: _count without buckets", series)
+				continue
+			}
+			if !st.infSeen {
+				t.Errorf("%s: no +Inf bucket", series)
+			}
+			c, _ := strconv.ParseInt(valStr, 10, 64)
+			if st.inf != c {
+				t.Errorf("%s: +Inf bucket %d != _count %d", series, st.inf, c)
+			}
+		}
+	}
+	if len(hists) == 0 {
+		t.Fatal("no histogram series found")
+	}
+}
+
+// extractLE pulls the le label out of a _bucket series and returns the
+// bound plus the series identity with le removed.
+func extractLE(t *testing.T, series string) (float64, string) {
+	t.Helper()
+	i := strings.Index(series, `le="`)
+	if i < 0 {
+		t.Fatalf("bucket series %q has no le label", series)
+	}
+	j := strings.Index(series[i+4:], `"`)
+	leStr := series[i+4 : i+4+j]
+	var le float64
+	if leStr == "+Inf" {
+		le = math.Inf(1)
+	} else {
+		v, err := strconv.ParseFloat(leStr, 64)
+		if err != nil {
+			t.Fatalf("bad le %q", leStr)
+		}
+		le = v
+	}
+	rest := series[:i] + series[i+4+j+1:]
+	rest = strings.ReplaceAll(rest, `{,`, `{`)
+	rest = strings.ReplaceAll(rest, `,}`, `}`)
+	rest = strings.TrimSuffix(rest, "{}")
+	return le, rest
+}
+
+// labelsOf returns the {..} block of a series, "" when unlabelled.
+func labelsOf(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[i:]
+	}
+	return ""
+}

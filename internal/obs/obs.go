@@ -1,0 +1,169 @@
+// Package obs is the structured-logging half of the observability
+// layer: a nil-safe wrapper around log/slog that the mapping pipeline
+// threads through every run, plus run-ID generation so a daemon can tie
+// a log line, a metrics sample and a downloadable trace back to the
+// same request.
+//
+// The design mirrors internal/trace: a nil *Logger is the disabled
+// logger, and every method on it is a single pointer check. Call sites
+// in warm code guard with On() before assembling attributes, so the
+// disabled path performs no interface boxing and allocates nothing
+// (pinned by TestDisabledLoggerZeroAlloc and BenchmarkLoggerDisabled).
+// Logging inside the mappers happens only at run/II granularity — never
+// per placement, tuple or PQ pop; see docs/OBSERVABILITY.md.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Logger is a nil-safe structured logger. A nil *Logger discards
+// everything; construct enabled loggers with Setup or New.
+type Logger struct {
+	s *slog.Logger
+}
+
+// New wraps an existing slog.Logger. A nil argument yields the
+// disabled logger.
+func New(s *slog.Logger) *Logger {
+	if s == nil {
+		return nil
+	}
+	return &Logger{s: s}
+}
+
+// Setup builds a logger writing to w with the given level ("debug",
+// "info", "warn", "error") and format ("text" or "json"). Both CLIs and
+// the serve daemon share this so -log-level/-log-format mean the same
+// thing everywhere.
+func Setup(w io.Writer, level, format string) (*Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "text", "":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+	}
+	return &Logger{s: slog.New(h)}, nil
+}
+
+// defaultLogger backs Default(); built once on first use.
+var (
+	defaultOnce sync.Once
+	defaultLg   *Logger
+)
+
+// Default returns a shared info-level text logger on stderr: the
+// fallback for library code that must report an error even when the
+// caller wired no logger (e.g. a trace-export failure in eval).
+func Default() *Logger {
+	defaultOnce.Do(func() {
+		defaultLg, _ = Setup(os.Stderr, "info", "text")
+	})
+	return defaultLg
+}
+
+// On reports whether the logger records anything. Guard attribute
+// assembly in warm code with it, exactly like trace.Tracer.Enabled:
+//
+//	if lg.On() {
+//		lg.Debug("ii exhausted", "ii", ii)
+//	}
+func (l *Logger) On() bool { return l != nil }
+
+// Slog returns the wrapped slog.Logger (nil for the disabled logger),
+// for handing to APIs that want the stdlib type.
+func (l *Logger) Slog() *slog.Logger {
+	if l == nil {
+		return nil
+	}
+	return l.s
+}
+
+// With returns a logger that adds the given attributes to every record.
+// On the disabled logger it returns nil, keeping the whole chain free.
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{s: l.s.With(args...)}
+}
+
+// WithRun returns a logger stamping every record with the run ID — the
+// same ID the flight recorder and trace download use.
+func (l *Logger) WithRun(runID string) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{s: l.s.With("run_id", runID)}
+}
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Debug(msg, args...)
+}
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Info(msg, args...)
+}
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Warn(msg, args...)
+}
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Error(msg, args...)
+}
+
+// runSeq breaks ties between run IDs generated in the same nanosecond.
+var runSeq atomic.Uint64
+
+// NewRunID returns a 16-hex-char identifier, unique within a process
+// and sortable-ish by creation time (high bits are wall-clock nanos).
+// It deliberately avoids crypto/rand: run IDs are correlation handles,
+// not secrets, and the daemon mints one per request.
+func NewRunID() string {
+	n := uint64(time.Now().UnixNano())<<16 | (runSeq.Add(1) & 0xffff)
+	// Mix so consecutive IDs differ in more than the low nibble digits.
+	n ^= rand.Uint64() & 0xffff0000
+	return fmt.Sprintf("%016x", n)
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var lg *Logger
+	if lg.On() {
+		t.Fatal("nil logger reports On")
+	}
+	if lg.Slog() != nil {
+		t.Fatal("nil logger has a slog")
+	}
+	// Every method must no-op, including through With chains.
+	lg.Debug("d", "k", 1)
+	lg.Info("i")
+	lg.Warn("w")
+	lg.Error("e")
+	if got := lg.With("a", 1).WithRun("abc"); got != nil {
+		t.Fatalf("With on nil logger = %v, want nil", got)
+	}
+	lg.With("a", 1).Info("through the chain")
+}
+
+func TestDisabledLoggerZeroAlloc(t *testing.T) {
+	var lg *Logger
+	n := testing.AllocsPerRun(1000, func() {
+		// The guarded pattern warm code uses...
+		if lg.On() {
+			lg.Debug("round", "i", 42)
+		}
+		// ...and the bare no-attribute call.
+		lg.Info("tick")
+	})
+	if n != 0 {
+		t.Fatalf("disabled logger allocates %v allocs/op, want 0", n)
+	}
+}
+
+func BenchmarkLoggerDisabled(b *testing.B) {
+	var lg *Logger
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if lg.On() {
+			lg.Debug("round", "i", i)
+		}
+		lg.Info("tick")
+	}
+}
+
+func TestSetupLevels(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := Setup(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hidden")
+	lg.Warn("shown")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("info line leaked through warn level: %q", out)
+	}
+	if !strings.Contains(out, "shown") {
+		t.Fatalf("warn line missing: %q", out)
+	}
+	if _, err := Setup(&buf, "loud", "text"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := Setup(&buf, "info", "yaml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+func TestSetupJSONAndRunID(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := Setup(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.WithRun("deadbeef00000001").Info("mapped", "ii", 4)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["run_id"] != "deadbeef00000001" {
+		t.Fatalf("run_id = %v", rec["run_id"])
+	}
+	if rec["ii"] != float64(4) {
+		t.Fatalf("ii = %v", rec["ii"])
+	}
+}
+
+func TestNewRunIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 10000; i++ {
+		id := NewRunID()
+		if len(id) != 16 {
+			t.Fatalf("run id %q is not 16 chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate run id %q after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"rewire/internal/dfg"
 	"rewire/internal/mapping"
 	"rewire/internal/mrrg"
+	"rewire/internal/obs"
 	"rewire/internal/placer"
 	"rewire/internal/route"
 	"rewire/internal/stats"
@@ -53,6 +54,9 @@ type Options struct {
 	// internal/trace and docs/OBSERVABILITY.md). nil disables tracing at
 	// ~zero hot-path cost.
 	Tracer *trace.Tracer
+	// Logger receives run- and II-level structured log records. nil
+	// disables logging at one pointer check per site, like the tracer.
+	Logger *obs.Logger
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -81,6 +85,8 @@ func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Resul
 	root := tr.StartSpan(nil, "pf.map").
 		WithStr("kernel", g.Name).WithStr("arch", a.Name).WithInt("mii", int64(res.MII))
 	defer root.End()
+	lg := opt.Logger.With("mapper", "pathfinder", "kernel", g.Name, "arch", a.Name)
+	lg.Debug("map start", "mii", res.MII, "max_ii", opt.MaxII)
 
 	totalRemaps := 0
 	iisExplored := 0
@@ -105,13 +111,20 @@ func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Resul
 			res.Duration = time.Since(start)
 			res.RemapIterations = totalRemaps / iisExplored
 			finalize(p.sess.M, &res)
+			lg.Info("mapped", "ii", ii, "mii", res.MII,
+				"remaps", res.RemapIterations, "duration_ms", res.Duration.Milliseconds())
 			return p.sess.M, res
+		}
+		if lg.On() {
+			lg.Debug("ii exhausted", "ii", ii, "remaps", p.remaps)
 		}
 	}
 	res.Duration = time.Since(start)
 	if iisExplored > 0 {
 		res.RemapIterations = totalRemaps / iisExplored
 	}
+	lg.Warn("mapping failed", "mii", res.MII, "max_ii", opt.MaxII,
+		"duration_ms", res.Duration.Milliseconds())
 	return nil, res
 }
 

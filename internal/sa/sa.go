@@ -20,6 +20,7 @@ import (
 	"rewire/internal/arch"
 	"rewire/internal/dfg"
 	"rewire/internal/mapping"
+	"rewire/internal/obs"
 	"rewire/internal/placer"
 	"rewire/internal/route"
 	"rewire/internal/stats"
@@ -52,6 +53,9 @@ type Options struct {
 	// internal/trace and docs/OBSERVABILITY.md). nil disables tracing at
 	// ~zero hot-path cost.
 	Tracer *trace.Tracer
+	// Logger receives run- and II-level structured log records. nil
+	// disables logging at one pointer check per site, like the tracer.
+	Logger *obs.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +96,8 @@ func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Resul
 	root := tr.StartSpan(nil, "sa.map").
 		WithStr("kernel", g.Name).WithStr("arch", a.Name).WithInt("mii", int64(res.MII))
 	defer root.End()
+	lg := opt.Logger.With("mapper", "sa", "kernel", g.Name, "arch", a.Name)
+	lg.Debug("map start", "mii", res.MII, "max_ii", opt.MaxII)
 
 	totalMoves := 0
 	iisExplored := 0
@@ -125,14 +131,21 @@ func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Resul
 				panic("sa: produced invalid mapping: " + err.Error())
 			}
 			iiSpan.WithBool("ok", true).End()
+			lg.Info("mapped", "ii", ii, "mii", res.MII,
+				"moves", res.RemapIterations, "duration_ms", res.Duration.Milliseconds())
 			return an.sess.M, res
 		}
 		iiSpan.WithBool("ok", false).End()
+		if lg.On() {
+			lg.Debug("ii exhausted", "ii", ii)
+		}
 	}
 	res.Duration = time.Since(start)
 	if iisExplored > 0 {
 		res.RemapIterations = totalMoves / iisExplored
 	}
+	lg.Warn("mapping failed", "mii", res.MII, "max_ii", opt.MaxII,
+		"duration_ms", res.Duration.Milliseconds())
 	return nil, res
 }
 

@@ -307,6 +307,11 @@ type HistStats struct {
 	Min   int64   `json:"min"`
 	Max   int64   `json:"max"`
 	Mean  float64 `json:"mean"`
+	// Buckets are the power-of-two bucket counts, trimmed of trailing
+	// zeros: Buckets[0] counts values <= 1, Buckets[i] counts values in
+	// [2^i, 2^(i+1)). The metrics bridge folds them into Prometheus
+	// histograms without replaying samples.
+	Buckets []int64 `json:"buckets,omitempty"`
 }
 
 func (h *Histogram) stats() HistStats {
@@ -315,6 +320,13 @@ func (h *Histogram) stats() HistStats {
 	st := HistStats{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
 	if h.count > 0 {
 		st.Mean = float64(h.sum) / float64(h.count)
+	}
+	top := len(h.buckets)
+	for top > 0 && h.buckets[top-1] == 0 {
+		top--
+	}
+	if top > 0 {
+		st.Buckets = append([]int64(nil), h.buckets[:top]...)
 	}
 	return st
 }

@@ -20,6 +20,7 @@ package rewire
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"rewire/internal/adl"
@@ -32,6 +33,7 @@ import (
 	"rewire/internal/kernelir"
 	"rewire/internal/kernels"
 	"rewire/internal/mapping"
+	"rewire/internal/obs"
 	"rewire/internal/pathfinder"
 	"rewire/internal/power"
 	"rewire/internal/sa"
@@ -64,10 +66,22 @@ type (
 	// needs no guards. Export with WriteChromeTrace (Perfetto-loadable)
 	// or WriteJSONL. See docs/OBSERVABILITY.md.
 	Tracer = trace.Tracer
+	// Logger emits structured per-run log records (log/slog underneath).
+	// A nil *Logger is the disabled logger: every method is a no-op
+	// costing one pointer check. See NewLogger and docs/OBSERVABILITY.md.
+	Logger = obs.Logger
 )
 
 // NewTracer returns an enabled tracer to pass in Options.Tracer.
 func NewTracer() *Tracer { return trace.New() }
+
+// NewLogger builds a structured logger writing to w to pass in
+// Options.Logger. Level is "debug", "info", "warn" or "error"; format
+// is "text" or "json". Both CLIs and the rewire-serve daemon use this
+// same setup, so log flags mean the same thing everywhere.
+func NewLogger(w io.Writer, level, format string) (*Logger, error) {
+	return obs.Setup(w, level, format)
+}
 
 // MapperName selects which mapping algorithm Map uses.
 type MapperName string
@@ -94,6 +108,10 @@ type Options struct {
 	// (see NewTracer). Nil — the default — costs one pointer check per
 	// instrumentation point.
 	Tracer *Tracer
+	// Logger, when non-nil, receives structured run- and II-level log
+	// records (see NewLogger). Nil — the default — disables logging at
+	// the same one-pointer-check cost as the tracer.
+	Logger *Logger
 }
 
 // New4x4 builds the paper's 4x4 CGRA preset with the given register-file
@@ -148,17 +166,17 @@ func Map(g *DFG, cgra *CGRA, opt Options) (*Mapping, Result, error) {
 	case MapperRewire, "":
 		m, res = core.Map(g, cgra, core.Options{
 			Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
-			Tracer: opt.Tracer,
+			Tracer: opt.Tracer, Logger: opt.Logger,
 		})
 	case MapperPathFinder:
 		m, res = pathfinder.Map(g, cgra, pathfinder.Options{
 			Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
-			Tracer: opt.Tracer,
+			Tracer: opt.Tracer, Logger: opt.Logger,
 		})
 	case MapperSA:
 		m, res = sa.Map(g, cgra, sa.Options{
 			Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
-			Tracer: opt.Tracer,
+			Tracer: opt.Tracer, Logger: opt.Logger,
 		})
 	default:
 		return nil, res, fmt.Errorf("rewire: unknown mapper %q", opt.Mapper)
@@ -205,7 +223,7 @@ func RenderUtilisation(m *Mapping) (string, error) { return viz.Utilisation(m) }
 func Amend(m *Mapping, opt Options) (*Mapping, Result, error) {
 	return core.Amend(m, core.Options{
 		Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
-		Tracer: opt.Tracer,
+		Tracer: opt.Tracer, Logger: opt.Logger,
 	})
 }
 

@@ -1,0 +1,143 @@
+// Command benchdiff compares two BENCH_<date>.json files (the
+// scripts/benchjson format) and fails when the newer run regresses:
+//
+//   - ns/op worse than the baseline by more than -threshold (default
+//     15%, absorbing CI-runner noise), or
+//   - any allocs/op increase on a bench whose baseline allocs/op is 0 —
+//     the zero-alloc pins (disabled tracer/logger/metrics hot paths)
+//     must stay exactly zero, with no noise allowance.
+//
+// Benchmarks present in only one file are reported but never fail the
+// diff: renames and additions are routine between PRs.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.15] BASELINE.json CURRENT.json
+//
+// Exit status: 0 clean, 1 regression, 2 usage or parse error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Record mirrors scripts/benchjson's per-benchmark output.
+type Record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Output mirrors scripts/benchjson's file format.
+type Output struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go,omitempty"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+// regression is one failed comparison.
+type regression struct {
+	Name   string
+	Metric string
+	Base   float64
+	Cur    float64
+}
+
+func (r regression) String() string {
+	if r.Metric == "allocs/op" {
+		return fmt.Sprintf("%s: allocs/op %g -> %g (zero-alloc pin broken)", r.Name, r.Base, r.Cur)
+	}
+	return fmt.Sprintf("%s: %s %.0f -> %.0f (%+.1f%%)", r.Name, r.Metric, r.Base, r.Cur, 100*(r.Cur-r.Base)/r.Base)
+}
+
+// diff compares current against baseline and returns every regression
+// plus human-readable notes (missing/new benches, per-bench deltas).
+func diff(base, cur Output, threshold float64) (regs []regression, notes []string) {
+	curBy := make(map[string]Record, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curBy[b.Name] = b
+	}
+	seen := make(map[string]bool, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		seen[b.Name] = true
+		c, ok := curBy[b.Name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("only in baseline: %s", b.Name))
+			continue
+		}
+		bNS, cNS := b.Metrics["ns/op"], c.Metrics["ns/op"]
+		if bNS > 0 && cNS > 0 {
+			delta := (cNS - bNS) / bNS
+			notes = append(notes, fmt.Sprintf("%-44s ns/op %14.0f -> %14.0f  %+6.1f%%", b.Name, bNS, cNS, 100*delta))
+			if delta > threshold {
+				regs = append(regs, regression{b.Name, "ns/op", bNS, cNS})
+			}
+		}
+		if bAllocs, ok := b.Metrics["allocs/op"]; ok && bAllocs == 0 {
+			if cAllocs := c.Metrics["allocs/op"]; cAllocs > 0 {
+				regs = append(regs, regression{b.Name, "allocs/op", bAllocs, cAllocs})
+			}
+		}
+	}
+	for _, c := range cur.Benchmarks {
+		if !seen[c.Name] {
+			notes = append(notes, fmt.Sprintf("only in current: %s", c.Name))
+		}
+	}
+	return regs, notes
+}
+
+func load(path string) (Output, error) {
+	var out Output
+	f, err := os.Open(path)
+	if err != nil {
+		return out, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return out, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.15, "ns/op regression tolerance (0.15 = +15%)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.15] BASELINE.json CURRENT.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	regs, notes := diff(base, cur, *threshold)
+	fmt.Printf("baseline %s (%s) vs current %s (%s), threshold +%.0f%%\n\n",
+		flag.Arg(0), base.Date, flag.Arg(1), cur.Date, *threshold*100)
+	for _, n := range notes {
+		fmt.Println(n)
+	}
+	if len(regs) > 0 {
+		fmt.Printf("\n%d regression(s):\n", len(regs))
+		for _, r := range regs {
+			fmt.Println("  FAIL", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nno regressions")
+}

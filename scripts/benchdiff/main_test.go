@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func out(recs ...Record) Output { return Output{Date: "2026-08-06", Benchmarks: recs} }
+
+func rec(name string, ns, allocs float64) Record {
+	return Record{Name: name, Iterations: 1, Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs}}
+}
+
+func TestNoRegression(t *testing.T) {
+	base := out(rec("BenchmarkA", 1000, 5), rec("BenchmarkZero", 40, 0))
+	cur := out(rec("BenchmarkA", 1100, 7), rec("BenchmarkZero", 35, 0))
+	regs, _ := diff(base, cur, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("regs = %v, want none (+10%% is inside threshold)", regs)
+	}
+}
+
+func TestNsOpRegression(t *testing.T) {
+	base := out(rec("BenchmarkA", 1000, 5))
+	cur := out(rec("BenchmarkA", 1200, 5))
+	regs, _ := diff(base, cur, 0.15)
+	if len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Fatalf("regs = %v, want one ns/op regression (+20%%)", regs)
+	}
+}
+
+func TestThresholdIsExclusive(t *testing.T) {
+	base := out(rec("BenchmarkA", 1000, 5))
+	cur := out(rec("BenchmarkA", 1150, 5))
+	if regs, _ := diff(base, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("exactly +15%% must pass, got %v", regs)
+	}
+}
+
+func TestZeroAllocPin(t *testing.T) {
+	base := out(rec("BenchmarkTracerDisabled", 2, 0))
+	cur := out(rec("BenchmarkTracerDisabled", 2, 1))
+	regs, _ := diff(base, cur, 0.15)
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("regs = %v, want the zero-alloc pin to fail", regs)
+	}
+	// Nonzero-baseline allocs may drift without failing the diff.
+	base = out(rec("BenchmarkBig", 1000, 100))
+	cur = out(rec("BenchmarkBig", 1000, 150))
+	if regs, _ := diff(base, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("nonzero-baseline alloc drift must not fail, got %v", regs)
+	}
+}
+
+func TestMissingBenchesTolerated(t *testing.T) {
+	base := out(rec("BenchmarkGone", 1000, 0))
+	cur := out(rec("BenchmarkNew", 1000, 0))
+	regs, notes := diff(base, cur, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("missing benches must not regress, got %v", regs)
+	}
+	joined := strings.Join(notes, "\n")
+	for _, want := range []string{"only in baseline: BenchmarkGone", "only in current: BenchmarkNew"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("notes missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestSelfDiffIsClean(t *testing.T) {
+	base := out(rec("BenchmarkA", 1000, 5), rec("BenchmarkZero", 40, 0))
+	if regs, _ := diff(base, base, 0.15); len(regs) != 0 {
+		t.Fatalf("self diff regressed: %v", regs)
+	}
+}
