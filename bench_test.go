@@ -193,6 +193,9 @@ func bname(k string, v int) string {
 // --- substrate micro-benchmarks ---
 
 // BenchmarkSubRouter measures the exact-latency router on an 8x8 fabric.
+// expansions/op (priority-queue pops) is the hardware-independent work
+// measure the A* heuristic is meant to shrink; benchdiff gates it like
+// ns/op.
 func BenchmarkSubRouter(b *testing.B) {
 	b.ReportAllocs()
 	g := mrrg.New(arch.New8x8(4), 4)
@@ -201,11 +204,58 @@ func BenchmarkSubRouter(b *testing.B) {
 	cost := route.StrictCost(st, 1)
 	rng := rand.New(rand.NewSource(1))
 	b.ResetTimer()
+	start := r.Expansions
 	for i := 0; i < b.N; i++ {
 		srcPE := rng.Intn(64)
 		dstPE := rng.Intn(64)
 		lat := 1 + rng.Intn(10)
-		r.FindPath(g.FU(srcPE, 0), g.FU(dstPE, lat%4), lat, cost)
+		r.FindPath(g.FU(srcPE, 0), g.FU(dstPE, lat%4), lat, cost, 1)
+	}
+	b.ReportMetric(float64(r.Expansions-start)/float64(b.N), "expansions/op")
+}
+
+// BenchmarkFindPathCongested measures the router on a fabric whose
+// resources are half-occupied by foreign nets — the regime PathFinder
+// negotiation and strict verification actually run in, where the cost
+// surface is rugged and the A* plateau dive pays or doesn't.
+func BenchmarkFindPathCongested(b *testing.B) {
+	b.ReportAllocs()
+	g := mrrg.New(arch.New8x8(4), 4)
+	st := mrrg.NewState(g)
+	rng := rand.New(rand.NewSource(2))
+	for n := mrrg.Node(0); int(n) < g.NumNodes(); n++ {
+		if g.Valid(n) && g.Kind(n) != mrrg.KindFU && rng.Intn(2) == 0 {
+			if err := st.Reserve(n, 999, rng.Intn(4)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	r := route.NewRouter(g, route.DefaultMaxLat(8, 8, 4))
+	cost := route.StrictCost(st, 1)
+	b.ResetTimer()
+	start := r.Expansions
+	for i := 0; i < b.N; i++ {
+		srcPE := rng.Intn(64)
+		dstPE := rng.Intn(64)
+		lat := 1 + rng.Intn(10)
+		r.FindPath(g.FU(srcPE, 0), g.FU(dstPE, lat%4), lat, cost, 1)
+	}
+	b.ReportMetric(float64(r.Expansions-start)/float64(b.N), "expansions/op")
+}
+
+// BenchmarkMRRGCacheHit measures the shared-graph fast path: a session
+// acquiring an already-built MRRG plus a pooled state. The absence of a
+// Graph rebuild is what makes II sweeps and eval fleets cheap; allocs/op
+// here is the fingerprint string plus pool bookkeeping, never the graph.
+func BenchmarkMRRGCacheHit(b *testing.B) {
+	b.ReportAllocs()
+	a := arch.New8x8(4)
+	mrrg.Shared(a, 4) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := mrrg.Shared(a, 4)
+		st := mrrg.NewState(g)
+		st.Recycle()
 	}
 }
 

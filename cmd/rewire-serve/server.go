@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"rewire"
+	"rewire/internal/dist"
 	"rewire/internal/metrics"
+	"rewire/internal/mrrg"
 	"rewire/internal/obs"
 	"rewire/internal/trace"
 )
@@ -78,6 +80,16 @@ type server struct {
 	mUptime   *metrics.Gauge
 	mGoros    *metrics.Gauge
 	mHeap     *metrics.Gauge
+
+	// Substrate cache counters, exported by diffing the process-wide
+	// cumulative stats on each scrape (counters may only move forward,
+	// so the handler adds deltas since the previous export).
+	mMRRGHits   *metrics.Counter
+	mMRRGMisses *metrics.Counter
+	mDistHits   *metrics.Counter
+	mDistMisses *metrics.Counter
+	cacheMu     sync.Mutex
+	lastCache   [4]int64 // mrrg hits/misses, dist hits/misses at last scrape
 }
 
 func newServer(cfg serverConfig, lg *obs.Logger) *server {
@@ -114,6 +126,14 @@ func newServer(cfg serverConfig, lg *obs.Logger) *server {
 			"Live goroutines."),
 		mHeap: reg.NewGauge("rewire_process_heap_alloc_bytes",
 			"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc)."),
+		mMRRGHits: reg.NewCounter("rewire_mrrg_cache_hits_total",
+			"Sessions served an already-built modulo routing resource graph."),
+		mMRRGMisses: reg.NewCounter("rewire_mrrg_cache_misses_total",
+			"Sessions that had to build a new modulo routing resource graph."),
+		mDistHits: reg.NewCounter("rewire_dist_cache_hits_total",
+			"Routers served a precomputed PE distance oracle."),
+		mDistMisses: reg.NewCounter("rewire_dist_cache_misses_total",
+			"Routers that had to compute a PE distance oracle (reverse BFS)."),
 	}
 	return s
 }
@@ -435,7 +455,8 @@ func (s *server) recordRun(lg *obs.Logger, runID string, req *mapRequest,
 	return rec
 }
 
-// metricsHandler refreshes the process gauges, then renders.
+// metricsHandler refreshes the process gauges and cache counters, then
+// renders.
 func (s *server) metricsHandler() http.Handler {
 	inner := s.reg.Handler()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -444,8 +465,24 @@ func (s *server) metricsHandler() http.Handler {
 		s.mUptime.Set(time.Since(s.start).Seconds())
 		s.mGoros.Set(float64(runtime.NumGoroutine()))
 		s.mHeap.Set(float64(ms.HeapAlloc))
+		s.refreshCacheCounters()
 		inner.ServeHTTP(w, r)
 	})
+}
+
+// refreshCacheCounters folds the process-wide cumulative cache stats
+// into the registry counters as deltas since the previous scrape (the
+// mutex keeps concurrent scrapes from double-counting a delta).
+func (s *server) refreshCacheCounters() {
+	mh, mm := mrrg.CacheStats()
+	dh, dm := dist.CacheStats()
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	s.mMRRGHits.Add(mh - s.lastCache[0])
+	s.mMRRGMisses.Add(mm - s.lastCache[1])
+	s.mDistHits.Add(dh - s.lastCache[2])
+	s.mDistMisses.Add(dm - s.lastCache[3])
+	s.lastCache = [4]int64{mh, mm, dh, dm}
 }
 
 // handleHealthz: liveness — the process answers.

@@ -76,7 +76,7 @@ func TestMapEndToEnd(t *testing.T) {
 	if out.RunID == "" || out.Grid == "" {
 		t.Fatalf("missing run_id or grid: %+v", out)
 	}
-	if out.Counters["router.expansions"] == 0 {
+	if out.Counters["route.expansions"] == 0 {
 		t.Fatalf("no router work recorded: %v", out.Counters)
 	}
 
@@ -124,9 +124,13 @@ func TestMapEndToEnd(t *testing.T) {
 	}
 	for _, want := range []string{
 		`rewire_map_requests_total{mapper="rewire",outcome="ok"} 1`,
-		"rewire_router_expansions_total",
+		"rewire_route_expansions_total",
 		"rewire_map_duration_seconds_bucket",
 		"rewire_process_uptime_seconds",
+		"rewire_mrrg_cache_hits_total",
+		"rewire_mrrg_cache_misses_total",
+		"rewire_dist_cache_hits_total",
+		"rewire_dist_cache_misses_total",
 	} {
 		if !strings.Contains(mBody, want) {
 			t.Errorf("/metrics missing %q", want)

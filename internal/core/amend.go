@@ -48,6 +48,7 @@ func Amend(m *mapping.Mapping, opt Options) (*mapping.Mapping, stats.Result, err
 	// counters are filled on every path, not only successes).
 	res.RouterExpansions = am.router.Expansions
 	am.ctr.routerExpansions.Add(am.router.Expansions)
+	defer am.sess.Close()
 	if !ok {
 		res.Duration = time.Since(start)
 		return nil, res, fmt.Errorf("rewire: could not amend %q on %s at II=%d within %s",

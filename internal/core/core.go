@@ -178,6 +178,7 @@ func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Resul
 			ctr.routerExpansions.Add(router.Expansions)
 			aSpan.WithBool("ok", ok).End()
 			if !ok {
+				am.sess.Close()
 				continue
 			}
 			res.Success = true
@@ -189,7 +190,9 @@ func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Resul
 			iiSpan.WithBool("ok", true).End()
 			lg.Info("mapped", "ii", ii, "mii", res.MII,
 				"amendments", res.ClusterAmendments, "duration_ms", res.Duration.Milliseconds())
-			return am.sess.M, res
+			mapped := am.sess.M
+			am.sess.Close()
+			return mapped, res
 		}
 		iiSpan.WithBool("ok", false).End()
 		if lg.On() {

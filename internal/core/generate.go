@@ -144,18 +144,15 @@ func (g *generator) admissible(i, v int, c pcand) bool {
 }
 
 // latOK checks the producer->consumer cycle constraint for an in-cluster
-// edge: latency at least 1, at least the mesh distance plus delivery,
-// and within the router's bound.
+// edge: latency at least 1, at least the oracle's exact minimum routing
+// latency (exact on torus wrap links, where a Manhattan bound would
+// reject routable candidates), and within the router's bound.
 func (g *generator) latOK(from, to pcand, dist int) bool {
 	lat := to.T - from.T + dist*g.a.sess.M.II
 	if lat < 1 || lat > g.a.router.MaxLat() {
 		return false
 	}
-	need := 1
-	if from.pe != to.pe {
-		need = g.a.sess.M.Arch.Manhattan(from.pe, to.pe) + 1
-	}
-	return lat >= need
+	return lat >= g.a.router.NeedCycles(from.pe, to.pe)
 }
 
 func (g *generator) indexOf(v, limit int) (int, bool) {
@@ -222,7 +219,8 @@ func (g *generator) routeOne(eid int) bool {
 	}
 	src := a.sess.Graph.FU(a.sess.M.Place[e.From].PE, a.sess.M.Place[e.From].Time)
 	dst := a.sess.Graph.FU(a.sess.M.Place[e.To].PE, a.sess.M.Place[e.To].Time)
-	path, found := a.router.FindPath(src, dst, lat, route.StrictCost(a.sess.State, mrrg.Net(e.From)))
+	path, found := a.router.FindPath(src, dst, lat,
+		route.StrictCost(a.sess.State, mrrg.Net(e.From)), route.StrictFloor(a.sess, e.From))
 	if !found {
 		return false
 	}

@@ -34,7 +34,7 @@ func newCounters(tr *trace.Tracer) counters {
 		verifyAttempts:    tr.Counter("verify.attempts"),
 		verifySuccesses:   tr.Counter("verify.successes"),
 		clusterAmendments: tr.Counter("cluster.amendments"),
-		routerExpansions:  tr.Counter("router.expansions"),
+		routerExpansions:  tr.Counter("route.expansions"),
 		tuples:            tr.Counter("propagate.tuples"),
 		tuplesDeduped:     tr.Counter("propagate.tuples_deduped"),
 		pcands:            tr.Counter("intersect.pcandidates"),

@@ -1,0 +1,187 @@
+// Package dist precomputes exact PE-to-PE routing distances for the
+// router's A* heuristic and feasibility prune: a distance oracle.
+//
+// The oracle answers "how many routing cycles does a value held at PE p
+// need, at minimum, to be inside the FU of PE q?" — exactly, including
+// torus wrap links, which arch.Manhattan deliberately ignores. It is
+// derived by reverse breadth-first search over the MRRG's PE-level
+// topology (the quotient of the routing-resource graph under FeedsPE:
+// every resource held "at" a PE — its FU, its registers, the inbound
+// halves of its links — exits to the same set of next-cycle resources,
+// so resource classes collapse onto their feeding PE and the exact
+// per-resource distance is peDist[FeedsPE(n)][dst] + 1).
+//
+// Distances are II-independent: MRRG adjacency is time-uniform, so the
+// minimum cycle count between PEs does not depend on the initiation
+// interval. One table therefore serves every II of an architecture. The
+// table is computed once per architecture fingerprint (a canonical
+// serialisation of the PE adjacency actually wired into the graph) and
+// shared from a concurrency-safe cache.
+package dist
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"rewire/internal/arch"
+	"rewire/internal/mrrg"
+)
+
+// Unreachable is the hop count reported for PE pairs with no routing
+// path (it cannot occur on the connected mesh/torus fabrics the presets
+// build, but keeps the oracle honest on degenerate topologies).
+const Unreachable = int(^uint16(0))
+
+// Oracle holds the all-pairs minimum-hop table of one PE topology. It is
+// immutable after construction and safe for concurrent use.
+type Oracle struct {
+	numPEs int
+	// d[dst*numPEs+src] is the minimum number of mesh links on a route
+	// from src to dst, computed by reverse BFS from dst. Row-major by
+	// destination so one routing search touches a single contiguous row.
+	d []uint16
+}
+
+// NumPEs returns the PE count of the topology the oracle was built for.
+func (o *Oracle) NumPEs() int { return o.numPEs }
+
+// Hops returns the minimum number of mesh links from PE from to PE to
+// (0 when equal, Unreachable when no path exists).
+func (o *Oracle) Hops(from, to int) int { return int(o.d[to*o.numPEs+from]) }
+
+// Row returns the distance row of destination dst: Row(dst)[src] is the
+// hop count src -> dst. The slice is owned by the oracle; callers must
+// not modify it. Hot loops use it to avoid recomputing the row offset.
+func (o *Oracle) Row(dst int) []uint16 {
+	return o.d[dst*o.numPEs : (dst+1)*o.numPEs]
+}
+
+// NeedCycles returns the exact minimum routing latency from a producer
+// executing on PE from to a consumer executing on PE to: one cycle to
+// enter a resource per mesh hop, plus the final cycle entering the
+// consumer's FU. It is 1 for same-PE pairs and Unreachable (saturated,
+// not +1) for disconnected pairs.
+func (o *Oracle) NeedCycles(from, to int) int {
+	h := o.Hops(from, to)
+	if h >= Unreachable {
+		return Unreachable
+	}
+	return h + 1
+}
+
+// cache holds one oracle per architecture fingerprint. Entries are tiny
+// (2 bytes per PE pair) and topologies per process are few, so there is
+// no eviction.
+var cache struct {
+	mu sync.Mutex
+	m  map[string]*Oracle
+
+	hits, misses atomic.Int64
+}
+
+// CacheStats reports cumulative oracle-cache hits and misses (used by
+// tests and the metrics exporter).
+func CacheStats() (hits, misses int64) {
+	return cache.hits.Load(), cache.misses.Load()
+}
+
+// For returns the distance oracle for g's PE topology, computing it on
+// first use and serving every later request for the same fingerprint
+// from the cache. Safe for concurrent use.
+//
+// The fingerprint is derived from the adjacency wired into g itself (the
+// valid link resources and the PEs they feed), not from the arch.CGRA
+// fields, so the oracle always agrees with the graph the router searches
+// even if the architecture value was mutated between constructions.
+func For(g *mrrg.Graph) *Oracle {
+	adj := peAdjacency(g)
+	key := fingerprint(adj)
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	if o, ok := cache.m[key]; ok {
+		cache.hits.Add(1)
+		return o
+	}
+	cache.misses.Add(1)
+	o := compute(adj)
+	if cache.m == nil {
+		cache.m = map[string]*Oracle{}
+	}
+	cache.m[key] = o
+	return o
+}
+
+// peAdjacency extracts the PE-level topology from the graph: adj[p]
+// lists the PEs reachable from p over one valid output link. Link
+// resources are time-uniform, so the t=0 slice describes every cycle.
+func peAdjacency(g *mrrg.Graph) [][]int32 {
+	n := g.Arch.NumPEs()
+	adj := make([][]int32, n)
+	for pe := 0; pe < n; pe++ {
+		for d := arch.Dir(0); d < arch.NumDirs; d++ {
+			ln := g.Link(pe, d, 0)
+			if !g.Valid(ln) {
+				continue
+			}
+			adj[pe] = append(adj[pe], int32(g.FeedsPE(ln)))
+		}
+	}
+	return adj
+}
+
+// fingerprint canonically serialises a PE adjacency. Two graphs with the
+// same fingerprint have byte-identical topologies, so sharing an oracle
+// between them is exact (no hashing, no collisions).
+func fingerprint(adj [][]int32) string {
+	var b strings.Builder
+	b.Grow(8 * len(adj))
+	b.WriteString(strconv.Itoa(len(adj)))
+	for _, row := range adj {
+		b.WriteByte('|')
+		for i, q := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(int(q)))
+		}
+	}
+	return b.String()
+}
+
+// compute runs one reverse BFS per destination PE over the reversed
+// adjacency, filling the destination's distance row. O(PEs^2) time and
+// space; a 64-PE fabric is a 8 KiB table.
+func compute(adj [][]int32) *Oracle {
+	n := len(adj)
+	radj := make([][]int32, n)
+	for p, row := range adj {
+		for _, q := range row {
+			radj[q] = append(radj[q], int32(p))
+		}
+	}
+	o := &Oracle{numPEs: n, d: make([]uint16, n*n)}
+	queue := make([]int32, 0, n)
+	for dst := 0; dst < n; dst++ {
+		row := o.d[dst*n : (dst+1)*n]
+		for i := range row {
+			row[i] = uint16(Unreachable)
+		}
+		row[dst] = 0
+		queue = append(queue[:0], int32(dst))
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			next := row[cur] + 1
+			for _, p := range radj[cur] {
+				if row[p] <= next {
+					continue
+				}
+				row[p] = next
+				queue = append(queue, p)
+			}
+		}
+	}
+	return o
+}

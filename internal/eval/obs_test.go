@@ -32,8 +32,8 @@ func TestCountersNonzeroAndMatchTracer(t *testing.T) {
 				t.Errorf("%s: PlacementsTried = 0, want > 0", mapper)
 			}
 			tot := tr.CounterTotals()
-			if got := tot["router.expansions"]; got != res.RouterExpansions {
-				t.Errorf("%s: counter router.expansions = %d, stats says %d", mapper, got, res.RouterExpansions)
+			if got := tot["route.expansions"]; got != res.RouterExpansions {
+				t.Errorf("%s: counter route.expansions = %d, stats says %d", mapper, got, res.RouterExpansions)
 			}
 			if got := tot["placements.tried"]; got != res.PlacementsTried {
 				t.Errorf("%s: counter placements.tried = %d, stats says %d", mapper, got, res.PlacementsTried)

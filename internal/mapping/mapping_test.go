@@ -374,3 +374,36 @@ func TestNegativeTimesSupported(t *testing.T) {
 		t.Fatal("negative time not wrapped into slot 1")
 	}
 }
+
+// TestSessionsShareGraph pins the MRRG cache integration: sessions over
+// the same architecture and II reuse one immutable graph (concurrently
+// too — each session still owns a private State), and Close returns the
+// state to the pool without touching the shared graph.
+func TestSessionsShareGraph(t *testing.T) {
+	a := arch.New4x4(4)
+	s1 := NewSession(New(chain(), a, 3))
+	s2 := NewSession(New(chain(), a, 3))
+	if s1.Graph != s2.Graph {
+		t.Fatal("two sessions at the same arch+II built separate graphs")
+	}
+	if s3 := NewSession(New(chain(), a, 4)); s3.Graph == s1.Graph {
+		t.Fatal("different II shared a graph")
+	}
+	// Private states: a reservation in one session is invisible to the other.
+	n := s1.Graph.FU(3, 1)
+	if err := s1.State.Reserve(n, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !s2.State.Free(n) {
+		t.Fatal("states leaked between sessions sharing a graph")
+	}
+	g := s1.Graph
+	s1.Close()
+	s2.Close()
+	if s1.State != nil || s2.State != nil {
+		t.Fatal("Close did not detach the state")
+	}
+	if NewSession(New(chain(), a, 3)).Graph != g {
+		t.Fatal("graph evicted by session close")
+	}
+}

@@ -20,9 +20,24 @@ type Session struct {
 }
 
 // NewSession builds an empty mapping session for m.DFG on m.Arch at m.II.
+// The MRRG comes from the shared arch+II-keyed cache (mrrg.Shared): it is
+// immutable, so every session of the same architecture and II — across
+// the II sweep, eval workers, and rewire-serve requests — reads one
+// Graph. Only the occupancy State is per-session.
 func NewSession(m *Mapping) *Session {
-	g := mrrg.New(m.Arch, m.II)
+	g := mrrg.Shared(m.Arch, m.II)
 	return &Session{M: m, Graph: g, State: mrrg.NewState(g)}
+}
+
+// Close releases the session's occupancy scratch back to the shared
+// graph's recycle pool. The session must not be used afterwards. Closing
+// is optional (a dropped session is garbage-collected normally) and the
+// produced Mapping stays valid: it holds no reference to the State.
+func (s *Session) Close() {
+	if s.State != nil {
+		s.State.Recycle()
+		s.State = nil
+	}
 }
 
 // Fork returns an independent snapshot of the session: the mapping and
@@ -236,6 +251,7 @@ func Restore(m *Mapping) (*Session, error) {
 			continue
 		}
 		if err := s.PlaceNode(v, m.Place[v].PE, m.Place[v].Time); err != nil {
+			s.Close()
 			return nil, err
 		}
 	}
@@ -244,6 +260,7 @@ func Restore(m *Mapping) (*Session, error) {
 			continue
 		}
 		if err := s.RouteEdge(e, route); err != nil {
+			s.Close()
 			return nil, err
 		}
 	}
@@ -278,6 +295,7 @@ func Validate(m *Mapping) error {
 	if err != nil {
 		return err
 	}
+	defer s.Close()
 	for e := range m.Routes {
 		if !m.Routed(e) {
 			ed := m.DFG.Edges[e]

@@ -7,9 +7,9 @@ import (
 )
 
 // This file is the offline→online name bridge. internal/trace names
-// its counters with dots ("router.expansions" in the JSONL export);
+// its counters with dots ("route.expansions" in the JSONL export);
 // the online registry names metrics per the Prometheus convention
-// (rewire_router_expansions_total). The mapping is mechanical — one
+// (rewire_route_expansions_total). The mapping is mechanical — one
 // string function each way of the fold, no lookup table — so a
 // dashboard built on the online names can always be traced back to the
 // offline JSONL records and vice versa. TestBridgeNamesFollowConvention
@@ -19,7 +19,7 @@ import (
 // Prometheus name: dots become underscores, the rewire_ prefix and the
 // _total counter unit are appended.
 //
-//	router.expansions        -> rewire_router_expansions_total
+//	route.expansions        -> rewire_route_expansions_total
 //	route.findpath.calls     -> rewire_route_findpath_calls_total
 //	propagate.tuples_deduped -> rewire_propagate_tuples_deduped_total
 func BridgeCounterName(traceName string) string {

@@ -192,7 +192,7 @@ func TestConcurrentUpdatesDuringRender(t *testing.T) {
 // docs/OBSERVABILITY.md). Adding a pipeline counter means adding it
 // here, which keeps the online bridge audited.
 var pipelineCounters = []string{
-	"router.expansions",
+	"route.expansions",
 	"route.findpath.calls",
 	"route.findpath.found",
 	"placements.tried",
@@ -241,7 +241,7 @@ func TestBridgeNamesFollowConvention(t *testing.T) {
 
 func TestFoldTracer(t *testing.T) {
 	tr := trace.New()
-	tr.Counter("router.expansions").Add(100)
+	tr.Counter("route.expansions").Add(100)
 	tr.Counter("placements.tried").Add(7)
 	for _, v := range []int64{1, 2, 4, 15} {
 		tr.Histogram("cluster.size").Observe(v)
@@ -254,7 +254,7 @@ func TestFoldTracer(t *testing.T) {
 	r.WritePrometheus(&sb)
 	out := sb.String()
 	for _, want := range []string{
-		"rewire_router_expansions_total 200",
+		"rewire_route_expansions_total 200",
 		"rewire_placements_tried_total 14",
 		`rewire_cluster_size_units_bucket{le="1"} 2`,
 		`rewire_cluster_size_units_bucket{le="15"} 8`,

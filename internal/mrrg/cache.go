@@ -1,0 +1,103 @@
+package mrrg
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"rewire/internal/arch"
+)
+
+// Graphs are immutable after New returns, so one Graph can back every
+// session of the same (architecture, II) pair — across the II sweep of a
+// single mapping run, across eval worker goroutines, and across
+// rewire-serve requests — instead of being rebuilt per attempt. Shared
+// implements that: an architecture+II-keyed, concurrency-safe cache.
+//
+// Invariants the cache relies on (see docs/PERFORMANCE.md):
+//
+//   - a Graph is never mutated after construction; all mutable occupancy
+//     lives in State, which is per-session;
+//   - an arch.CGRA must not be mutated after its first use in a session.
+//     The key is a fingerprint of every field that feeds construction,
+//     so mutating a CGRA and calling Shared again yields a fresh Graph —
+//     but sessions built before the mutation keep the old one.
+var shared struct {
+	mu sync.Mutex
+	m  map[string]*Graph
+	// order remembers insertion order for the bounded eviction below.
+	order []string
+
+	hits, misses atomic.Int64
+}
+
+// maxSharedGraphs bounds the cache. An II sweep touches at most a few
+// dozen (arch, II) pairs; the bound only matters for a long-lived server
+// fed a stream of distinct custom architectures, where evicting the
+// oldest entry (sessions holding it keep it alive; it is simply rebuilt
+// if requested again) beats unbounded growth.
+const maxSharedGraphs = 128
+
+// CacheStats reports cumulative Shared hits and misses; the metrics
+// exporter publishes them as rewire_mrrg_cache_{hits,misses}_total.
+func CacheStats() (hits, misses int64) {
+	return shared.hits.Load(), shared.misses.Load()
+}
+
+// Shared returns the MRRG of cgra time-extended to ii cycles, building
+// it at most once per (architecture fingerprint, II) and sharing the
+// immutable result across callers. Safe for concurrent use.
+func Shared(cgra *arch.CGRA, ii int) *Graph {
+	key := archFingerprint(cgra, ii)
+	shared.mu.Lock()
+	if g, ok := shared.m[key]; ok {
+		shared.mu.Unlock()
+		shared.hits.Add(1)
+		return g
+	}
+	shared.mu.Unlock()
+	// Build outside the lock: construction is the expensive part and two
+	// racing builders of the same key produce interchangeable graphs.
+	g := New(cgra, ii)
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	if cached, ok := shared.m[key]; ok {
+		shared.hits.Add(1)
+		return cached
+	}
+	shared.misses.Add(1)
+	if shared.m == nil {
+		shared.m = map[string]*Graph{}
+	}
+	for len(shared.order) >= maxSharedGraphs {
+		delete(shared.m, shared.order[0])
+		shared.order = shared.order[1:]
+	}
+	shared.m[key] = g
+	shared.order = append(shared.order, key)
+	return g
+}
+
+// archFingerprint canonically serialises every CGRA field that Graph
+// construction (or a consumer of Graph.Arch) can observe, plus the II.
+// Name is included deliberately: two same-shape architectures with
+// different names stay distinct, so Graph.Arch never aliases a CGRA the
+// caller did not pass in.
+func archFingerprint(c *arch.CGRA, ii int) string {
+	var b strings.Builder
+	b.Grow(64 + len(c.MemPE) + 4*len(c.PECaps))
+	fmt.Fprintf(&b, "%s|%dx%d|r%d|b%d|t%v|ii%d|m", c.Name, c.Rows, c.Cols, c.Regs, c.Banks, c.Torus, ii)
+	for _, m := range c.MemPE {
+		if m {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	b.WriteString("|c")
+	for _, m := range c.PECaps {
+		fmt.Fprintf(&b, "%x,", uint64(m))
+	}
+	return b.String()
+}

@@ -28,6 +28,7 @@ package mrrg
 
 import (
 	"fmt"
+	"sync"
 
 	"rewire/internal/arch"
 )
@@ -81,6 +82,11 @@ type Graph struct {
 	feedPE []int32 // PE whose FU can consume this resource's value next cycle
 	succ   [][]Node
 	pred   [][]Node
+
+	// statePool recycles State scratch buffers (sized to this graph) so
+	// the many short-lived sessions of an II sweep or eval run reuse
+	// occupancy arrays instead of reallocating them. See State.Recycle.
+	statePool sync.Pool
 }
 
 // New builds the MRRG of cgra time-extended to ii cycles.

@@ -30,30 +30,54 @@ type State struct {
 	ref   []int32
 }
 
-// NewState returns an all-free occupancy for g.
-func NewState(g *Graph) *State {
-	occ := make([]Net, g.numNodes)
-	for i := range occ {
-		occ[i] = NoNet
+// blankState returns a State with right-sized (but uninitialised)
+// buffers for g, reusing a recycled one when the pool has it.
+func (g *Graph) blankState() *State {
+	if v := g.statePool.Get(); v != nil {
+		return v.(*State)
 	}
 	return &State{
 		G:     g,
-		occ:   occ,
+		occ:   make([]Net, g.numNodes),
 		phase: make([]int32, g.numNodes),
 		ref:   make([]int32, g.numNodes),
 	}
 }
 
+// NewState returns an all-free occupancy for g, drawing the buffers from
+// the graph's recycle pool when possible.
+func NewState(g *Graph) *State {
+	s := g.blankState()
+	for i := range s.occ {
+		s.occ[i] = NoNet
+	}
+	for i := range s.phase {
+		s.phase[i] = 0
+	}
+	for i := range s.ref {
+		s.ref[i] = 0
+	}
+	return s
+}
+
 // Clone returns an independent copy of the occupancy (the static graph is
 // shared). Rewire uses clones to trial-route candidate placements.
 func (s *State) Clone() *State {
-	c := &State{
-		G:     s.G,
-		occ:   append([]Net(nil), s.occ...),
-		phase: append([]int32(nil), s.phase...),
-		ref:   append([]int32(nil), s.ref...),
-	}
+	c := s.G.blankState()
+	copy(c.occ, s.occ)
+	copy(c.phase, s.phase)
+	copy(c.ref, s.ref)
 	return c
+}
+
+// Recycle returns s's buffers to its graph's pool for reuse by a later
+// NewState or Clone. The caller must not touch s afterwards; sessions
+// call this through mapping.Session.Close when they are done.
+func (s *State) Recycle() {
+	if s == nil || s.G == nil {
+		return
+	}
+	s.G.statePool.Put(s)
 }
 
 // Occupant returns the net holding n (NoNet if free) and its phase.

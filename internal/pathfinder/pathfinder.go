@@ -113,8 +113,11 @@ func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Resul
 			finalize(p.sess.M, &res)
 			lg.Info("mapped", "ii", ii, "mii", res.MII,
 				"remaps", res.RemapIterations, "duration_ms", res.Duration.Milliseconds())
-			return p.sess.M, res
+			m := p.sess.M
+			p.sess.Close()
+			return m, res
 		}
+		p.sess.Close()
 		if lg.On() {
 			lg.Debug("ii exhausted", "ii", ii, "remaps", p.remaps)
 		}
@@ -198,7 +201,7 @@ func (p *perII) instrument(tr *trace.Tracer, span *trace.Span) {
 	if tr.Enabled() {
 		p.ctr = pfCounters{
 			placementsTried:  tr.Counter("placements.tried"),
-			routerExpansions: tr.Counter("router.expansions"),
+			routerExpansions: tr.Counter("route.expansions"),
 			remaps:           tr.Counter("pf.remaps"),
 		}
 	}
@@ -386,11 +389,11 @@ func (p *perII) rankedCandidates(v int) []candidate {
 }
 
 // estimate prices a slot without routing: for each edge to a placed
-// neighbour, latency must be >= 1 and >= the Manhattan distance (strictly
-// necessary conditions); the cost is the total latency plus FU history.
+// neighbour, latency must be >= 1 and >= the oracle's exact minimum
+// routing latency (strictly necessary conditions, exact on torus wrap
+// links too); the cost is the total latency plus FU history.
 func (p *perII) estimate(v int, pl mapping.Placement) (float64, bool) {
 	g := p.g
-	a := p.sess.M.Arch
 	ii := p.sess.M.II
 	cost := p.hist[p.sess.Graph.FU(pl.PE, pl.Time)]
 	for _, eid := range g.InEdges(v) {
@@ -400,7 +403,7 @@ func (p *perII) estimate(v int, pl mapping.Placement) (float64, bool) {
 		}
 		from := p.sess.M.Place[e.From]
 		lat := pl.Time - from.Time + e.Dist*ii
-		if lat < 1 || lat < minHops(a, from.PE, pl.PE) {
+		if lat < 1 || lat < p.router.NeedCycles(from.PE, pl.PE) {
 			return 0, false
 		}
 		cost += float64(lat)
@@ -412,24 +415,13 @@ func (p *perII) estimate(v int, pl mapping.Placement) (float64, bool) {
 		}
 		to := p.sess.M.Place[e.To]
 		lat := to.Time - pl.Time + e.Dist*ii
-		if lat < 1 || lat < minHops(a, pl.PE, to.PE) {
+		if lat < 1 || lat < p.router.NeedCycles(pl.PE, to.PE) {
 			return 0, false
 		}
 		cost += float64(lat)
 	}
 	// Self recurrences need latency dist*II >= 1, always true.
 	return cost, true
-}
-
-// minHops is the minimum latency to move a value between two PEs: the
-// mesh distance, or 1 for same-PE forwarding.
-func minHops(a *arch.CGRA, from, to int) int {
-	if from == to {
-		return 1
-	}
-	// Each mesh hop takes one cycle and delivery into the FU costs one
-	// more (link at t feeds FU at t+1), so distance d needs latency d+1.
-	return a.Manhattan(from, to) + 1
 }
 
 // routeIncident strictly routes v's edges whose other endpoint is placed,
@@ -475,7 +467,10 @@ func (p *perII) routeEdge(eid int) bool {
 	}
 	src := p.sess.Graph.FU(m.Place[e.From].PE, m.Place[e.From].Time)
 	dst := p.sess.Graph.FU(m.Place[e.To].PE, m.Place[e.To].Time)
-	path, ok := p.router.FindPath(src, dst, lat, p.cost(mrrg.Net(e.From)))
+	// The cost floor mirrors StrictFloor: own-net sharing (0.05) is only
+	// reachable once the net has a routed edge; otherwise every admitted
+	// step costs at least the unit base (history is non-negative).
+	path, ok := p.router.FindPath(src, dst, lat, p.cost(mrrg.Net(e.From)), route.StrictFloor(p.sess, e.From))
 	if !ok {
 		return false
 	}

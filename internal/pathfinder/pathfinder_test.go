@@ -1,6 +1,7 @@
 package pathfinder
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
@@ -90,11 +91,12 @@ func TestRemapIterationsCounted(t *testing.T) {
 
 func TestMinHops(t *testing.T) {
 	a := arch.New4x4(1)
-	if minHops(a, 3, 3) != 1 {
-		t.Fatal("same-PE forwarding needs 1 cycle")
+	p := newPerII(kernels.MustLoad("gramsch"), a, 4, rand.New(rand.NewSource(1)), &stats.Result{})
+	if got := p.router.NeedCycles(3, 3); got != 1 {
+		t.Fatalf("same-PE forwarding = %d, want 1 cycle", got)
 	}
-	if minHops(a, 0, 15) != 7 {
-		t.Fatalf("corner-to-corner = %d, want Manhattan(6)+1", minHops(a, 0, 15))
+	if got := p.router.NeedCycles(0, 15); got != 7 {
+		t.Fatalf("corner-to-corner = %d, want Manhattan(6)+1", got)
 	}
 }
 

@@ -21,11 +21,11 @@ func TestFindPathAllocs(t *testing.T) {
 	cost := StrictCost(st, 1)
 
 	src, dst := g.FU(0, 0), g.FU(9, 1)
-	if _, ok := r.FindPath(src, dst, 5, cost); !ok {
+	if _, ok := r.FindPath(src, dst, 5, cost, 1); !ok {
 		t.Fatal("setup route must exist")
 	}
 	got := testing.AllocsPerRun(100, func() {
-		if _, ok := r.FindPath(src, dst, 5, cost); !ok {
+		if _, ok := r.FindPath(src, dst, 5, cost, 1); !ok {
 			t.Fatal("route vanished")
 		}
 	})
@@ -36,7 +36,7 @@ func TestFindPathAllocs(t *testing.T) {
 	// An impossible latency fails before searching; an unreachable exact
 	// latency fails after searching. Neither may allocate.
 	got = testing.AllocsPerRun(100, func() {
-		if _, ok := r.FindPath(src, dst, 2, cost); ok {
+		if _, ok := r.FindPath(src, dst, 2, cost, 1); ok {
 			t.Fatal("latency 2 to a Manhattan-3 PE should be unroutable")
 		}
 	})
@@ -58,14 +58,14 @@ func TestRouterTrimsQueue(t *testing.T) {
 	cost := StrictCost(st, 1)
 
 	r.pq = make(stateHeap, 0, 4*maxRetainedPQ)
-	if _, ok := r.FindPath(g.FU(0, 0), g.FU(9, 1), 5, cost); !ok {
+	if _, ok := r.FindPath(g.FU(0, 0), g.FU(9, 1), 5, cost, 1); !ok {
 		t.Fatal("route must exist")
 	}
 	if cap(r.pq) > maxRetainedPQ {
 		t.Errorf("router retains pq capacity %d after FindPath, cap is %d", cap(r.pq), maxRetainedPQ)
 	}
 	// And routing still works with the fresh queue.
-	if _, ok := r.FindPath(g.FU(0, 0), g.FU(9, 1), 5, cost); !ok {
+	if _, ok := r.FindPath(g.FU(0, 0), g.FU(9, 1), 5, cost, 1); !ok {
 		t.Fatal("route must survive the trim")
 	}
 }

@@ -1,0 +1,204 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"rewire/internal/arch"
+	"rewire/internal/mrrg"
+)
+
+// TestTorusWrapNotOverPruned is the regression test for the Manhattan
+// over-prune bug: arch.Manhattan deliberately ignores wrap links, so the
+// old Manhattan-based feasibility prune rejected exact-latency states
+// that a torus wrap link makes reachable. The oracle-based prune must
+// keep them.
+func TestTorusWrapNotOverPruned(t *testing.T) {
+	a := arch.New("torus4x4", 4, 4, 2, 2, 0)
+	a.Torus = true
+	g := mrrg.New(a, 4)
+	r := NewRouter(g, DefaultMaxLat(4, 4, 4))
+
+	// Premise of the regression: PE 0 -> PE 3 is one west wrap hop, but
+	// Manhattan says three mesh hops, so the old prune rejected lat 2.
+	if a.Manhattan(0, 3)+1 <= 2 {
+		t.Fatal("premise broken: Manhattan no longer over-estimates the wrap pair")
+	}
+	if got := r.NeedCycles(0, 3); got != 2 {
+		t.Fatalf("NeedCycles(0,3) on torus = %d, want 2 (one wrap hop + FU entry)", got)
+	}
+	path, ok := r.FindPath(g.FU(0, 0), g.FU(3, 2), 2, freeCost, 1)
+	if !ok || len(path) != 1 {
+		t.Fatalf("wrap-link route lost to the prune: path=%v ok=%v", path, ok)
+	}
+	if path[0] != g.Link(0, arch.West, 1) {
+		t.Fatalf("expected the west wrap link, got %s", g.String(path[0]))
+	}
+
+	// Corner to corner: two wrap hops instead of Manhattan's six.
+	if got := r.NeedCycles(0, 15); got != 3 {
+		t.Fatalf("NeedCycles(0,15) on torus = %d, want 3", got)
+	}
+	if _, ok := r.FindPath(g.FU(0, 0), g.FU(15, 3), 3, freeCost, 1); !ok {
+		t.Fatal("corner-to-corner wrap route at latency 3 not found")
+	}
+}
+
+// refMinCost is an independent layered-Dijkstra reference for findOnce:
+// no heuristic, no distance-oracle prune, no scratch reuse — just the
+// admission rules (final hop must be the destination FU at cost 0, the
+// destination FU is untouchable mid-path, CostFn gates everything else).
+// It returns the minimum total path cost for the exact latency.
+func refMinCost(g *mrrg.Graph, src, dst mrrg.Node, lat int, cost CostFn) (float64, bool) {
+	type key struct {
+		n mrrg.Node
+		e int
+	}
+	type item struct {
+		n mrrg.Node
+		e int
+		c float64
+	}
+	dist := map[key]float64{{src, 0}: 0}
+	pq := []item{{src, 0, 0}}
+	for len(pq) > 0 {
+		mi := 0
+		for i := range pq {
+			if pq[i].c < pq[mi].c {
+				mi = i
+			}
+		}
+		cur := pq[mi]
+		pq[mi] = pq[len(pq)-1]
+		pq = pq[:len(pq)-1]
+		if d, seen := dist[key{cur.n, cur.e}]; seen && cur.c > d {
+			continue
+		}
+		if cur.n == dst && cur.e == lat {
+			return cur.c, true
+		}
+		if cur.e >= lat {
+			continue
+		}
+		ne := cur.e + 1
+		for _, nxt := range g.Succs(cur.n) {
+			step := 0.0
+			if ne == lat {
+				if nxt != dst {
+					continue
+				}
+			} else {
+				if nxt == dst && g.Kind(nxt) == mrrg.KindFU {
+					continue
+				}
+				c, usable := cost(nxt, ne)
+				if !usable {
+					continue
+				}
+				step = c
+			}
+			nc := cur.c + step
+			k := key{nxt, ne}
+			if d, seen := dist[k]; seen && d <= nc {
+				continue
+			}
+			dist[k] = nc
+			pq = append(pq, item{nxt, ne, nc})
+		}
+	}
+	return 0, false
+}
+
+func pathCost(path []mrrg.Node, cost CostFn) float64 {
+	total := 0.0
+	for i, n := range path {
+		c, ok := cost(n, i+1)
+		if !ok {
+			return -1
+		}
+		total += c
+	}
+	return total
+}
+
+// TestAStarMatchesDijkstraCosts checks the optimality claim bit for bit:
+// over random fabrics (mesh and torus), random endpoints/latencies, and
+// random FP-exact cost tables with unusable resources, findOnce with the
+// exact floor returns paths whose total cost equals the reference
+// Dijkstra minimum, and fails exactly when the reference fails. floor=0
+// (pure Dijkstra ordering) must agree too.
+func TestAStarMatchesDijkstraCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	costs := []float64{0.25, 0.5, 1, 2} // exact binary fractions: sums are FP-exact
+	for trial := 0; trial < 150; trial++ {
+		rows := 3 + rng.Intn(2)
+		cols := 3 + rng.Intn(2)
+		a := arch.New("rt", rows, cols, 1+rng.Intn(2), 2, 0)
+		a.Torus = rng.Intn(2) == 0
+		ii := 1 + rng.Intn(3)
+		g := mrrg.New(a, ii)
+		r := NewRouter(g, DefaultMaxLat(rows, cols, ii))
+
+		// Phase-dependent random cost table; ~1/8 of lookups unusable.
+		tbl := make([]uint8, g.NumNodes()*(r.MaxLat()+1))
+		for i := range tbl {
+			tbl[i] = uint8(rng.Intn(8))
+		}
+		cost := func(n mrrg.Node, phase int) (float64, bool) {
+			v := tbl[int(n)*(r.MaxLat()+1)+phase%(r.MaxLat()+1)]
+			if v == 7 {
+				return 0, false
+			}
+			return costs[v%4], true
+		}
+
+		src := g.FU(rng.Intn(a.NumPEs()), rng.Intn(ii))
+		dst := g.FU(rng.Intn(a.NumPEs()), rng.Intn(ii))
+		lat := 1 + rng.Intn(8)
+		want, wantOK := refMinCost(g, src, dst, lat, cost)
+
+		for _, floor := range []float64{0.25, 0} {
+			ban := bumpEpoch(&r.banEpoch, r.banStamp)
+			path, ok := r.findOnce(src, dst, lat, cost, floor, ban)
+			if ok != wantOK {
+				t.Fatalf("trial %d floor %v: found=%v, reference says %v (lat %d)", trial, floor, ok, wantOK, lat)
+			}
+			if !ok {
+				continue
+			}
+			if got := pathCost(path, cost); got != want {
+				t.Fatalf("trial %d floor %v: path cost %v != Dijkstra minimum %v", trial, floor, got, want)
+			}
+		}
+	}
+}
+
+// TestFindPathDeterministic pins the deterministic tie-break: two fresh
+// routers over the same graph must return identical paths for an
+// identical call sequence, and a reused router must agree with a fresh
+// one (epoch-stamped scratch may not leak across calls).
+func TestFindPathDeterministic(t *testing.T) {
+	a := arch.New("det", 4, 4, 2, 2, 0)
+	a.Torus = true
+	g := mrrg.New(a, 3)
+	r1 := NewRouter(g, DefaultMaxLat(4, 4, 3))
+	r2 := NewRouter(g, DefaultMaxLat(4, 4, 3))
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		src := g.FU(rng.Intn(16), rng.Intn(3))
+		dst := g.FU(rng.Intn(16), rng.Intn(3))
+		lat := 1 + rng.Intn(8)
+		p1, ok1 := r1.FindPath(src, dst, lat, freeCost, 1)
+		fresh := NewRouter(g, DefaultMaxLat(4, 4, 3))
+		p2, ok2 := r2.FindPath(src, dst, lat, freeCost, 1)
+		p3, ok3 := fresh.FindPath(src, dst, lat, freeCost, 1)
+		if ok1 != ok2 || ok1 != ok3 {
+			t.Fatalf("call %d: ok diverged: %v/%v/%v", i, ok1, ok2, ok3)
+		}
+		for j := range p1 {
+			if p1[j] != p2[j] || p1[j] != p3[j] {
+				t.Fatalf("call %d: paths diverged at hop %d", i, j)
+			}
+		}
+	}
+}

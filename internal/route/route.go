@@ -10,11 +10,20 @@
 // of a resource may depend on the phase (= elapsed) at which it is
 // crossed, which lets PathFinder-style congestion negotiation and
 // strict free-only routing share one engine.
+//
+// The search itself is A* guided by a precomputed distance oracle
+// (package dist): states that provably cannot enter the destination FU
+// in the remaining cycles are pruned exactly (including over torus wrap
+// links, which the old Manhattan prune over-estimated), and the queue
+// priority is g + h with h an admissible, consistent lower bound on the
+// remaining cost, so returned path costs equal the uninformed Dijkstra
+// baseline bit for bit. See docs/PERFORMANCE.md for the argument.
 package route
 
 import (
 	"math"
 
+	"rewire/internal/dist"
 	"rewire/internal/mrrg"
 	"rewire/internal/trace"
 )
@@ -39,9 +48,15 @@ func StrictCost(st *mrrg.State, net mrrg.Net) CostFn {
 	}
 }
 
+// StrictSharedCost is the minimum cost StrictCost can return: the
+// own-net sharing discount. It is the correct FindPath floor whenever
+// the routed net may already hold resources.
+const StrictSharedCost = 0.05
+
 // Router finds exact-latency paths on one MRRG. It reuses internal
 // buffers across calls, so a Router is not safe for concurrent use; give
-// each goroutine its own Router (see docs/CONCURRENCY.md).
+// each goroutine its own Router (see docs/CONCURRENCY.md). The distance
+// oracle it embeds is immutable and shared between routers.
 //
 // The hot path is allocation-free apart from the returned path slice
 // (which callers retain): the search state is epoch-stamped rather than
@@ -50,6 +65,7 @@ func StrictCost(st *mrrg.State, net mrrg.Net) CostFn {
 // scratch slices instead of per-call maps.
 type Router struct {
 	g      *mrrg.Graph
+	oracle *dist.Oracle
 	maxLat int
 
 	dist  []float64
@@ -92,6 +108,7 @@ func NewRouter(g *mrrg.Graph, maxLat int) *Router {
 	n := g.NumNodes() * (maxLat + 1)
 	return &Router{
 		g:         g,
+		oracle:    dist.For(g),
 		maxLat:    maxLat,
 		dist:      make([]float64, n),
 		from:      make([]int32, n),
@@ -104,10 +121,19 @@ func NewRouter(g *mrrg.Graph, maxLat int) *Router {
 // MaxLat returns the largest latency this router accepts.
 func (r *Router) MaxLat() int { return r.maxLat }
 
+// NeedCycles returns the exact minimum latency of any route from a
+// producer executing on fromPE to a consumer executing on toPE: the
+// oracle hop count plus the final cycle entering the consumer's FU.
+// Unlike a Manhattan bound it is exact on torus fabrics, so placement
+// feasibility checks built on it never reject a routable candidate.
+func (r *Router) NeedCycles(fromPE, toPE int) int {
+	return r.oracle.NeedCycles(fromPE, toPE)
+}
+
 // Instrument attaches per-call tracer counters (route.findpath.calls,
 // route.findpath.found) to this router. The cost when attached is one
 // atomic add per FindPath call — never per queue pop; the PQ-pop total
-// stays in Expansions, which mappers fold into "router.expansions" at
+// stays in Expansions, which mappers fold into "route.expansions" at
 // attempt boundaries. A nil tracer leaves the router uninstrumented.
 func (r *Router) Instrument(tr *trace.Tracer) {
 	if !tr.Enabled() {
@@ -128,16 +154,35 @@ func DefaultMaxLat(rows, cols, ii int) int {
 	return d
 }
 
+// state is one queue entry: cost is the exact cost paid so far (g), f is
+// the queue priority g + h.
 type state struct {
 	node    mrrg.Node
 	elapsed int32
 	cost    float64
+	f       float64
 }
 
-// stateHeap is a concrete-typed binary min-heap ordered by cost. It
+// stateLess is the deterministic queue order: ascending priority f,
+// then deeper states first (on the all-tie plateaus an exact floor
+// produces, this turns the search into a dive straight at the goal),
+// then ascending node id. Two entries comparing equal describe the same
+// state, so pop order — and therefore every returned path — is a pure
+// function of the inputs.
+func stateLess(a, b state) bool {
+	if a.f != b.f {
+		return a.f < b.f
+	}
+	if a.elapsed != b.elapsed {
+		return a.elapsed > b.elapsed
+	}
+	return a.node < b.node
+}
+
+// stateHeap is a concrete-typed binary min-heap ordered by stateLess. It
 // reproduces container/heap's sift order exactly (strict-less child
-// promotion) so paths are bit-identical to the boxed implementation it
-// replaced, without the per-push interface{} allocation.
+// promotion) so pop order is well defined, without the per-push
+// interface{} allocation.
 type stateHeap []state
 
 func (r *Router) pushState(s state) {
@@ -145,7 +190,7 @@ func (r *Router) pushState(s state) {
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if !(h[i].cost < h[p].cost) {
+		if !stateLess(h[i], h[p]) {
 			break
 		}
 		h[i], h[p] = h[p], h[i]
@@ -167,10 +212,10 @@ func (r *Router) popState() state {
 			break
 		}
 		m := l
-		if rt := l + 1; rt < n && h[rt].cost < h[l].cost {
+		if rt := l + 1; rt < n && stateLess(h[rt], h[l]) {
 			m = rt
 		}
-		if !(h[m].cost < h[i].cost) {
+		if !stateLess(h[m], h[i]) {
 			break
 		}
 		h[i], h[m] = h[m], h[i]
@@ -194,29 +239,50 @@ func bumpEpoch(e *int32, stamps []int32) int32 {
 	return *e
 }
 
+// sidx flattens a (node, elapsed) search state into the scratch arrays.
+func (r *Router) sidx(n mrrg.Node, e int) int { return int(n)*(r.maxLat+1) + e }
+
 // FindPath returns the minimum-cost chain of lat-1 routing resources
 // carrying a value from the FU node src (where the producer executes) to
 // the FU node dst (where the consumer executes, lat cycles later). The
 // chain excludes both FUs. ok is false if no path of that exact latency
 // exists under the cost function.
 //
+// floor must be a lower bound on every cost the CostFn can admit; it
+// feeds the A* heuristic. An exact floor (the true minimum step cost)
+// collapses the whole feasible cone into one priority plateau, which the
+// deterministic deeper-first tie-break then crosses in about lat
+// expansions; a smaller bound is still correct, merely less informed,
+// and 0 degenerates to plain Dijkstra ordering. Since every exact-
+// latency completion from elapsed e takes exactly lat-e further steps of
+// which only the final FU entry is free, h = (lat-1-e)*floor never
+// overestimates and shrinks by at most the step cost per hop, so the
+// heuristic is admissible and consistent and the returned path cost
+// equals the Dijkstra minimum bit for bit (see docs/PERFORMANCE.md).
+//
 // The returned path never repeats a resource (a repeat would collide
 // with a neighbouring iteration); when the cheapest path would repeat,
 // up to three increasingly constrained retries look for a simple
 // alternative.
-func (r *Router) FindPath(src, dst mrrg.Node, lat int, cost CostFn) (path []mrrg.Node, ok bool) {
+func (r *Router) FindPath(src, dst mrrg.Node, lat int, cost CostFn, floor float64) (path []mrrg.Node, ok bool) {
 	r.calls.Add(1)
 	if lat < 1 || lat > r.maxLat {
 		return nil, false
 	}
+	if floor < 0 {
+		floor = 0
+	}
 	defer func() {
+		// Keep the steady-state buffer: dropping to nil here would make
+		// the next call regrow the queue from zero through O(log n)
+		// reallocations.
 		if cap(r.pq) > maxRetainedPQ {
-			r.pq = nil
+			r.pq = make(stateHeap, 0, maxRetainedPQ)
 		}
 	}()
 	ban := bumpEpoch(&r.banEpoch, r.banStamp)
 	for attempt := 0; attempt < 3; attempt++ {
-		p, found := r.findOnce(src, dst, lat, cost, ban)
+		p, found := r.findOnce(src, dst, lat, cost, floor, ban)
 		if !found {
 			return nil, false
 		}
@@ -230,47 +296,49 @@ func (r *Router) FindPath(src, dst mrrg.Node, lat int, cost CostFn) (path []mrrg
 	return nil, false
 }
 
-func (r *Router) findOnce(src, dst mrrg.Node, lat int, cost CostFn, ban int32) ([]mrrg.Node, bool) {
+func (r *Router) findOnce(src, dst mrrg.Node, lat int, cost CostFn, floor float64, ban int32) ([]mrrg.Node, bool) {
 	bumpEpoch(&r.epoch, r.stamp)
-	idx := func(n mrrg.Node, e int) int { return int(n)*(r.maxLat+1) + e }
-	arch := r.g.Arch
 	dstPE := r.g.PE(dst)
-	// tooFar prunes states that cannot possibly reach the destination FU
-	// in the remaining cycles: a value held by resource n needs at least
-	// one cycle to enter a FU at FeedsPE(n), plus one registered mesh hop
-	// per Manhattan step from there (admissible, so no path is lost).
-	tooFar := func(n mrrg.Node, e int) bool {
-		fp := r.g.FeedsPE(n)
-		need := 1
-		if fp != dstPE {
-			need = arch.Manhattan(fp, dstPE) + 1
-		}
-		return e+need > lat
-	}
+	// drow[p] is the exact minimum number of mesh links from PE p to the
+	// destination PE (reverse-BFS table, so torus wrap links are counted
+	// correctly — the Manhattan bound used before over-estimated them and
+	// silently pruned reachable exact-latency states). A value held by
+	// resource n needs drow[FeedsPE(n)]+1 cycles to be inside dst's FU.
+	drow := r.oracle.Row(dstPE)
 	r.pq = r.pq[:0]
-	r.pushState(state{node: src, elapsed: 0, cost: 0})
-	si := idx(src, 0)
+	if int(drow[r.g.FeedsPE(src)])+1 > lat {
+		return nil, false
+	}
+	h0 := 0.0
+	if lat > 1 {
+		h0 = floor * float64(lat-1)
+	}
+	si := r.sidx(src, 0)
 	r.stamp[si] = r.epoch
 	r.dist[si] = 0
 	r.from[si] = -1
-	if tooFar(src, 0) {
-		return nil, false
-	}
+	r.pushState(state{node: src, elapsed: 0, cost: 0, f: h0})
 
 	for len(r.pq) > 0 {
 		cur := r.popState()
 		r.Expansions++
-		ci := idx(cur.node, int(cur.elapsed))
+		ci := r.sidx(cur.node, int(cur.elapsed))
 		if cur.cost > r.dist[ci] {
 			continue // stale entry
 		}
 		if cur.node == dst && int(cur.elapsed) == lat {
-			return r.reconstruct(src, dst, lat, idx), true
+			return r.reconstruct(dst, lat), true
 		}
 		if int(cur.elapsed) >= lat {
 			continue
 		}
 		nextE := int(cur.elapsed) + 1
+		// Remaining cost after reaching elapsed nextE: at least one floor
+		// per step except the final free hop into the destination FU.
+		h := 0.0
+		if rem := lat - 1 - nextE; rem > 0 {
+			h = floor * float64(rem)
+		}
 		for _, nxt := range r.g.Succs(cur.node) {
 			// The final hop must be exactly the destination FU; routing
 			// through other FUs mid-path is allowed (move operations).
@@ -280,7 +348,7 @@ func (r *Router) findOnce(src, dst mrrg.Node, lat int, cost CostFn, ban int32) (
 				}
 				// Entering the consumer FU costs nothing extra: the
 				// consumer's own placement already reserved it.
-				r.relax(idx, nxt, nextE, cur, 0)
+				r.relax(nxt, nextE, cur, 0, 0)
 				continue
 			}
 			if nxt == dst && r.g.Kind(nxt) == mrrg.KindFU {
@@ -288,34 +356,36 @@ func (r *Router) findOnce(src, dst mrrg.Node, lat int, cost CostFn, ban int32) (
 				// cycle would collide with the consumer's reservation.
 				continue
 			}
-			if tooFar(nxt, nextE) || r.banStamp[nxt] == ban {
+			if nextE+int(drow[r.g.FeedsPE(nxt)])+1 > lat || r.banStamp[nxt] == ban {
 				continue
 			}
 			c, usable := cost(nxt, nextE)
 			if !usable {
 				continue
 			}
-			r.relax(idx, nxt, nextE, cur, c)
+			r.relax(nxt, nextE, cur, c, h)
 		}
 	}
 	return nil, false
 }
 
-func (r *Router) relax(idx func(mrrg.Node, int) int, nxt mrrg.Node, e int, cur state, c float64) {
-	ni := idx(nxt, e)
+// relax records a strictly better cost to (nxt, e) and queues the state
+// with priority cost-so-far + h.
+func (r *Router) relax(nxt mrrg.Node, e int, cur state, c, h float64) {
+	ni := r.sidx(nxt, e)
 	nc := cur.cost + c
 	if r.stamp[ni] == r.epoch && r.dist[ni] <= nc {
 		return
 	}
 	r.stamp[ni] = r.epoch
 	r.dist[ni] = nc
-	r.from[ni] = int32(idx(cur.node, int(cur.elapsed)))
-	r.pushState(state{node: nxt, elapsed: int32(e), cost: nc})
+	r.from[ni] = int32(r.sidx(cur.node, int(cur.elapsed)))
+	r.pushState(state{node: nxt, elapsed: int32(e), cost: nc, f: nc + h})
 }
 
-func (r *Router) reconstruct(src, dst mrrg.Node, lat int, idx func(mrrg.Node, int) int) []mrrg.Node {
+func (r *Router) reconstruct(dst mrrg.Node, lat int) []mrrg.Node {
 	path := make([]mrrg.Node, lat-1)
-	cur := idx(dst, lat)
+	cur := r.sidx(dst, lat)
 	for e := lat - 1; e >= 1; e-- {
 		cur = int(r.from[cur])
 		path[e-1] = mrrg.Node(cur / (r.maxLat + 1))

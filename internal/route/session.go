@@ -14,6 +14,22 @@ func ForSession(s *mapping.Session) *Router {
 	return NewRouter(s.Graph, DefaultMaxLat(a.Rows, a.Cols, s.M.II))
 }
 
+// StrictFloor returns the exact lower bound on any step cost
+// StrictCost(s.State, producer) can admit, which is what FindPath wants
+// as its heuristic floor: the own-net sharing discount is only reachable
+// once some edge of the producer's net is routed (the producer's own FU
+// and bank-port reservations sit at phase 0, which a mid-path state can
+// never match), so a net with no routed edges pays full unit cost on
+// every step.
+func StrictFloor(s *mapping.Session, producer int) float64 {
+	for _, eid := range s.M.DFG.OutEdges(producer) {
+		if s.M.Routed(eid) {
+			return StrictSharedCost
+		}
+	}
+	return 1
+}
+
 // Edge routes edge e of the session strictly (free or own-net resources
 // only) and commits the route. Both endpoints must be placed.
 func Edge(s *mapping.Session, r *Router, e int) error {
@@ -27,7 +43,7 @@ func Edge(s *mapping.Session, r *Router, e int) error {
 	}
 	src := s.Graph.FU(s.M.Place[ed.From].PE, s.M.Place[ed.From].Time)
 	dst := s.Graph.FU(s.M.Place[ed.To].PE, s.M.Place[ed.To].Time)
-	path, ok := r.FindPath(src, dst, lat, StrictCost(s.State, mrrg.Net(ed.From)))
+	path, ok := r.FindPath(src, dst, lat, StrictCost(s.State, mrrg.Net(ed.From)), StrictFloor(s, ed.From))
 	if !ok {
 		return fmt.Errorf("route: no conflict-free path for edge %d (lat %d, %s -> %s)",
 			e, lat, s.Graph.String(src), s.Graph.String(dst))

@@ -121,6 +121,7 @@ func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Resul
 			ctr.routerExpansions.Add(an.router.Expansions)
 			rSpan.WithBool("ok", ok).WithInt("moves", int64(an.moves)).End()
 			if !ok {
+				an.sess.Close()
 				continue
 			}
 			res.Success = true
@@ -133,7 +134,9 @@ func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Resul
 			iiSpan.WithBool("ok", true).End()
 			lg.Info("mapped", "ii", ii, "mii", res.MII,
 				"moves", res.RemapIterations, "duration_ms", res.Duration.Milliseconds())
-			return an.sess.M, res
+			m := an.sess.M
+			an.sess.Close()
+			return m, res
 		}
 		iiSpan.WithBool("ok", false).End()
 		if lg.On() {
@@ -178,7 +181,7 @@ func newCounters(tr *trace.Tracer) saCounters {
 	}
 	return saCounters{
 		placementsTried:  tr.Counter("placements.tried"),
-		routerExpansions: tr.Counter("router.expansions"),
+		routerExpansions: tr.Counter("route.expansions"),
 		moves:            tr.Counter("sa.moves"),
 	}
 }
@@ -255,7 +258,7 @@ func (an *annealer) edgeCost(e int) int {
 		return 0 // charged via the unplaced node
 	}
 	lat := m.Latency(e)
-	need := minHops(m.Arch, m.Place[ed.From].PE, m.Place[ed.To].PE)
+	need := an.router.NeedCycles(m.Place[ed.From].PE, m.Place[ed.To].PE)
 	if lat < 1 || lat < need {
 		deficit := need - lat
 		if deficit < 1 {
@@ -264,13 +267,6 @@ func (an *annealer) edgeCost(e int) int {
 		return penaltyUnroutable + 10*deficit
 	}
 	return lat
-}
-
-func minHops(a *arch.CGRA, from, to int) int {
-	if from == to {
-		return 1
-	}
-	return a.Manhattan(from, to) + 1
 }
 
 func (an *annealer) totalCost() int {

@@ -37,6 +37,32 @@ out2[i] = d
 	}
 }
 
+// TestTorusWrapLatencyMapped checks the mapper exploits wrap links at
+// exact latencies the Manhattan bound calls impossible: an edge between
+// opposite corners routed in fewer cycles than the non-wrap distance.
+// This guards the oracle-based feasibility prune end to end (a Manhattan
+// prune anywhere in the pipeline would reject the placement or route).
+func TestTorusWrapLatencyMapped(t *testing.T) {
+	a := arch.New("torwrap", 4, 4, 2, 2, 0)
+	a.Torus = true
+	g := fromIR(t, `
+kernel wrap
+t = a[i] + b[i]
+out[i] = t
+`)
+	m, res := pathfinder.Map(g, a, pathfinder.Options{Seed: 1, TimePerII: 3 * time.Second})
+	if m == nil {
+		t.Fatalf("mapping failed on torus: %v", res)
+	}
+	cfg, err := config.Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(cfg, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestTorusUsesWrapLinks checks that torus adjacency is actually richer:
 // a corner PE has four neighbours instead of two.
 func TestTorusUsesWrapLinks(t *testing.T) {

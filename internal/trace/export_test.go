@@ -22,7 +22,7 @@ func buildTrace() *Tracer {
 	gen := tr.StartSpan(root, "placement_enum")
 	gen.WithBool("ok", true).End()
 	root.End()
-	tr.Counter("router.expansions").Add(123)
+	tr.Counter("route.expansions").Add(123)
 	tr.Counter("placements.tried").Add(45)
 	tr.Histogram("cluster.size").Observe(4)
 	return tr
@@ -74,7 +74,7 @@ func TestWriteJSONL(t *testing.T) {
 	if spanCount != 5 {
 		t.Errorf("got %d span lines, want 5", spanCount)
 	}
-	if counters["router.expansions"] != 123 || counters["placements.tried"] != 45 {
+	if counters["route.expansions"] != 123 || counters["placements.tried"] != 45 {
 		t.Errorf("counter lines = %v", counters)
 	}
 	if !strings.Contains(strings.Join(types, ","), "histogram") {

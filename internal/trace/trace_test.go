@@ -171,7 +171,7 @@ func BenchmarkTracerDisabled(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := tr.StartSpan(nil, "phase").WithInt("ii", 4)
-		tr.Counter("router.expansions").Add(17)
+		tr.Counter("route.expansions").Add(17)
 		tr.Histogram("cluster.size").Observe(5)
 		s.WithBool("ok", true).End()
 	}
@@ -181,7 +181,7 @@ func BenchmarkTracerDisabled(b *testing.B) {
 // overhead table in docs/OBSERVABILITY.md; not a regression gate).
 func BenchmarkTracerEnabled(b *testing.B) {
 	tr := New()
-	c := tr.Counter("router.expansions")
+	c := tr.Counter("route.expansions")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := tr.StartSpan(nil, "phase").WithInt("ii", 4)

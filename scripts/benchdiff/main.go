@@ -3,6 +3,11 @@
 //
 //   - ns/op worse than the baseline by more than -threshold (default
 //     15%, absorbing CI-runner noise), or
+//   - any custom per-op metric (a "<unit>/op" key other than B/op and
+//     allocs/op, e.g. the router's expansions/op) worse than the
+//     baseline by more than -threshold — these count deterministic work,
+//     so they regress by algorithm changes, not runner noise, but the
+//     shared threshold still absorbs seed-level wobble, or
 //   - any allocs/op increase on a bench whose baseline allocs/op is 0 —
 //     the zero-alloc pins (disabled tracer/logger/metrics hot paths)
 //     must stay exactly zero, with no noise allowance.
@@ -23,7 +28,20 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 )
+
+// sortedKeys keeps the custom-metric notes and regressions in a stable
+// order regardless of map iteration.
+func sortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
 
 // Record mirrors scripts/benchjson's per-benchmark output.
 type Record struct {
@@ -80,6 +98,21 @@ func diff(base, cur Output, threshold float64) (regs []regression, notes []strin
 		if bAllocs, ok := b.Metrics["allocs/op"]; ok && bAllocs == 0 {
 			if cAllocs := c.Metrics["allocs/op"]; cAllocs > 0 {
 				regs = append(regs, regression{b.Name, "allocs/op", bAllocs, cAllocs})
+			}
+		}
+		for _, m := range sortedKeys(b.Metrics) {
+			if !strings.HasSuffix(m, "/op") || m == "ns/op" || m == "B/op" || m == "allocs/op" {
+				continue
+			}
+			bV := b.Metrics[m]
+			cV, ok := c.Metrics[m]
+			if !ok || bV <= 0 || cV <= 0 {
+				continue
+			}
+			delta := (cV - bV) / bV
+			notes = append(notes, fmt.Sprintf("%-44s %s %11.0f -> %11.0f  %+6.1f%%", b.Name, m, bV, cV, 100*delta))
+			if delta > threshold {
+				regs = append(regs, regression{b.Name, m, bV, cV})
 			}
 		}
 	}

@@ -73,3 +73,35 @@ func TestSelfDiffIsClean(t *testing.T) {
 		t.Fatalf("self diff regressed: %v", regs)
 	}
 }
+
+func recM(name string, metrics map[string]float64) Record {
+	return Record{Name: name, Iterations: 1, Metrics: metrics}
+}
+
+func TestCustomPerOpMetricGated(t *testing.T) {
+	base := out(recM("BenchmarkSubRouter", map[string]float64{"ns/op": 1000, "expansions/op": 200}))
+	cur := out(recM("BenchmarkSubRouter", map[string]float64{"ns/op": 1000, "expansions/op": 300}))
+	regs, notes := diff(base, cur, 0.15)
+	if len(regs) != 1 || regs[0].Metric != "expansions/op" {
+		t.Fatalf("regs = %v, want one expansions/op regression (+50%%)", regs)
+	}
+	if !strings.Contains(strings.Join(notes, "\n"), "expansions/op") {
+		t.Fatalf("notes missing the expansions/op delta:\n%s", strings.Join(notes, "\n"))
+	}
+	// Inside the threshold: noted but not failed.
+	cur = out(recM("BenchmarkSubRouter", map[string]float64{"ns/op": 1000, "expansions/op": 210}))
+	if regs, _ := diff(base, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("+5%% expansions/op must pass, got %v", regs)
+	}
+}
+
+func TestCustomMetricOnlyInOneFileTolerated(t *testing.T) {
+	// A metric added this PR has no baseline value; the diff must not
+	// fail (nor crash) on the asymmetry. Quality metrics without the
+	// "/op" suffix (sumII, fails) are never gated.
+	base := out(recM("BenchmarkA", map[string]float64{"ns/op": 1000, "sumII": 30}))
+	cur := out(recM("BenchmarkA", map[string]float64{"ns/op": 1000, "sumII": 45, "expansions/op": 50}))
+	if regs, _ := diff(base, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("asymmetric/quality metrics must not regress, got %v", regs)
+	}
+}

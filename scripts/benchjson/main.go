@@ -8,7 +8,9 @@
 //	BenchmarkSubRouter  2000  43163 ns/op  4015 B/op  249 allocs/op  3.0 sumII
 //
 // Every "<value> <unit>" pair after the iteration count becomes a field
-// keyed by unit ("ns/op", "B/op", "allocs/op", custom metrics).
+// keyed by unit ("ns/op", "B/op", "allocs/op", and custom b.ReportMetric
+// units like "expansions/op" or "sumII"), so scripts/benchdiff can gate
+// per-op work metrics alongside wall-clock.
 package main
 
 import (
