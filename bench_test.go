@@ -87,6 +87,10 @@ func BenchmarkFig5_4x4r1_SA(b *testing.B)     { runFigure5(b, "4x4r1", "SA") }
 // runFigure6 measures compile time (the benchmark's own ns/op is the
 // figure: total mapping wall-clock for the architecture's kernel set).
 func runFigure6(b *testing.B, archName, mapper string) {
+	runFigure6Cfg(b, archName, mapper, benchCfg())
+}
+
+func runFigure6Cfg(b *testing.B, archName, mapper string, cfg eval.Config) {
 	var combos []eval.Combo
 	for _, cb := range eval.Combos() {
 		if cb.Arch.Name == archName {
@@ -96,7 +100,7 @@ func runFigure6(b *testing.B, archName, mapper string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, cb := range combos {
-			eval.Run(mapper, cb, benchCfg())
+			eval.Run(mapper, cb, cfg)
 		}
 	}
 }
@@ -108,6 +112,20 @@ func BenchmarkFig6_4x4r2_SA(b *testing.B)     { runFigure6(b, "4x4r2", "SA") }
 func BenchmarkFig6_8x8r4_Rewire(b *testing.B) { runFigure6(b, "8x8r4", "Rewire") }
 func BenchmarkFig6_8x8r4_PF(b *testing.B)     { runFigure6(b, "8x8r4", "PF*") }
 func BenchmarkFig6_8x8r4_SA(b *testing.B)     { runFigure6(b, "8x8r4", "SA") }
+
+// BenchmarkFig6SweepSpeculative is BenchmarkFig6_8x8r4_PF with a width-4
+// speculative II-sweep window: the ns/op ratio between the two is the
+// wall-clock the speculation reclaims from kernels whose first feasible
+// II sits above their MII (several 8x8r4 kernels fail multiple IIs, or
+// the whole sweep, before committing — serially that is a stack of
+// sequential per-II budgets). The committed IIs and mappings are
+// bit-identical to the serial run (see internal/sweep), so the speedup
+// line bench.sh prints is a pure latency comparison.
+func BenchmarkFig6SweepSpeculative(b *testing.B) {
+	cfg := benchCfg()
+	cfg.SweepParallelism = 4
+	runFigure6Cfg(b, "8x8r4", "PF*", cfg)
+}
 
 // BenchmarkTable1 reports the average single-node remapping iterations of
 // PF* and SA over the Table I benchmark set (4x4, one register per PE —

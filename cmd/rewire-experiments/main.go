@@ -41,6 +41,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed for all mappers")
 		budget  = flag.Duration("time-per-ii", 2*time.Second, "per-II wall-clock budget per mapper")
 		jobs    = flag.Int("j", runtime.NumCPU(), "concurrent mapper runs (1 = serial)")
+		sweepJ  = flag.Int("sweep-j", 1, "speculative II-sweep window per run (1 = serial; IIs and mappings are bit-identical at any width)")
 		quiet   = flag.Bool("quiet", false, "suppress per-run progress lines")
 
 		jsonOut    = flag.String("json", "", "write the aggregated result set as JSON to this path")
@@ -73,13 +74,14 @@ func main() {
 	defer writeMemProfile(*memProfile)
 
 	cfg := eval.Config{
-		Seed:      *seed,
-		TimePerII: *budget,
-		Jobs:      *jobs,
-		Verbose:   !*quiet,
-		Out:       os.Stdout,
-		TraceDir:  *traceDir,
-		Logger:    log,
+		Seed:             *seed,
+		TimePerII:        *budget,
+		Jobs:             *jobs,
+		SweepParallelism: *sweepJ,
+		Verbose:          !*quiet,
+		Out:              os.Stdout,
+		TraceDir:         *traceDir,
+		Logger:           log,
 	}
 	if *scaling {
 		eval.Scaling(cfg, os.Stdout)

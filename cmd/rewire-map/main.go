@@ -34,6 +34,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed (runs are reproducible per seed)")
 		budget   = flag.Duration("time-per-ii", 5*time.Second, "wall-clock budget per attempted II")
 		maxII    = flag.Int("max-ii", 32, "largest II to attempt")
+		sweepJ   = flag.Int("sweep-j", 1, "speculative II-sweep window: II attempts run concurrently (1 = serial; results are bit-identical at any width)")
 		routes   = flag.Bool("routes", false, "also print the per-edge route table")
 		energy   = flag.Bool("energy", false, "also print the activity/energy estimate")
 		simIter  = flag.Int("simulate", 0, "functionally verify the mapping over N simulated iterations")
@@ -104,12 +105,13 @@ func main() {
 		}
 	}
 	m, res, err := rewire.Map(g, cgra, rewire.Options{
-		Mapper:    rewire.MapperName(*mapper),
-		Seed:      *seed,
-		TimePerII: *budget,
-		MaxII:     *maxII,
-		Tracer:    tr,
-		Logger:    log,
+		Mapper:           rewire.MapperName(*mapper),
+		Seed:             *seed,
+		TimePerII:        *budget,
+		MaxII:            *maxII,
+		SweepParallelism: *sweepJ,
+		Tracer:           tr,
+		Logger:           log,
 	})
 	// Profiles and traces are written before the success check: a failed
 	// mapping run is exactly the one worth profiling.

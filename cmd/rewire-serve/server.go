@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -169,7 +170,13 @@ type mapRequest struct {
 	Seed      int64  `json:"seed,omitempty"`
 	MaxII     int    `json:"max_ii,omitempty"`
 	TimePerII int    `json:"time_per_ii_ms,omitempty"`
-	Render    bool   `json:"render,omitempty"` // include the ASCII schedule grid
+	// SweepParallelism asks for a speculative II-sweep window (see
+	// docs/CONCURRENCY.md, "Layer 3"). The server clamps it so that
+	// Workers x window never oversubscribes GOMAXPROCS; the committed
+	// mapping is bit-identical at every width, so clamping only affects
+	// wall-clock.
+	SweepParallelism int  `json:"sweep_parallelism,omitempty"`
+	Render           bool `json:"render,omitempty"` // include the ASCII schedule grid
 }
 
 // mapResponse is the POST /map answer. TraceURL points at the flight
@@ -222,6 +229,9 @@ func (s *server) parseMapRequest(req *mapRequest) (*rewire.DFG, *rewire.CGRA, re
 	}
 	if d := time.Duration(req.TimePerII) * time.Millisecond; d < 0 || d > s.cfg.MaxTimePerII {
 		return nil, nil, "", fmt.Errorf("time_per_ii_ms %d out of range (server cap %s)", req.TimePerII, s.cfg.MaxTimePerII)
+	}
+	if req.SweepParallelism < 0 {
+		return nil, nil, "", fmt.Errorf("sweep_parallelism %d must be >= 0", req.SweepParallelism)
 	}
 
 	var (
@@ -329,25 +339,31 @@ func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Run the mapper on its own goroutine so a budget overrun cannot
-	// hold the HTTP response past the request timeout. The run always
-	// completes (mappers have their own II/time budgets and take no
-	// context); on timeout the answer is 504 and the finished run still
-	// lands in the flight recorder and the metrics.
+	// hold the HTTP response past the request timeout. The run context
+	// derives from the request: a client disconnect — or an explicit
+	// cancel on the 504 path — tears down the whole II sweep, in-flight
+	// speculative attempts included, within one mapper inner-loop
+	// iteration. The worker slot frees only once the torn-down run has
+	// fully returned, so abandoned runs can neither over-subscribe the
+	// pool nor leave speculative goroutines running against it.
 	tpi := time.Duration(req.TimePerII) * time.Millisecond
 	if tpi == 0 {
 		tpi = 2 * time.Second
 	}
 	opts := rewire.Options{
-		Mapper:    mapper,
-		Seed:      req.Seed,
-		TimePerII: tpi,
-		MaxII:     req.MaxII,
-		Tracer:    rewire.NewTracer(),
-		Logger:    obs.New(lg.Slog()),
+		Mapper:           mapper,
+		Seed:             req.Seed,
+		TimePerII:        tpi,
+		MaxII:            req.MaxII,
+		SweepParallelism: s.clampSweep(req.SweepParallelism),
+		Tracer:           rewire.NewTracer(),
+		Logger:           obs.New(lg.Slog()),
 	}
 	lg.Info("mapping request", "mapper", string(mapper), "kernel", g.Name,
-		"arch", cgra.Name, "seed", req.Seed, "time_per_ii_ms", tpi.Milliseconds())
+		"arch", cgra.Name, "seed", req.Seed, "time_per_ii_ms", tpi.Milliseconds(),
+		"sweep_window", opts.SweepParallelism)
 
+	runCtx, cancelRun := context.WithCancel(r.Context())
 	type outcome struct {
 		m   *rewire.Mapping
 		res rewire.Result
@@ -355,29 +371,59 @@ func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		m, res, err := rewire.Map(g, cgra, opts)
+		m, res, err := rewire.MapCtx(runCtx, g, cgra, opts)
 		done <- outcome{m: m, res: res, err: err}
 	}()
 
 	select {
 	case out := <-done:
+		cancelRun()
 		release()
 		s.mReqs.With(string(mapper), boolOutcome(out.res.Success)).Inc()
 		s.finishRun(w, lg, runID, &req, opts, out.m, out.res, out.err)
+	case <-r.Context().Done():
+		// Client hung up mid-run: tear the sweep down and give the slot
+		// back only after every speculative attempt has unwound.
+		cancelRun()
+		out := <-done
+		release()
+		s.mReqs.With(string(mapper), "canceled").Inc()
+		lg.Warn("client disconnected mid-run; sweep torn down")
+		s.recordRun(lg, runID, &req, opts, out.res)
 	case <-deadline.C:
 		s.mReqs.With(string(mapper), "timeout").Inc()
 		lg.Warn("mapping run exceeded the request timeout", "timeout_ms", s.cfg.RequestTimeout.Milliseconds())
 		writeJSON(w, http.StatusGatewayTimeout,
 			errorResponse{Error: fmt.Sprintf("mapping exceeded the %s request timeout", s.cfg.RequestTimeout)})
-		// Drain in the background so the run is still recorded when it
-		// finishes; its worker slot frees only then, which is what keeps
-		// abandoned runs from over-subscribing the pool.
+		// Cancel, then drain in the background so the torn-down run is
+		// still recorded; its worker slot frees only once the sweep has
+		// fully unwound (fast — cancellation lands within one iteration),
+		// which is what keeps abandoned runs from over-subscribing the
+		// pool or leaking speculative attempts past their request.
+		cancelRun()
 		go func() {
 			out := <-done
 			release()
 			s.recordRun(lg, runID, &req, opts, out.res)
 		}()
 	}
+}
+
+// clampSweep caps a request's speculative II-sweep window so that the
+// worst case — every worker slot running a maximally speculative sweep —
+// stays within GOMAXPROCS: cap = max(1, GOMAXPROCS/Workers).
+func (s *server) clampSweep(want int) int {
+	cap_ := runtime.GOMAXPROCS(0) / s.cfg.Workers
+	if cap_ < 1 {
+		cap_ = 1
+	}
+	if want > cap_ {
+		return cap_
+	}
+	if want < 1 {
+		return 1
+	}
+	return want
 }
 
 // boolOutcome maps a run's success flag to the requests_total outcome

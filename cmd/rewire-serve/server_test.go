@@ -1,11 +1,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -244,6 +246,139 @@ func TestKernelSrcMapping(t *testing.T) {
 	}
 	if !out.Success {
 		t.Fatalf("axpy failed to map: %+v", out)
+	}
+}
+
+// slowMapBody is a mapping request that reliably runs for several
+// seconds: PF* on gramsch@8x8r4 fails a few IIs before committing, so
+// cancelling it mid-sweep exercises the teardown path, not a race with
+// natural completion.
+const slowMapBody = `{"kernel":"gramsch","arch":"8x8r4","mapper":"pathfinder","seed":1,"time_per_ii_ms":5000,"sweep_parallelism":4}`
+
+// waitInflightZero polls /metrics until the inflight gauge reads zero,
+// failing the test if teardown takes longer than the bound. A cancelled
+// sweep unwinds within one mapper inner-loop iteration, so the bound is
+// generous.
+func waitInflightZero(t *testing.T, ts *httptest.Server, bound time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(bound)
+	for {
+		body, _ := get(t, ts.URL+"/metrics")
+		if strings.Contains(body, "rewire_serve_inflight_requests 0") {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker slot not released within %s of cancellation", bound)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestClientDisconnectTearsDownSweep is the slot-accounting regression
+// test: a client hanging up mid-sweep must tear down every speculative
+// II attempt and release the worker slot promptly — long before the
+// abandoned run would have finished on its own.
+func TestClientDisconnectTearsDownSweep(t *testing.T) {
+	ts := testServer(t, serverConfig{Workers: 1, RequestTimeout: 60 * time.Second, FlightSize: 8})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/map", strings.NewReader(slowMapBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	// Let the run get past admission and into the sweep, then hang up.
+	time.Sleep(300 * time.Millisecond)
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled request unexpectedly completed")
+	}
+
+	// The single worker slot must come back well before the ~multi-second
+	// natural completion of the abandoned run: cancellation reaches every
+	// speculative attempt and the slot frees only after they unwind.
+	waitInflightZero(t, ts, 5*time.Second)
+
+	body, _ := get(t, ts.URL+"/metrics")
+	if !strings.Contains(body, `outcome="canceled"`) {
+		t.Error("/metrics has no canceled-outcome sample")
+	}
+
+	// With the slot free, the next request on the width-1 pool must be
+	// served immediately.
+	out, code := postMap(t, ts, `{"kernel":"mvt","arch":"4x4r4","seed":1,"time_per_ii_ms":2000}`)
+	if code != http.StatusOK || !out.Success {
+		t.Fatalf("follow-up request after disconnect: code=%d success=%v", code, out.Success)
+	}
+}
+
+// TestRequestTimeoutTearsDownSweep: a 504 must cancel the in-flight
+// sweep; the worker slot frees once the torn-down run returns, and the
+// run still lands in the flight recorder.
+func TestRequestTimeoutTearsDownSweep(t *testing.T) {
+	ts := testServer(t, serverConfig{Workers: 1, RequestTimeout: 400 * time.Millisecond, FlightSize: 8})
+
+	resp, err := http.Post(ts.URL+"/map", "application/json", strings.NewReader(slowMapBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("slow request = %d, want 504", resp.StatusCode)
+	}
+
+	waitInflightZero(t, ts, 5*time.Second)
+
+	// The torn-down run is still recorded (as a failed run) once drained.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		body, _ := get(t, ts.URL+"/runs")
+		var runs []runRecord
+		if err := json.Unmarshal([]byte(body), &runs); err == nil && len(runs) == 1 {
+			if runs[0].Success {
+				t.Fatal("torn-down run recorded as successful")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("torn-down run never reached the flight recorder")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	body, _ := get(t, ts.URL+"/metrics")
+	if !strings.Contains(body, `outcome="timeout"`) {
+		t.Error("/metrics has no timeout-outcome sample")
+	}
+}
+
+// TestSweepParallelismClamp pins the oversubscription math: the
+// per-request window is capped at GOMAXPROCS/Workers (floored at 1).
+func TestSweepParallelismClamp(t *testing.T) {
+	lg, _ := obs.Setup(io.Discard, "info", "text")
+	s := newServer(serverConfig{Workers: runtime.GOMAXPROCS(0)}, lg)
+	if got := s.clampSweep(64); got != 1 {
+		t.Fatalf("clampSweep(64) with Workers=GOMAXPROCS = %d, want 1", got)
+	}
+	s2 := newServer(serverConfig{Workers: 1}, lg)
+	if got := s2.clampSweep(10_000); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("clampSweep(10000) with Workers=1 = %d, want GOMAXPROCS", got)
+	}
+	if got := s2.clampSweep(0); got != 1 {
+		t.Fatalf("clampSweep(0) = %d, want 1 (serial default)", got)
+	}
+	if _, code := postMap(t, testServer(t, serverConfig{}),
+		`{"kernel":"mvt","arch":"4x4r4","sweep_parallelism":-1}`); code != http.StatusBadRequest {
+		t.Fatalf("negative sweep_parallelism = %d, want 400", code)
 	}
 }
 

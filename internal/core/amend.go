@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"rewire/internal/mapping"
 	"rewire/internal/route"
 	"rewire/internal/stats"
+	"rewire/internal/sweep"
 )
 
 // Amend repairs an arbitrary (possibly invalid) mapping at its own II —
@@ -37,13 +39,13 @@ func Amend(m *mapping.Mapping, opt Options) (*mapping.Mapping, stats.Result, err
 		rng:    rand.New(rand.NewSource(opt.Seed)),
 		res:    &res,
 		opt:    opt,
+		pace:   sweep.NewPacer(context.Background(), time.Now().Add(opt.TimePerII), paceEvery),
 		tr:     tr,
 		ctr:    newCounters(tr),
 		span:   root,
 	}
 	am.router.Instrument(tr)
-	deadline := time.Now().Add(opt.TimePerII)
-	ok := am.amend(deadline)
+	ok := am.amend()
 	// Count router work on failure too (the audit contract: effort
 	// counters are filled on every path, not only successes).
 	res.RouterExpansions = am.router.Expansions

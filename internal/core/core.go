@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"rewire/internal/pathfinder"
 	"rewire/internal/route"
 	"rewire/internal/stats"
+	"rewire/internal/sweep"
 	"rewire/internal/trace"
 )
 
@@ -87,6 +89,13 @@ type Options struct {
 	// single-core profiling.
 	SerialPropagation bool
 
+	// SweepParallelism is the speculative II-sweep window: how many II
+	// attempts may run concurrently (see internal/sweep and
+	// docs/CONCURRENCY.md). 0 or 1 is the serial sweep. Every per-II
+	// attempt derives its randomness from sweep.SeedForII(Seed, II), so
+	// the committed (II, mapping) is bit-identical at every width.
+	SweepParallelism int
+
 	// Tracer receives phase spans and work counters for the run (see
 	// internal/trace and docs/OBSERVABILITY.md). nil disables tracing at
 	// ~zero hot-path cost.
@@ -134,11 +143,36 @@ func (o Options) withDefaults() Options {
 // Map runs Rewire: per II, build PF*'s initial mapping, then amend it
 // cluster by cluster until valid; on failure increase the II.
 func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Result) {
+	return MapCtx(context.Background(), g, a, opt)
+}
+
+// iiOut is one II attempt's outcome: the mapping (nil on failure) and
+// the attempt's private effort counters, merged into the run's
+// stats.Result in ascending II order once the sweep commits.
+type iiOut struct {
+	m  *mapping.Mapping
+	st stats.Result
+}
+
+// mergeEffort folds one II attempt's effort counters into the run total.
+func mergeEffort(dst *stats.Result, src *stats.Result) {
+	dst.ClusterAmendments += src.ClusterAmendments
+	dst.PlacementsTried += src.PlacementsTried
+	dst.VerifyAttempts += src.VerifyAttempts
+	dst.VerifySuccesses += src.VerifySuccesses
+	dst.RouterExpansions += src.RouterExpansions
+}
+
+// MapCtx is Map with cancellation: ctx aborts the II sweep (in-flight
+// attempts unwind within one cluster iteration) and the run reports
+// failure. Options.SweepParallelism > 1 additionally runs that many II
+// attempts speculatively; the committed result is bit-identical to the
+// serial sweep's (see internal/sweep).
+func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Result) {
 	opt = opt.withDefaults()
 	res := stats.Result{Mapper: "Rewire", Kernel: g.Name, Arch: a.Name}
 	res.MII = mapping.MII(g, a)
 	start := time.Now()
-	rng := rand.New(rand.NewSource(opt.Seed))
 
 	tr := opt.Tracer
 	ctr := newCounters(tr)
@@ -146,64 +180,86 @@ func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Resul
 		WithStr("kernel", g.Name).WithStr("arch", a.Name).WithInt("mii", int64(res.MII))
 	defer root.End()
 	lg := opt.Logger.With("mapper", "rewire", "kernel", g.Name, "arch", a.Name)
-	lg.Debug("map start", "mii", res.MII, "max_ii", opt.MaxII)
+	lg.Debug("map start", "mii", res.MII, "max_ii", opt.MaxII, "sweep_window", opt.SweepParallelism)
 
-	for ii := res.MII; ii <= opt.MaxII; ii++ {
-		deadline := time.Now().Add(opt.TimePerII)
+	attemptII := func(actx context.Context, ii int) (iiOut, bool) {
+		var out iiOut
+		iiSeed := sweep.SeedForII(opt.Seed, ii)
+		rng := rand.New(rand.NewSource(iiSeed))
+		pace := sweep.NewPacer(actx, time.Now().Add(opt.TimePerII), paceEvery)
 		iiSpan := tr.StartSpan(root, "ii").WithInt("ii", int64(ii))
 		// Rewire amends whatever initial mapping it is given; initial
 		// mappings vary a lot in amendability, so each II retries with a
 		// few fresh PF* initial seeds (bounded by AttemptsPerII and the
 		// time budget).
-		for attempt := int64(0); attempt < int64(opt.AttemptsPerII) && (attempt == 0 || time.Now().Before(deadline)); attempt++ {
+		for attempt := int64(0); attempt < int64(opt.AttemptsPerII) && (attempt == 0 || !pace.ExpiredNow()); attempt++ {
 			aSpan := tr.StartSpan(iiSpan, "attempt").WithInt("attempt", attempt)
 			m := mapping.New(g, a, ii)
-			sess, router := pathfinder.BuildInitialTraced(m, opt.Seed^int64(ii)^(attempt<<16), &res, tr, aSpan)
+			sess, router := pathfinder.BuildInitialTraced(actx, m, iiSeed^(attempt<<16), &out.st, tr, aSpan)
 			am := &amender{
 				g:      g,
 				sess:   sess,
 				router: router,
 				rng:    rng,
-				res:    &res,
+				res:    &out.st,
 				opt:    opt,
+				pace:   pace,
 				tr:     tr,
 				ctr:    ctr,
 				span:   aSpan,
 			}
-			ok := am.amend(deadline)
+			ok := am.amend()
 			// Router work is accumulated per attempt — failed attempts
 			// spend real routing effort too, and each attempt owns a fresh
 			// router, so a final-attempt snapshot would drop the rest.
-			res.RouterExpansions += router.Expansions
+			out.st.RouterExpansions += router.Expansions
 			ctr.routerExpansions.Add(router.Expansions)
 			aSpan.WithBool("ok", ok).End()
 			if !ok {
 				am.sess.Close()
 				continue
 			}
-			res.Success = true
-			res.II = ii
-			res.Duration = time.Since(start)
 			if err := mapping.Validate(am.sess.M); err != nil {
 				panic("rewire: produced invalid mapping: " + err.Error())
 			}
 			iiSpan.WithBool("ok", true).End()
-			lg.Info("mapped", "ii", ii, "mii", res.MII,
-				"amendments", res.ClusterAmendments, "duration_ms", res.Duration.Milliseconds())
-			mapped := am.sess.M
+			out.m = am.sess.M
 			am.sess.Close()
-			return mapped, res
+			return out, true
 		}
 		iiSpan.WithBool("ok", false).End()
 		if lg.On() {
 			lg.Debug("ii exhausted", "ii", ii)
 		}
+		return out, false
+	}
+
+	win, winII, below, ok := sweep.Run(ctx, res.MII, opt.MaxII, attemptII, sweep.Options{
+		Parallelism: opt.SweepParallelism, Tracer: tr, Parent: root, Logger: lg,
+	})
+	for _, o := range below {
+		mergeEffort(&res, &o.st)
+	}
+	if ok {
+		mergeEffort(&res, &win.st)
+		res.Success = true
+		res.II = winII
+		res.Duration = time.Since(start)
+		lg.Info("mapped", "ii", winII, "mii", res.MII,
+			"amendments", res.ClusterAmendments, "duration_ms", res.Duration.Milliseconds())
+		return win.m, res
 	}
 	res.Duration = time.Since(start)
 	lg.Warn("mapping failed", "mii", res.MII, "max_ii", opt.MaxII,
 		"duration_ms", res.Duration.Milliseconds())
 	return nil, res
 }
+
+// paceEvery is how many generator recursion steps pass between real
+// deadline/cancellation checks; see sweep.Pacer. Coarse enough that
+// time.Now vanishes from the enumeration profile, fine enough that a
+// cancelled speculative attempt unwinds within one cluster iteration.
+const paceEvery = 16
 
 // amender is the per-II amendment state.
 type amender struct {
@@ -213,6 +269,7 @@ type amender struct {
 	rng    *rand.Rand
 	res    *stats.Result
 	opt    Options
+	pace   *sweep.Pacer // amortised deadline + cancellation polling
 
 	// tr/ctr/span instrument the amendment; all stay nil/zero when
 	// tracing is disabled (every emit call is then a pointer check).
@@ -228,15 +285,15 @@ type amender struct {
 // unreachable. Re-seeding after a failure matters: the failed cluster's
 // nodes are now unplaced and a different random seed groups them with
 // different neighbours.
-func (a *amender) amend(deadline time.Time) bool {
+func (a *amender) amend() bool {
 	failures := 0
-	for time.Now().Before(deadline) {
+	for !a.pace.ExpiredNow() {
 		ill := a.sess.IllMapped()
 		if len(ill) == 0 {
 			return true
 		}
 		u := a.buildCluster(ill)
-		if !a.mapCluster(u, deadline) {
+		if !a.mapCluster(u) {
 			// Keep the rip-ups: a failed cluster leaves its nodes unmapped,
 			// so the next (randomly re-seeded) cluster absorbs them together
 			// with different neighbours. This progressive loosening lets the
@@ -255,7 +312,7 @@ func (a *amender) amend(deadline time.Time) bool {
 // growing it on failure up to the cap (Algorithm 1, lines 7-13). The
 // routed-trial budget is shared across the growth retries so one stubborn
 // cluster cannot consume the whole II deadline.
-func (a *amender) mapCluster(u *cluster, deadline time.Time) (ok bool) {
+func (a *amender) mapCluster(u *cluster) (ok bool) {
 	cs := a.tr.StartSpan(a.span, "cluster_amendment").WithInt("initial_size", int64(len(u.nodes)))
 	defer func() {
 		cs.WithInt("final_size", int64(len(u.nodes))).WithBool("ok", ok).End()
@@ -271,7 +328,7 @@ func (a *amender) mapCluster(u *cluster, deadline time.Time) (ok bool) {
 		a.ctr.clusterSize.Observe(int64(len(u.nodes)))
 		props := a.propagateAll(u)
 		cands := a.intersectTraced(u, props)
-		if a.generate(u, cands, props, deadline, &budget) {
+		if a.generate(u, cands, props, &budget) {
 			releaseProps(props)
 			return true
 		}
@@ -287,7 +344,7 @@ func (a *amender) mapCluster(u *cluster, deadline time.Time) (ok bool) {
 		if !grew {
 			return false
 		}
-		if !time.Now().Before(deadline) {
+		if a.pace.ExpiredNow() {
 			return false
 		}
 	}

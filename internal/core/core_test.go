@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"rewire/internal/pathfinder"
 	"rewire/internal/route"
 	"rewire/internal/stats"
+	"rewire/internal/sweep"
 )
 
 // fixture builds an amender over an empty mapping at the given II with a
@@ -182,7 +184,8 @@ func TestMapClusterRepairsDiamond(t *testing.T) {
 	}
 	// b and c are not DFG-adjacent, so they amend as separate clusters;
 	// amend drives the cluster loop to completion.
-	if !f.am.amend(time.Now().Add(5 * time.Second)) {
+	f.am.pace = sweep.NewPacer(context.Background(), time.Now().Add(5*time.Second), paceEvery)
+	if !f.am.amend() {
 		t.Fatal("amendment failed on an open fabric")
 	}
 	if len(f.am.sess.IllMapped()) != 0 {
@@ -257,9 +260,10 @@ func TestAmendmentOnlyTouchesIllRegions(t *testing.T) {
 	am := &amender{
 		g: g, sess: sess, router: router,
 		rng: rand.New(rand.NewSource(5)), res: &res,
-		opt: Options{}.withDefaults(),
+		opt:  Options{}.withDefaults(),
+		pace: sweep.NewPacer(context.Background(), time.Now().Add(5*time.Second), paceEvery),
 	}
-	if !am.amend(time.Now().Add(5 * time.Second)) {
+	if !am.amend() {
 		t.Skip("amendment did not converge at MII+1 with this seed")
 	}
 	if err := mapping.Validate(am.sess.M); err != nil {

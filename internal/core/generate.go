@@ -1,8 +1,6 @@
 package core
 
 import (
-	"time"
-
 	"rewire/internal/mrrg"
 	"rewire/internal/route"
 	"rewire/internal/trace"
@@ -18,7 +16,7 @@ import (
 // possible; a node whose edges cannot route is rejected on the spot
 // instead of poisoning a full Placement(U). The first complete verified
 // placement is committed.
-func (a *amender) generate(u *cluster, cands map[int][]pcand, props map[int]*propagation, deadline time.Time, budget *int) bool {
+func (a *amender) generate(u *cluster, cands map[int][]pcand, props map[int]*propagation, budget *int) bool {
 	gs := a.tr.StartSpan(a.cur, "placement_enum").WithInt("budget", int64(*budget))
 	for _, v := range u.nodes {
 		if len(cands[v]) == 0 {
@@ -27,14 +25,13 @@ func (a *amender) generate(u *cluster, cands map[int][]pcand, props map[int]*pro
 		}
 	}
 	gen := &generator{
-		a:        a,
-		u:        u,
-		cands:    cands,
-		props:    props,
-		deadline: deadline,
-		chosen:   make([]pcand, len(u.nodes)),
-		budget:   budget,
-		span:     gs,
+		a:      a,
+		u:      u,
+		cands:  cands,
+		props:  props,
+		chosen: make([]pcand, len(u.nodes)),
+		budget: budget,
+		span:   gs,
 	}
 	ok := gen.assign(0)
 	gs.WithBool("ok", ok).End()
@@ -42,21 +39,21 @@ func (a *amender) generate(u *cluster, cands map[int][]pcand, props map[int]*pro
 }
 
 type generator struct {
-	a        *amender
-	u        *cluster
-	cands    map[int][]pcand
-	props    map[int]*propagation
-	deadline time.Time
-	chosen   []pcand
-	budget   *int
-	span     *trace.Span // the placement_enum span; parent of verify spans
+	a      *amender
+	u      *cluster
+	cands  map[int][]pcand
+	props  map[int]*propagation
+	chosen []pcand
+	budget *int
+	span   *trace.Span // the placement_enum span; parent of verify spans
 }
 
 // assign recursively picks a candidate for the i-th cluster node (the
 // index-vector iteration of Algorithm 2, realised as backtracking with
-// incremental routing verification).
+// incremental routing verification). The amortised pacer check is also
+// where a cancelled speculative II attempt bails out of the enumeration.
 func (g *generator) assign(i int) bool {
-	if *g.budget <= 0 || !time.Now().Before(g.deadline) {
+	if *g.budget <= 0 || g.a.pace.Expired() {
 		return false
 	}
 	if i == len(g.u.nodes) {

@@ -46,6 +46,12 @@ type Config struct {
 	// job count; Jobs=1 reproduces the serial harness exactly. See
 	// docs/CONCURRENCY.md.
 	Jobs int
+	// SweepParallelism is each run's speculative II-sweep window (0 or 1
+	// is the serial sweep). Speculation changes wall-clock only, never the
+	// committed IIs or mappings, so report tables are unaffected; combine
+	// with Jobs thoughtfully — total concurrency is roughly Jobs times
+	// this window. See docs/CONCURRENCY.md, "Layer 3".
+	SweepParallelism int
 	// Verbose streams one line per finished run to Out, in canonical
 	// combo order regardless of Jobs.
 	Verbose bool
@@ -142,17 +148,20 @@ func RunDFG(mapper string, g *dfg.Graph, a *arch.CGRA, cfg Config) (*mapping.Map
 	case "Rewire":
 		return core.Map(g, a, core.Options{
 			Seed: cfg.Seed, MaxII: cfg.MaxII, TimePerII: cfg.TimePerII,
-			Tracer: cfg.Tracer, Logger: cfg.Logger,
+			SweepParallelism: cfg.SweepParallelism,
+			Tracer:           cfg.Tracer, Logger: cfg.Logger,
 		})
 	case "PF*":
 		return pathfinder.Map(g, a, pathfinder.Options{
 			Seed: cfg.Seed, MaxII: cfg.MaxII, TimePerII: cfg.TimePerII,
-			Tracer: cfg.Tracer, Logger: cfg.Logger,
+			SweepParallelism: cfg.SweepParallelism,
+			Tracer:           cfg.Tracer, Logger: cfg.Logger,
 		})
 	case "SA":
 		return sa.Map(g, a, sa.Options{
 			Seed: cfg.Seed, MaxII: cfg.MaxII, TimePerII: cfg.TimePerII,
-			Tracer: cfg.Tracer, Logger: cfg.Logger,
+			SweepParallelism: cfg.SweepParallelism,
+			Tracer:           cfg.Tracer, Logger: cfg.Logger,
 		})
 	default:
 		panic("eval: unknown mapper " + mapper)

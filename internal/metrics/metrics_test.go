@@ -205,6 +205,10 @@ var pipelineCounters = []string{
 	"intersect.pcandidates",
 	"pf.remaps",
 	"sa.moves",
+	"sweep.attempts",
+	"sweep.speculative",
+	"sweep.cancelled",
+	"sweep.wasted_ms",
 }
 
 var pipelineHistograms = []string{

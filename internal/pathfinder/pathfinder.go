@@ -13,6 +13,7 @@
 package pathfinder
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"rewire/internal/placer"
 	"rewire/internal/route"
 	"rewire/internal/stats"
+	"rewire/internal/sweep"
 	"rewire/internal/trace"
 )
 
@@ -49,6 +51,12 @@ type Options struct {
 	// initial-mapping phase uses a narrow beam instead, since amendment
 	// only needs a rough starting point.
 	CandidateBeam int
+	// SweepParallelism is the speculative II-sweep window: how many II
+	// attempts may run concurrently (see internal/sweep and
+	// docs/CONCURRENCY.md). 0 or 1 is the serial sweep. Every per-II
+	// attempt derives its randomness from sweep.SeedForII(Seed, II), so
+	// the committed (II, mapping) is bit-identical at every width.
+	SweepParallelism int
 
 	// Tracer receives phase spans and work counters for the run (see
 	// internal/trace and docs/OBSERVABILITY.md). nil disables tracing at
@@ -75,52 +83,85 @@ func (o Options) withDefaults(n int) Options {
 // Map runs PF* to completion: II sweeps from MII upward until a valid
 // mapping is found or the limits are hit.
 func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Result) {
+	return MapCtx(context.Background(), g, a, opt)
+}
+
+// iiOutcome is one II attempt's result: the mapping (nil on failure)
+// and the attempt's private effort counters, merged into the run's
+// stats.Result in ascending II order once the sweep commits.
+type iiOutcome struct {
+	m      *mapping.Mapping
+	st     stats.Result
+	remaps int
+}
+
+// MapCtx is Map with cancellation: ctx aborts the II sweep (in-flight
+// attempts unwind within one remap iteration) and the run reports
+// failure. Options.SweepParallelism > 1 additionally runs that many II
+// attempts speculatively; the committed result is bit-identical to the
+// serial sweep's (see internal/sweep).
+func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Result) {
 	opt = opt.withDefaults(g.NumNodes())
 	res := stats.Result{Mapper: "PF*", Kernel: g.Name, Arch: a.Name}
 	res.MII = mapping.MII(g, a)
 	start := time.Now()
-	rng := rand.New(rand.NewSource(opt.Seed))
 
 	tr := opt.Tracer
 	root := tr.StartSpan(nil, "pf.map").
 		WithStr("kernel", g.Name).WithStr("arch", a.Name).WithInt("mii", int64(res.MII))
 	defer root.End()
 	lg := opt.Logger.With("mapper", "pathfinder", "kernel", g.Name, "arch", a.Name)
-	lg.Debug("map start", "mii", res.MII, "max_ii", opt.MaxII)
+	lg.Debug("map start", "mii", res.MII, "max_ii", opt.MaxII, "sweep_window", opt.SweepParallelism)
 
-	totalRemaps := 0
-	iisExplored := 0
-	for ii := res.MII; ii <= opt.MaxII; ii++ {
-		iisExplored++
+	attempt := func(actx context.Context, ii int) (iiOutcome, bool) {
+		var out iiOutcome
+		rng := rand.New(rand.NewSource(sweep.SeedForII(opt.Seed, ii)))
 		iiSpan := tr.StartSpan(root, "ii").WithInt("ii", int64(ii))
 		ms := tr.StartSpan(iiSpan, "mrrg_build")
-		p := newPerII(g, a, ii, rng, &res)
+		p := newPerII(g, a, ii, rng, &out.st)
 		ms.End()
 		p.beam = opt.CandidateBeam
 		p.instrument(tr, iiSpan)
-		ok := p.run(opt)
-		totalRemaps += p.remaps
+		ok := p.run(actx, opt)
+		out.remaps = p.remaps
 		// Each II owns a fresh router; accumulate its work win or lose so
 		// RouterExpansions reflects the whole sweep, not the last II.
-		res.RouterExpansions += p.router.Expansions
+		out.st.RouterExpansions += p.router.Expansions
 		p.ctr.routerExpansions.Add(p.router.Expansions)
 		iiSpan.WithBool("ok", ok).WithInt("remaps", int64(p.remaps)).End()
 		if ok {
-			res.Success = true
-			res.II = ii
-			res.Duration = time.Since(start)
-			res.RemapIterations = totalRemaps / iisExplored
-			finalize(p.sess.M, &res)
-			lg.Info("mapped", "ii", ii, "mii", res.MII,
-				"remaps", res.RemapIterations, "duration_ms", res.Duration.Milliseconds())
-			m := p.sess.M
-			p.sess.Close()
-			return m, res
+			finalize(p.sess.M, &out.st)
+			out.m = p.sess.M
 		}
 		p.sess.Close()
-		if lg.On() {
+		if !ok && lg.On() {
 			lg.Debug("ii exhausted", "ii", ii, "remaps", p.remaps)
 		}
+		return out, ok
+	}
+
+	win, winII, below, ok := sweep.Run(ctx, res.MII, opt.MaxII, attempt, sweep.Options{
+		Parallelism: opt.SweepParallelism, Tracer: tr, Parent: root, Logger: lg,
+	})
+	totalRemaps := 0
+	for _, o := range below {
+		res.PlacementsTried += o.st.PlacementsTried
+		res.RouterExpansions += o.st.RouterExpansions
+		totalRemaps += o.remaps
+	}
+	iisExplored := len(below)
+	if ok {
+		res.PlacementsTried += win.st.PlacementsTried
+		res.RouterExpansions += win.st.RouterExpansions
+		totalRemaps += win.remaps
+		iisExplored++
+		res.Success = true
+		res.II = winII
+		res.Duration = time.Since(start)
+		res.RemapIterations = totalRemaps / iisExplored
+		lg.Info("mapped", "ii", winII, "mii", res.MII,
+			"remaps", res.RemapIterations, "duration_ms", res.Duration.Milliseconds())
+		return win.m, res
 	}
 	res.Duration = time.Since(start)
 	if iisExplored > 0 {
@@ -145,13 +186,15 @@ func finalize(m *mapping.Mapping, res *stats.Result) {
 // only needs a rough starting point, not PF*'s exhaustive per-node
 // candidate evaluation.
 func BuildInitial(m *mapping.Mapping, seed int64, res *stats.Result) (*mapping.Session, *route.Router) {
-	return BuildInitialTraced(m, seed, res, nil, nil)
+	return BuildInitialTraced(context.Background(), m, seed, res, nil, nil)
 }
 
-// BuildInitialTraced is BuildInitial with the initial-mapping phase
-// recorded under parent: an initial_mapping span wrapping mrrg_build and
-// initial_placement child spans. A nil tracer is the untraced path.
-func BuildInitialTraced(m *mapping.Mapping, seed int64, res *stats.Result, tr *trace.Tracer, parent *trace.Span) (*mapping.Session, *route.Router) {
+// BuildInitialTraced is BuildInitial with cancellation and the
+// initial-mapping phase recorded under parent: an initial_mapping span
+// wrapping mrrg_build and initial_placement child spans. A nil tracer
+// is the untraced path; a cancelled ctx stops the placement early and
+// returns the partial session.
+func BuildInitialTraced(ctx context.Context, m *mapping.Mapping, seed int64, res *stats.Result, tr *trace.Tracer, parent *trace.Span) (*mapping.Session, *route.Router) {
 	rng := rand.New(rand.NewSource(seed))
 	sp := tr.StartSpan(parent, "initial_mapping").WithInt("seed", seed)
 	ms := tr.StartSpan(sp, "mrrg_build")
@@ -159,12 +202,20 @@ func BuildInitialTraced(m *mapping.Mapping, seed int64, res *stats.Result, tr *t
 	ms.End()
 	p.beam = 8
 	p.instrument(tr, sp)
+	p.pace = sweep.NewPacer(ctx, time.Now().Add(time.Minute), paceEvery)
 	ps := tr.StartSpan(sp, "initial_placement")
-	p.initialPlacement(time.Now().Add(time.Minute))
+	p.initialPlacement()
 	ps.End()
 	sp.End()
 	return p.sess, p.router
 }
+
+// paceEvery is how many hot-loop iterations (placement candidates,
+// placed nodes) pass between real deadline/cancellation checks; see
+// sweep.Pacer. Coarse enough that time.Now vanishes from the candidate
+// loop's profile, fine enough that a cancelled speculative attempt
+// unwinds within one remap iteration.
+const paceEvery = 16
 
 // perII is the mapping state for one II attempt.
 type perII struct {
@@ -177,7 +228,8 @@ type perII struct {
 	slack  int
 	asap   []int
 	remaps int
-	beam   int // candidates fully routed per placement; 0 = all
+	beam   int          // candidates fully routed per placement; 0 = all
+	pace   *sweep.Pacer // amortised deadline + cancellation polling
 
 	tr   *trace.Tracer
 	span *trace.Span // parent for this II's phase spans
@@ -244,14 +296,14 @@ func (p *perII) cost(net mrrg.Net) route.CostFn {
 	}
 }
 
-func (p *perII) run(opt Options) bool {
-	deadline := time.Now().Add(opt.TimePerII)
+func (p *perII) run(ctx context.Context, opt Options) bool {
+	p.pace = sweep.NewPacer(ctx, time.Now().Add(opt.TimePerII), paceEvery)
 	is := p.tr.StartSpan(p.span, "initial_placement")
-	p.initialPlacement(deadline)
+	p.initialPlacement()
 	is.End()
 	rs := p.tr.StartSpan(p.span, "remap_loop")
 	defer func() { rs.WithInt("remaps", int64(p.remaps)).End() }()
-	for p.remaps < opt.RemapsPerII && time.Now().Before(deadline) {
+	for p.remaps < opt.RemapsPerII && !p.pace.ExpiredNow() {
 		ill := p.sess.IllMapped()
 		if len(ill) == 0 {
 			return true
@@ -273,14 +325,15 @@ func (p *perII) run(opt Options) bool {
 // routing-cost candidate; nodes whose edges cannot all be routed are
 // still placed best-effort (leaving ill routes), matching the paper's
 // "initial mapping" that Rewire amends. Exhaustive candidate evaluation
-// on large fabrics can be slow, so the per-II deadline applies here too.
-func (p *perII) initialPlacement(deadline time.Time) {
+// on large fabrics can be slow, so the per-II pacer (deadline +
+// cancellation) applies here too.
+func (p *perII) initialPlacement() {
 	order, err := p.g.TopoOrder()
 	if err != nil {
 		return
 	}
 	for _, v := range order {
-		if !time.Now().Before(deadline) {
+		if p.pace.ExpiredNow() {
 			return
 		}
 		p.placeNode(v, p.beam)
@@ -319,6 +372,14 @@ func (p *perII) placeNode(v int, beam int) bool {
 	best := outcome{routed: -1}
 	bestFull := outcome{cost: int(^uint(0) >> 1), ok: false}
 	for _, c := range cands[:beam] {
+		// Amortised deadline/cancellation poll: the exhaustive PF*
+		// candidate loop trial-routes every slot, so this is where a
+		// per-candidate time.Now would cost and where a cancelled
+		// speculative attempt bails. Committing the best candidate found
+		// so far keeps the early exit a truncation, not a corruption.
+		if p.pace.Expired() {
+			break
+		}
 		p.res.PlacementsTried++
 		p.ctr.placementsTried.Add(1)
 		if err := p.sess.PlaceNode(v, c.pl.PE, c.pl.Time); err != nil {

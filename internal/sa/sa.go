@@ -13,6 +13,7 @@
 package sa
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"rewire/internal/placer"
 	"rewire/internal/route"
 	"rewire/internal/stats"
+	"rewire/internal/sweep"
 	"rewire/internal/trace"
 )
 
@@ -48,6 +50,12 @@ type Options struct {
 	// RouteEvery is how often (in moves) a full routing attempt is made
 	// when the placement estimate looks feasible (default 25).
 	RouteEvery int
+	// SweepParallelism is the speculative II-sweep window: how many II
+	// attempts may run concurrently (see internal/sweep and
+	// docs/CONCURRENCY.md). 0 or 1 is the serial sweep. Every per-II
+	// attempt derives its randomness from sweep.SeedForII(Seed, II), so
+	// the committed (II, mapping) is bit-identical at every width.
+	SweepParallelism int
 
 	// Tracer receives phase spans and work counters for the run (see
 	// internal/trace and docs/OBSERVABILITY.md). nil disables tracing at
@@ -85,11 +93,33 @@ func (o Options) withDefaults() Options {
 
 // Map runs the annealer, sweeping II from MII upward.
 func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Result) {
+	return MapCtx(context.Background(), g, a, opt)
+}
+
+// paceEvery is how many anneal moves pass between real deadline and
+// cancellation checks; see sweep.Pacer. The anneal loop used to call
+// time.Now() per move, which is measurable at millions of moves per II.
+const paceEvery = 32
+
+// iiOut is one II attempt's outcome: the mapping (nil on failure) and
+// the attempt's private effort counters, merged into the run's
+// stats.Result in ascending II order once the sweep commits.
+type iiOut struct {
+	m     *mapping.Mapping
+	st    stats.Result
+	moves int
+}
+
+// MapCtx is Map with cancellation: ctx aborts the II sweep (in-flight
+// attempts unwind within one anneal check interval) and the run reports
+// failure. Options.SweepParallelism > 1 additionally runs that many II
+// attempts speculatively; the committed result is bit-identical to the
+// serial sweep's (see internal/sweep).
+func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Result) {
 	opt = opt.withDefaults()
 	res := stats.Result{Mapper: "SA", Kernel: g.Name, Arch: a.Name}
 	res.MII = mapping.MII(g, a)
 	start := time.Now()
-	rng := rand.New(rand.NewSource(opt.Seed))
 
 	tr := opt.Tracer
 	ctr := newCounters(tr)
@@ -97,51 +127,71 @@ func Map(g *dfg.Graph, a *arch.CGRA, opt Options) (*mapping.Mapping, stats.Resul
 		WithStr("kernel", g.Name).WithStr("arch", a.Name).WithInt("mii", int64(res.MII))
 	defer root.End()
 	lg := opt.Logger.With("mapper", "sa", "kernel", g.Name, "arch", a.Name)
-	lg.Debug("map start", "mii", res.MII, "max_ii", opt.MaxII)
+	lg.Debug("map start", "mii", res.MII, "max_ii", opt.MaxII, "sweep_window", opt.SweepParallelism)
 
-	totalMoves := 0
-	iisExplored := 0
-	for ii := res.MII; ii <= opt.MaxII; ii++ {
-		iisExplored++
-		deadline := time.Now().Add(opt.TimePerII)
+	attempt := func(actx context.Context, ii int) (iiOut, bool) {
+		var out iiOut
+		// One rng per II attempt, shared by its restarts in sequence:
+		// the attempt's random stream depends only on (Seed, II).
+		rng := rand.New(rand.NewSource(sweep.SeedForII(opt.Seed, ii)))
+		pace := sweep.NewPacer(actx, time.Now().Add(opt.TimePerII), paceEvery)
 		iiSpan := tr.StartSpan(root, "ii").WithInt("ii", int64(ii))
-		for restart := 0; restart < opt.Restarts && time.Now().Before(deadline); restart++ {
+		for restart := 0; restart < opt.Restarts && !pace.ExpiredNow(); restart++ {
 			rSpan := tr.StartSpan(iiSpan, "anneal").WithInt("restart", int64(restart))
 			ms := tr.StartSpan(rSpan, "mrrg_build")
-			an := newAnnealer(g, a, ii, rng, &res)
+			an := newAnnealer(g, a, ii, rng, &out.st)
 			ms.End()
 			an.tr, an.span, an.ctr = tr, rSpan, ctr
 			an.router.Instrument(tr)
-			ok := an.run(opt, deadline)
-			totalMoves += an.moves
+			ok := an.run(opt, pace)
+			out.moves += an.moves
 			ctr.moves.Add(int64(an.moves))
 			// Each restart owns a fresh router; fold its work in win or
 			// lose so RouterExpansions covers the whole search.
-			res.RouterExpansions += an.router.Expansions
+			out.st.RouterExpansions += an.router.Expansions
 			ctr.routerExpansions.Add(an.router.Expansions)
 			rSpan.WithBool("ok", ok).WithInt("moves", int64(an.moves)).End()
 			if !ok {
 				an.sess.Close()
 				continue
 			}
-			res.Success = true
-			res.II = ii
-			res.Duration = time.Since(start)
-			res.RemapIterations = totalMoves / iisExplored
 			if err := mapping.Validate(an.sess.M); err != nil {
 				panic("sa: produced invalid mapping: " + err.Error())
 			}
 			iiSpan.WithBool("ok", true).End()
-			lg.Info("mapped", "ii", ii, "mii", res.MII,
-				"moves", res.RemapIterations, "duration_ms", res.Duration.Milliseconds())
-			m := an.sess.M
+			out.m = an.sess.M
 			an.sess.Close()
-			return m, res
+			return out, true
 		}
 		iiSpan.WithBool("ok", false).End()
 		if lg.On() {
 			lg.Debug("ii exhausted", "ii", ii)
 		}
+		return out, false
+	}
+
+	win, winII, below, ok := sweep.Run(ctx, res.MII, opt.MaxII, attempt, sweep.Options{
+		Parallelism: opt.SweepParallelism, Tracer: tr, Parent: root, Logger: lg,
+	})
+	totalMoves := 0
+	for _, o := range below {
+		res.PlacementsTried += o.st.PlacementsTried
+		res.RouterExpansions += o.st.RouterExpansions
+		totalMoves += o.moves
+	}
+	iisExplored := len(below)
+	if ok {
+		res.PlacementsTried += win.st.PlacementsTried
+		res.RouterExpansions += win.st.RouterExpansions
+		totalMoves += win.moves
+		iisExplored++
+		res.Success = true
+		res.II = winII
+		res.Duration = time.Since(start)
+		res.RemapIterations = totalMoves / iisExplored
+		lg.Info("mapped", "ii", winII, "mii", res.MII,
+			"moves", res.RemapIterations, "duration_ms", res.Duration.Milliseconds())
+		return win.m, res
 	}
 	res.Duration = time.Since(start)
 	if iisExplored > 0 {
@@ -203,14 +253,14 @@ func newAnnealer(g *dfg.Graph, a *arch.CGRA, ii int, rng *rand.Rand, res *stats.
 	}
 }
 
-func (an *annealer) run(opt Options, deadline time.Time) bool {
+func (an *annealer) run(opt Options, pace *sweep.Pacer) bool {
 	an.initialRandom()
 	cost := an.totalCost()
 	best := cost
 	sinceImprove := 0
 	temp := opt.InitTemp
 
-	for sinceImprove < opt.Patience && time.Now().Before(deadline) {
+	for sinceImprove < opt.Patience && !pace.Expired() {
 		an.moves++
 		delta, revert := an.move()
 		if delta <= 0 || an.rng.Float64() < math.Exp(-float64(delta)/temp) {

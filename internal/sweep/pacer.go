@@ -1,0 +1,82 @@
+package sweep
+
+import (
+	"context"
+	"time"
+)
+
+// Pacer amortises deadline and cancellation polling in mapper inner
+// loops. Checking time.Now() per candidate (PF*'s placement loop runs
+// hundreds of candidates per remap) or per anneal move is measurable
+// overhead; the Pacer performs the real check — context cancellation
+// first, then the wall-clock deadline — only every Nth call and caches
+// a positive answer forever. It is also where speculative-sweep
+// cancellation lands in the hot loops: a cancelled attempt observes
+// ctx.Done() within one check interval and unwinds within one
+// remap/anneal/cluster iteration instead of draining its TimePerII
+// budget.
+//
+// A Pacer is single-goroutine state, like the Router and the Session it
+// paces. A nil *Pacer never expires, following the repo's nil-safe
+// instrumentation idiom, so partially-constructed mapper state cannot
+// trip on it.
+type Pacer struct {
+	ctx      context.Context
+	deadline time.Time
+	every    uint32
+	calls    uint32
+	expired  bool
+}
+
+// NewPacer builds a pacer that trips once deadline passes or ctx is
+// cancelled, performing the real check every `every` calls to Expired.
+// A nil ctx skips cancellation polling; a zero deadline never expires.
+func NewPacer(ctx context.Context, deadline time.Time, every int) *Pacer {
+	if every < 1 {
+		every = 1
+	}
+	return &Pacer{ctx: ctx, deadline: deadline, every: uint32(every)}
+}
+
+// Expired reports whether the attempt should stop, performing the
+// clock/context check only every Nth call. Once expired it stays
+// expired (and costs one branch).
+func (p *Pacer) Expired() bool {
+	if p == nil {
+		return false
+	}
+	if p.expired {
+		return true
+	}
+	p.calls++
+	if p.calls < p.every {
+		return false
+	}
+	p.calls = 0
+	return p.check()
+}
+
+// ExpiredNow performs the check immediately, for coarse loop boundaries
+// (per remap, per restart, per cluster) where precision is worth one
+// time.Now.
+func (p *Pacer) ExpiredNow() bool {
+	if p == nil {
+		return false
+	}
+	if p.expired {
+		return true
+	}
+	return p.check()
+}
+
+func (p *Pacer) check() bool {
+	if p.ctx != nil && p.ctx.Err() != nil {
+		p.expired = true
+		return true
+	}
+	if !p.deadline.IsZero() && !time.Now().Before(p.deadline) {
+		p.expired = true
+		return true
+	}
+	return false
+}

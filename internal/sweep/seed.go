@@ -1,0 +1,20 @@
+package sweep
+
+// SeedForII derives the RNG seed of one II attempt from the run seed.
+// Every mapper derives its per-II randomness through this one function,
+// which is what makes the speculative sweep deterministic: an attempt's
+// random stream depends only on (run seed, II), never on how much work
+// earlier IIs consumed or on which goroutine runs it, so serial and
+// speculative sweeps produce bit-identical per-II outcomes.
+//
+// The mix is splitmix64: consecutive IIs land on statistically
+// independent streams even though they differ in one input bit.
+func SeedForII(seed int64, ii int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(uint(ii))+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}

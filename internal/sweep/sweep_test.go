@@ -1,0 +1,265 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rewire/internal/trace"
+)
+
+// attemptLog records which IIs ran, thread-safely.
+type attemptLog struct {
+	mu  sync.Mutex
+	ran []int
+}
+
+func (l *attemptLog) add(ii int) {
+	l.mu.Lock()
+	l.ran = append(l.ran, ii)
+	l.mu.Unlock()
+}
+
+func (l *attemptLog) has(ii int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, r := range l.ran {
+		if r == ii {
+			return true
+		}
+	}
+	return false
+}
+
+// feasibleAt builds an attempt that succeeds exactly at IIs >= first,
+// returning the II as its value.
+func feasibleAt(first int, log *attemptLog) Attempt[int] {
+	return func(_ context.Context, ii int) (int, bool) {
+		if log != nil {
+			log.add(ii)
+		}
+		return ii, ii >= first
+	}
+}
+
+func TestRunCommitsLowestFeasible(t *testing.T) {
+	for _, w := range []int{0, 1, 2, 4, 8} {
+		win, winII, below, ok := Run(context.Background(), 2, 10, feasibleAt(5, nil), Options{Parallelism: w})
+		if !ok || winII != 5 || win != 5 {
+			t.Fatalf("w=%d: committed (%d,%d,%v), want II 5", w, win, winII, ok)
+		}
+		if len(below) != 3 || below[0] != 2 || below[1] != 3 || below[2] != 4 {
+			t.Fatalf("w=%d: below = %v, want [2 3 4]", w, below)
+		}
+	}
+}
+
+func TestRunAllFail(t *testing.T) {
+	for _, w := range []int{1, 3} {
+		_, _, below, ok := Run(context.Background(), 1, 4, feasibleAt(100, nil), Options{Parallelism: w})
+		if ok {
+			t.Fatalf("w=%d: sweep succeeded, want failure", w)
+		}
+		if len(below) != 4 {
+			t.Fatalf("w=%d: below = %v, want all four attempted IIs", w, below)
+		}
+		for i, b := range below {
+			if b != i+1 {
+				t.Fatalf("w=%d: below = %v, want ascending [1 2 3 4]", w, below)
+			}
+		}
+	}
+}
+
+func TestRunEmptyRange(t *testing.T) {
+	_, _, below, ok := Run(context.Background(), 5, 4, feasibleAt(0, nil), Options{})
+	if ok || below != nil {
+		t.Fatal("empty range must fail without attempts")
+	}
+}
+
+func TestRunFirstIIWins(t *testing.T) {
+	log := &attemptLog{}
+	_, winII, below, ok := Run(context.Background(), 3, 32, feasibleAt(3, log), Options{Parallelism: 4})
+	if !ok || winII != 3 || len(below) != 0 {
+		t.Fatalf("committed (%d,%v) below=%v, want II 3 with empty below", winII, ok, below)
+	}
+	// The window may have speculated a few IIs above 3, but never beyond
+	// the initial window: once 3 succeeds no new launches may happen.
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	for _, ii := range log.ran {
+		if ii > 6 {
+			t.Fatalf("attempt launched at II %d, beyond the initial window [3,6]", ii)
+		}
+	}
+}
+
+func TestRunNeverLaunchesAboveKnownFeasible(t *testing.T) {
+	// II 4 succeeds instantly; IIs 2 and 3 block until released. No
+	// attempt above 4 may launch once 4's success is known.
+	release := make(chan struct{})
+	log := &attemptLog{}
+	attempt := func(_ context.Context, ii int) (int, bool) {
+		log.add(ii)
+		if ii < 4 {
+			<-release
+			return ii, false
+		}
+		return ii, ii == 4
+	}
+	var winII int
+	var ok bool
+	done := make(chan struct{})
+	go func() {
+		_, winII, _, ok = Run(context.Background(), 2, 32, attempt, Options{Parallelism: 3})
+		close(done)
+	}()
+	// Give the engine time to observe 4's success and (incorrectly)
+	// launch something above it.
+	time.Sleep(50 * time.Millisecond)
+	if log.has(5) || log.has(6) {
+		t.Fatal("attempt above a known-feasible II was launched")
+	}
+	close(release)
+	<-done
+	if !ok || winII != 4 {
+		t.Fatalf("committed (%d,%v), want II 4", winII, ok)
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	started := make(chan struct{}, 64)
+	attempt := func(actx context.Context, ii int) (int, bool) {
+		calls.Add(1)
+		started <- struct{}{}
+		<-actx.Done() // block until torn down
+		return ii, false
+	}
+	done := make(chan bool)
+	go func() {
+		_, _, _, ok := Run(ctx, 1, 32, attempt, Options{Parallelism: 2})
+		done <- ok
+	}()
+	<-started
+	<-started
+	cancel()
+	if ok := <-done; ok {
+		t.Fatal("cancelled sweep reported success")
+	}
+	// The initial window launched, nothing after cancellation.
+	if n := calls.Load(); n > 2 {
+		t.Fatalf("launched %d attempts after cancellation, want the initial window only", n)
+	}
+}
+
+func TestRunPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	_, _, _, ok := Run(ctx, 1, 8, func(context.Context, int) (int, bool) {
+		ran = true
+		return 0, true
+	}, Options{Parallelism: 4})
+	if ok || ran {
+		t.Fatal("pre-cancelled sweep must not launch attempts")
+	}
+}
+
+func TestRunCountersAndSpans(t *testing.T) {
+	tr := trace.New()
+	_, winII, _, ok := Run(context.Background(), 2, 10, feasibleAt(4, nil), Options{Parallelism: 3, Tracer: tr})
+	if !ok || winII != 4 {
+		t.Fatalf("committed (%d,%v), want II 4", winII, ok)
+	}
+	totals := tr.CounterTotals()
+	if totals["sweep.attempts"] < 3 {
+		t.Fatalf("sweep.attempts = %d, want >= 3 (IIs 2,3,4)", totals["sweep.attempts"])
+	}
+	if totals["sweep.speculative"] < 1 {
+		t.Fatalf("sweep.speculative = %d, want >= 1 under a width-3 window", totals["sweep.speculative"])
+	}
+	if _, have := totals["sweep.cancelled"]; !have {
+		t.Fatal("sweep.cancelled counter missing")
+	}
+	if _, have := totals["sweep.wasted_ms"]; !have {
+		t.Fatal("sweep.wasted_ms counter missing")
+	}
+}
+
+func TestRunSerialHasNoSpeculation(t *testing.T) {
+	tr := trace.New()
+	Run(context.Background(), 1, 8, feasibleAt(5, nil), Options{Parallelism: 1, Tracer: tr})
+	totals := tr.CounterTotals()
+	if totals["sweep.speculative"] != 0 || totals["sweep.cancelled"] != 0 {
+		t.Fatalf("serial sweep recorded speculation: %v", totals)
+	}
+	if totals["sweep.attempts"] != 5 {
+		t.Fatalf("sweep.attempts = %d, want 5", totals["sweep.attempts"])
+	}
+}
+
+func TestSeedForIIDistinctAndStable(t *testing.T) {
+	seen := map[int64]int{}
+	for ii := 1; ii <= 64; ii++ {
+		s := SeedForII(42, ii)
+		if s2 := SeedForII(42, ii); s2 != s {
+			t.Fatalf("SeedForII not stable at ii=%d", ii)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between II %d and %d", prev, ii)
+		}
+		seen[s] = ii
+	}
+	if SeedForII(1, 3) == SeedForII(2, 3) {
+		t.Fatal("different run seeds produced the same per-II seed")
+	}
+}
+
+func TestPacerAmortisesAndLatches(t *testing.T) {
+	p := NewPacer(context.Background(), time.Now().Add(-time.Second), 8)
+	// Calls 1..7 skip the real check; call 8 performs it and trips.
+	for i := 0; i < 7; i++ {
+		if p.Expired() {
+			t.Fatalf("expired on amortised call %d", i+1)
+		}
+	}
+	if !p.Expired() {
+		t.Fatal("did not expire on the checking call")
+	}
+	if !p.Expired() || !p.ExpiredNow() {
+		t.Fatal("expiry must latch")
+	}
+}
+
+func TestPacerContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPacer(ctx, time.Now().Add(time.Hour), 1)
+	if p.Expired() {
+		t.Fatal("expired before cancellation")
+	}
+	cancel()
+	if !p.Expired() {
+		t.Fatal("cancellation not observed")
+	}
+}
+
+func TestPacerNilSafety(t *testing.T) {
+	var p *Pacer
+	if p.Expired() || p.ExpiredNow() {
+		t.Fatal("nil pacer must never expire")
+	}
+}
+
+func TestPacerZeroDeadlineNeverExpires(t *testing.T) {
+	p := NewPacer(context.Background(), time.Time{}, 1)
+	for i := 0; i < 100; i++ {
+		if p.Expired() {
+			t.Fatal("zero-deadline pacer expired")
+		}
+	}
+}

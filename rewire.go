@@ -19,6 +19,7 @@
 package rewire
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -104,6 +105,11 @@ type Options struct {
 	TimePerII time.Duration
 	// MaxII caps the initiation-interval sweep (default 32).
 	MaxII int
+	// SweepParallelism is the speculative II-sweep window: how many II
+	// attempts may run concurrently (0 or 1 is the serial sweep). The
+	// committed mapping and II are bit-identical at every width — only
+	// wall-clock changes. See docs/CONCURRENCY.md, "Layer 3".
+	SweepParallelism int
 	// Tracer, when non-nil, records phase spans and counters for the run
 	// (see NewTracer). Nil — the default — costs one pointer check per
 	// instrumentation point.
@@ -158,25 +164,36 @@ func ParseKernel(src string, unroll int) (*DFG, error) {
 // was found within the budgets), the instrumentation record, and an
 // error describing a failed mapping.
 func Map(g *DFG, cgra *CGRA, opt Options) (*Mapping, Result, error) {
+	return MapCtx(context.Background(), g, cgra, opt)
+}
+
+// MapCtx is Map with cancellation: cancelling ctx aborts the II sweep
+// promptly (in-flight attempts unwind within one inner-loop iteration)
+// and the call reports a failed mapping. rewire-serve uses this to tear
+// down speculative work when a client disconnects or times out.
+func MapCtx(ctx context.Context, g *DFG, cgra *CGRA, opt Options) (*Mapping, Result, error) {
 	var (
 		m   *Mapping
 		res Result
 	)
 	switch opt.Mapper {
 	case MapperRewire, "":
-		m, res = core.Map(g, cgra, core.Options{
+		m, res = core.MapCtx(ctx, g, cgra, core.Options{
 			Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
-			Tracer: opt.Tracer, Logger: opt.Logger,
+			SweepParallelism: opt.SweepParallelism,
+			Tracer:           opt.Tracer, Logger: opt.Logger,
 		})
 	case MapperPathFinder:
-		m, res = pathfinder.Map(g, cgra, pathfinder.Options{
+		m, res = pathfinder.MapCtx(ctx, g, cgra, pathfinder.Options{
 			Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
-			Tracer: opt.Tracer, Logger: opt.Logger,
+			SweepParallelism: opt.SweepParallelism,
+			Tracer:           opt.Tracer, Logger: opt.Logger,
 		})
 	case MapperSA:
-		m, res = sa.Map(g, cgra, sa.Options{
+		m, res = sa.MapCtx(ctx, g, cgra, sa.Options{
 			Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
-			Tracer: opt.Tracer, Logger: opt.Logger,
+			SweepParallelism: opt.SweepParallelism,
+			Tracer:           opt.Tracer, Logger: opt.Logger,
 		})
 	default:
 		return nil, res, fmt.Errorf("rewire: unknown mapper %q", opt.Mapper)

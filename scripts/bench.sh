@@ -37,6 +37,18 @@ echo "running Fig6 benchmarks (benchtime $benchtime)..." >&2
 go test -run '^$' -bench 'BenchmarkFig6' -benchmem \
 	-benchtime "$benchtime" -timeout 0 . | tee -a "$raw" >&2
 
+# Serial vs speculative II-sweep speedup: BenchmarkFig6SweepSpeculative
+# is BenchmarkFig6_8x8r4_PF with a width-4 window and commits the same
+# IIs/mappings, so the ns/op ratio is pure wall-clock reclaimed.
+# (the -N procs suffix is absent when GOMAXPROCS=1)
+serial_ns=$(awk '$1 ~ /^BenchmarkFig6_8x8r4_PF(-[0-9]+)?$/ {print $3; exit}' "$raw")
+spec_ns=$(awk '$1 ~ /^BenchmarkFig6SweepSpeculative(-[0-9]+)?$/ {print $3; exit}' "$raw")
+if [[ -n "${serial_ns:-}" && -n "${spec_ns:-}" ]]; then
+	awk -v s="$serial_ns" -v p="$spec_ns" 'BEGIN {
+		printf "II-sweep speculation (8x8r4 PF*, window 4): %.2fx speedup, %.1fs serial -> %.1fs speculative\n", s/p, s/1e9, p/1e9
+	}' >&2
+fi
+
 # Parse `go test -bench` lines into JSON. A line looks like:
 #   BenchmarkSubRouter  2000  43163 ns/op  4015 B/op  249 allocs/op  3 sumII
 go run ./scripts/benchjson "$raw" >"$out"
