@@ -16,6 +16,7 @@
 package rewire
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -275,6 +276,34 @@ func BenchmarkMRRGCacheHit(b *testing.B) {
 		st := mrrg.NewState(g)
 		st.Recycle()
 	}
+}
+
+// BenchmarkResultCacheHit measures the result-cache fast path: serving
+// an already-compiled mapping is one canonical-fingerprint build, one
+// map lookup and one deep copy. ns/op here against the cold compile
+// (reported once as the cold_ns metric — deliberately not /op-suffixed,
+// so benchdiff does not gate mapper wall-clock noise) is the speedup a
+// warm cache delivers; the acceptance bar is three orders of magnitude.
+func BenchmarkResultCacheHit(b *testing.B) {
+	b.ReportAllocs()
+	g := kernels.MustLoad("fft")
+	a := arch.New4x4(4)
+	opt := Options{Seed: 1, TimePerII: 2 * time.Second, Cache: NewResultCache(8)}
+	coldStart := time.Now()
+	m, _, out, err := MapCached(context.Background(), g, a, opt)
+	cold := time.Since(coldStart)
+	if err != nil || m == nil || out.Hit {
+		b.Fatalf("cold compile failed: %v (outcome %+v)", err, out)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hm, _, hout, err := MapCached(context.Background(), g, a, opt)
+		if err != nil || hm == nil || !hout.Hit {
+			b.Fatalf("warm call missed: %v (outcome %+v)", err, hout)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cold.Nanoseconds()), "cold_ns")
 }
 
 // BenchmarkSubMRRGBuild measures modulo-resource-graph construction.

@@ -25,6 +25,7 @@ import (
 
 	"rewire/internal/eval"
 	"rewire/internal/obs"
+	"rewire/internal/resultcache"
 )
 
 // log writes structured diagnostics to stderr; the result tables on
@@ -33,16 +34,17 @@ var log = obs.Default()
 
 func main() {
 	var (
-		fig5    = flag.Bool("fig5", false, "print only Figure 5 (mapping quality)")
-		fig6    = flag.Bool("fig6", false, "print only Figure 6 (compilation time)")
-		table1  = flag.Bool("table1", false, "print only Table I (remapping iterations)")
-		summary = flag.Bool("summary", false, "print only the summary statistics")
-		scaling = flag.Bool("scaling", false, "run the fabric-size scaling study instead of the main evaluation")
-		seed    = flag.Int64("seed", 1, "random seed for all mappers")
-		budget  = flag.Duration("time-per-ii", 2*time.Second, "per-II wall-clock budget per mapper")
-		jobs    = flag.Int("j", runtime.NumCPU(), "concurrent mapper runs (1 = serial)")
-		sweepJ  = flag.Int("sweep-j", 1, "speculative II-sweep window per run (1 = serial; IIs and mappings are bit-identical at any width)")
-		quiet   = flag.Bool("quiet", false, "suppress per-run progress lines")
+		fig5     = flag.Bool("fig5", false, "print only Figure 5 (mapping quality)")
+		fig6     = flag.Bool("fig6", false, "print only Figure 6 (compilation time)")
+		table1   = flag.Bool("table1", false, "print only Table I (remapping iterations)")
+		summary  = flag.Bool("summary", false, "print only the summary statistics")
+		scaling  = flag.Bool("scaling", false, "run the fabric-size scaling study instead of the main evaluation")
+		seed     = flag.Int64("seed", 1, "random seed for all mappers")
+		budget   = flag.Duration("time-per-ii", 2*time.Second, "per-II wall-clock budget per mapper")
+		jobs     = flag.Int("j", runtime.NumCPU(), "concurrent mapper runs (1 = serial)")
+		sweepJ   = flag.Int("sweep-j", 1, "speculative II-sweep window per run (1 = serial; IIs and mappings are bit-identical at any width)")
+		cacheCap = flag.Int("result-cache", 0, "result-cache capacity in finished mappings (0 disables; overlapping combos across studies are served from cache, results unchanged)")
+		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
 
 		jsonOut    = flag.String("json", "", "write the aggregated result set as JSON to this path")
 		traceDir   = flag.String("trace-dir", "", "write one Chrome trace + JSONL trace per mapper run into this directory")
@@ -82,6 +84,9 @@ func main() {
 		Out:              os.Stdout,
 		TraceDir:         *traceDir,
 		Logger:           log,
+	}
+	if *cacheCap > 0 {
+		cfg.Cache = resultcache.New(*cacheCap)
 	}
 	if *scaling {
 		eval.Scaling(cfg, os.Stdout)

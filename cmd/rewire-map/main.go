@@ -35,6 +35,7 @@ func main() {
 		budget   = flag.Duration("time-per-ii", 5*time.Second, "wall-clock budget per attempted II")
 		maxII    = flag.Int("max-ii", 32, "largest II to attempt")
 		sweepJ   = flag.Int("sweep-j", 1, "speculative II-sweep window: II attempts run concurrently (1 = serial; results are bit-identical at any width)")
+		cacheCap = flag.Int("result-cache", 0, "result-cache capacity in finished mappings (0 disables; a warm hit skips the compile entirely)")
 		routes   = flag.Bool("routes", false, "also print the per-edge route table")
 		energy   = flag.Bool("energy", false, "also print the activity/energy estimate")
 		simIter  = flag.Int("simulate", 0, "functionally verify the mapping over N simulated iterations")
@@ -104,6 +105,10 @@ func main() {
 			fatalf("cpuprofile: %v", err)
 		}
 	}
+	var cache *rewire.ResultCache
+	if *cacheCap > 0 {
+		cache = rewire.NewResultCache(*cacheCap)
+	}
 	m, res, err := rewire.Map(g, cgra, rewire.Options{
 		Mapper:           rewire.MapperName(*mapper),
 		Seed:             *seed,
@@ -112,6 +117,7 @@ func main() {
 		SweepParallelism: *sweepJ,
 		Tracer:           tr,
 		Logger:           log,
+		Cache:            cache,
 	})
 	// Profiles and traces are written before the success check: a failed
 	// mapping run is exactly the one worth profiling.

@@ -1,0 +1,291 @@
+package main
+
+// The batch and async surfaces of the mapping daemon.
+//
+// POST /map/batch takes up to MaxBatch mapping requests in one body,
+// fingerprints every entry up front with the result cache's canonical
+// content address (rewire.CacheKey), and compiles each distinct
+// fingerprint exactly once through the shared worker pool; duplicate
+// entries copy the representative's result (Deduped=true, sharing its
+// run_id and trace). Dedup works with or without the result cache —
+// the fingerprint is pure — but with the cache on, entries already
+// compiled by earlier traffic are hits too.
+//
+// POST /map/submit accepts one request, validates it synchronously
+// (bad requests fail fast with 400), and runs it in the background
+// under JobTimeout; GET /map/result/{id} polls it: 202 while running,
+// 200 with the mapResponse once done, 404 once evicted or never known.
+// Completed jobs retire into the same flight recorder ring as
+// synchronous runs.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"rewire"
+	"rewire/internal/obs"
+)
+
+// batchRequest is the POST /map/batch body.
+type batchRequest struct {
+	Requests []mapRequest `json:"requests"`
+}
+
+// batchResponse answers a batch: Results[i] corresponds to
+// Requests[i], order preserved. Deduped counts entries answered by
+// copying a same-fingerprint sibling.
+type batchResponse struct {
+	Results []mapResponse `json:"results"`
+	Deduped int           `json:"deduped"`
+}
+
+// handleBatch serves POST /map/batch.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var breq batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&breq); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON body: " + err.Error()})
+		return
+	}
+	if len(breq.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch: set requests to 1..N mapping requests"})
+		return
+	}
+	if len(breq.Requests) > s.cfg.MaxBatch {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("batch of %d exceeds the server cap of %d entries", len(breq.Requests), s.cfg.MaxBatch)})
+		return
+	}
+	s.mBatchReqs.Inc()
+	s.mBatchEntries.Add(int64(len(breq.Requests)))
+
+	// Parse and fingerprint every entry before compiling anything: the
+	// canonical key is what collapses duplicates, and an invalid entry
+	// fails only itself, not the batch.
+	type parsed struct {
+		g      *rewire.DFG
+		cgra   *rewire.CGRA
+		mapper rewire.MapperName
+		key    string
+		err    error
+	}
+	entries := make([]parsed, len(breq.Requests))
+	for i := range breq.Requests {
+		req := &breq.Requests[i]
+		g, cgra, mapper, err := s.parseMapRequest(req)
+		if err != nil {
+			s.mReqs.With(strings.ToLower(req.Mapper), "invalid").Inc()
+			entries[i] = parsed{err: err}
+			continue
+		}
+		entries[i] = parsed{g: g, cgra: cgra, mapper: mapper,
+			key: rewire.CacheKey(g, cgra, rewire.Options{
+				Mapper: mapper, Seed: req.Seed, TimePerII: effectiveTPI(req), MaxII: req.MaxII,
+			})}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	// One compile per distinct fingerprint, all through the worker pool
+	// concurrently; results land at their entry's index.
+	results := make([]mapResponse, len(entries))
+	rep := make(map[string]int, len(entries)) // fingerprint -> representative index
+	var wg sync.WaitGroup
+	for i := range entries {
+		e := &entries[i]
+		if e.err != nil {
+			results[i] = mapResponse{Mapper: strings.ToLower(breq.Requests[i].Mapper), Error: e.err.Error()}
+			continue
+		}
+		if _, dup := rep[e.key]; dup {
+			continue // filled from the representative after the wait
+		}
+		rep[e.key] = i
+		wg.Add(1)
+		go func(i int, e *parsed) {
+			defer wg.Done()
+			runID := obs.NewRunID()
+			results[i] = s.executeOne(ctx, s.lg.WithRun(runID), runID, &breq.Requests[i], e.g, e.cgra, e.mapper)
+		}(i, e)
+	}
+	wg.Wait()
+
+	deduped := 0
+	for i := range entries {
+		if entries[i].err != nil {
+			continue
+		}
+		if j := rep[entries[i].key]; j != i {
+			results[i] = results[j]
+			results[i].Deduped = true
+			deduped++
+		}
+	}
+	s.mBatchDeduped.Add(int64(deduped))
+	s.lg.Info("batch served", "entries", len(breq.Requests), "unique", len(rep), "deduped", deduped)
+	writeJSON(w, http.StatusOK, batchResponse{Results: results, Deduped: deduped})
+}
+
+// executeOne runs one validated mapping request synchronously through
+// the worker pool — admission, cached compile, metrics fold, flight
+// record — and returns its wire answer. ctx bounds both the admission
+// wait and the run. It backs batch entries and async jobs; POST /map
+// keeps its own flow for the detach-on-timeout semantics.
+func (s *server) executeOne(ctx context.Context, lg *obs.Logger, runID string, req *mapRequest,
+	g *rewire.DFG, cgra *rewire.CGRA, mapper rewire.MapperName) mapResponse {
+	queued := time.Now()
+	s.mQueued.Add(1)
+	select {
+	case s.sem <- struct{}{}:
+		s.mQueued.Add(-1)
+	case <-ctx.Done():
+		s.mQueued.Add(-1)
+		s.mReqs.With(string(mapper), "overload").Inc()
+		lg.Warn("request expired waiting for a worker", "queue_wait_ms", time.Since(queued).Milliseconds())
+		return mapResponse{RunID: runID, Mapper: string(mapper),
+			Error: "no mapping worker became free within the deadline"}
+	}
+	s.mQueueDur.Observe(time.Since(queued).Seconds())
+	s.mInflight.Add(1)
+	defer func() {
+		s.mInflight.Add(-1)
+		<-s.sem
+	}()
+
+	opts := s.buildOpts(req, mapper, lg)
+	lg.Info("mapping request", "mapper", string(mapper), "kernel", g.Name,
+		"arch", cgra.Name, "seed", req.Seed, "time_per_ii_ms", opts.TimePerII.Milliseconds(),
+		"sweep_window", opts.SweepParallelism)
+	m, res, cout, err := rewire.MapCached(ctx, g, cgra, opts)
+	s.mReqs.With(string(mapper), boolOutcome(res.Success)).Inc()
+	rec := s.recordRun(lg, runID, req, opts, res)
+	return buildMapResponse(runID, opts, m, res, rec, cout, err, req.Render)
+}
+
+// submitResponse is the POST /map/submit answer, and the 202 body of
+// GET /map/result/{id} while the job still runs.
+type submitResponse struct {
+	JobID     string `json:"job_id"`
+	Status    string `json:"status"` // running or done
+	ResultURL string `json:"result_url"`
+}
+
+// handleSubmit serves POST /map/submit: validate now, map later.
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	jobID := obs.NewRunID()
+	lg := s.lg.WithRun(jobID)
+
+	var req mapRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON body: " + err.Error()})
+		return
+	}
+	g, cgra, mapper, err := s.parseMapRequest(&req)
+	if err != nil {
+		s.mReqs.With(strings.ToLower(req.Mapper), "invalid").Inc()
+		lg.Warn("invalid async mapping request", "err", err)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if !s.jobs.submit(jobID) {
+		s.mJobs.With("rejected").Inc()
+		lg.Warn("job table full; submission rejected")
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: fmt.Sprintf("all %d job slots are running; retry later", s.cfg.JobCapacity)})
+		return
+	}
+	s.mJobs.With("submitted").Inc()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
+		defer cancel()
+		resp := s.executeOne(ctx, lg, jobID, &req, g, cgra, mapper)
+		s.jobs.complete(jobID, resp)
+		s.mJobs.With("completed").Inc()
+		lg.Info("async job done", "success", resp.Success, "cached", resp.Cached)
+	}()
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		JobID: jobID, Status: "running", ResultURL: "/map/result/" + jobID,
+	})
+}
+
+// handleResult serves GET /map/result/{id}.
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	resp, running, ok := s.jobs.get(id)
+	switch {
+	case !ok:
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: fmt.Sprintf("job %q is unknown or already evicted (table keeps the last %d jobs)", id, s.cfg.JobCapacity)})
+	case running:
+		writeJSON(w, http.StatusAccepted, submitResponse{
+			JobID: id, Status: "running", ResultURL: "/map/result/" + id,
+		})
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// jobTable tracks async jobs: bounded to capacity entries total, with
+// completed jobs evicted oldest-first to make room for new
+// submissions. A submission is rejected only when every slot is held
+// by a still-running job.
+type jobTable struct {
+	mu       sync.Mutex
+	jobs     map[string]*asyncJob
+	doneIDs  []string // completed job IDs, oldest first
+	capacity int
+}
+
+type asyncJob struct {
+	running bool
+	resp    mapResponse
+}
+
+func newJobTable(capacity int) *jobTable {
+	return &jobTable{jobs: make(map[string]*asyncJob), capacity: capacity}
+}
+
+// submit registers a running job, evicting completed jobs as needed.
+// It returns false when the table is full of running jobs.
+func (t *jobTable) submit(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.jobs) >= t.capacity && len(t.doneIDs) > 0 {
+		delete(t.jobs, t.doneIDs[0])
+		t.doneIDs = t.doneIDs[1:]
+	}
+	if len(t.jobs) >= t.capacity {
+		return false
+	}
+	t.jobs[id] = &asyncJob{running: true}
+	return true
+}
+
+// complete retires a job with its result.
+func (t *jobTable) complete(id string, resp mapResponse) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.jobs[id]
+	if !ok {
+		return // evicted while running cannot happen; defensive
+	}
+	j.running = false
+	j.resp = resp
+	t.doneIDs = append(t.doneIDs, id)
+}
+
+// get returns a job's result copy and whether it is still running.
+func (t *jobTable) get(id string) (mapResponse, bool, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.jobs[id]
+	if !ok {
+		return mapResponse{}, false, false
+	}
+	return j.resp, j.running, true
+}

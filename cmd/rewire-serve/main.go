@@ -14,12 +14,20 @@
 // Endpoints:
 //
 //	POST /map              map a kernel (JSON in/out; see docs/OBSERVABILITY.md)
+//	POST /map/batch        map up to -max-batch kernels in one call; identical
+//	                       entries are fingerprint-deduplicated (docs/CACHING.md)
+//	POST /map/submit       submit one mapping job asynchronously (202 + job_id)
+//	GET  /map/result/{id}  poll an async job: 202 running, 200 done, 404 evicted
 //	GET  /metrics          Prometheus text exposition (v0.0.4)
 //	GET  /healthz          liveness
 //	GET  /readyz           readiness (200 after kernel warmup)
 //	GET  /runs             flight recorder: last N run summaries, newest first
 //	GET  /runs/{id}/trace  one recorded run's Chrome trace (Perfetto-loadable)
 //	GET  /debug/pprof/     CPU/heap/goroutine profiles (go tool pprof)
+//
+// Repeated identical requests are served from a result-level mapping
+// cache (-result-cache, on by default): a warm hit skips placement and
+// routing entirely and the response carries "cached": true.
 package main
 
 import (
@@ -40,6 +48,10 @@ func main() {
 		maxTPI    = flag.Duration("max-time-per-ii", 10*time.Second, "largest per-II budget a request may ask for")
 		maxII     = flag.Int("max-ii", 32, "largest II bound a request may ask for")
 		flight    = flag.Int("flight", 64, "flight recorder size (last N runs kept with traces)")
+		cacheCap  = flag.Int("result-cache", 512, "result-cache capacity in finished mappings (0 disables; repeated identical requests skip the compile)")
+		maxBatch  = flag.Int("max-batch", 64, "largest number of entries one POST /map/batch may carry")
+		jobTO     = flag.Duration("job-timeout", 5*time.Minute, "async job wall-clock bound (queue wait included)")
+		jobCap    = flag.Int("job-capacity", 256, "async job table size (running plus retained completed jobs)")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", "log format: text or json")
 	)
@@ -57,6 +69,10 @@ func main() {
 		MaxTimePerII:   *maxTPI,
 		MaxII:          *maxII,
 		FlightSize:     *flight,
+		CacheSize:      *cacheCap,
+		MaxBatch:       *maxBatch,
+		JobTimeout:     *jobTO,
+		JobCapacity:    *jobCap,
 	}, lg)
 	go s.warmup()
 

@@ -37,6 +37,20 @@ type serverConfig struct {
 	MaxII        int
 	// FlightSize is the flight recorder's ring capacity.
 	FlightSize int
+	// CacheSize is the result cache's capacity in finished mappings.
+	// Zero or negative disables the cache (the historical behaviour);
+	// the rewire-serve binary defaults it to 512 via -result-cache.
+	CacheSize int
+	// MaxBatch caps how many entries one POST /map/batch may carry.
+	MaxBatch int
+	// JobTimeout bounds one async job's wall-clock (admission wait
+	// included) — the async analogue of RequestTimeout.
+	JobTimeout time.Duration
+	// JobCapacity bounds the async job table (running plus retained
+	// completed jobs); completed jobs are evicted oldest-first to make
+	// room, and submissions are rejected only when every slot is still
+	// running.
+	JobCapacity int
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -55,6 +69,15 @@ func (c serverConfig) withDefaults() serverConfig {
 	if c.FlightSize <= 0 {
 		c.FlightSize = 64
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.JobCapacity <= 0 {
+		c.JobCapacity = 256
+	}
 	return c
 }
 
@@ -67,6 +90,8 @@ type server struct {
 	reg    *metrics.Registry
 	sem    chan struct{} // worker-pool slots
 	flight *flightRecorder
+	cache  *rewire.ResultCache // nil when CacheSize <= 0
+	jobs   *jobTable
 	ready  atomic.Bool
 	start  time.Time
 
@@ -82,15 +107,25 @@ type server struct {
 	mGoros    *metrics.Gauge
 	mHeap     *metrics.Gauge
 
-	// Substrate cache counters, exported by diffing the process-wide
+	// Batch and async surface counters.
+	mBatchReqs    *metrics.Counter    // rewire_serve_batch_requests_total
+	mBatchEntries *metrics.Counter    // rewire_serve_batch_entries_total
+	mBatchDeduped *metrics.Counter    // rewire_serve_batch_deduped_total
+	mJobs         *metrics.CounterVec // rewire_serve_async_jobs_total{state}
+
+	// Substrate and result cache counters, exported by diffing the
 	// cumulative stats on each scrape (counters may only move forward,
 	// so the handler adds deltas since the previous export).
 	mMRRGHits   *metrics.Counter
 	mMRRGMisses *metrics.Counter
 	mDistHits   *metrics.Counter
 	mDistMisses *metrics.Counter
+	mRCHits     *metrics.Counter // rewire_resultcache_hits_total
+	mRCMisses   *metrics.Counter // rewire_resultcache_misses_total
+	mRCEvicts   *metrics.Counter // rewire_resultcache_evictions_total
+	mRCShared   *metrics.Counter // rewire_resultcache_singleflight_shared_total
 	cacheMu     sync.Mutex
-	lastCache   [4]int64 // mrrg hits/misses, dist hits/misses at last scrape
+	lastCache   [8]int64 // mrrg h/m, dist h/m, resultcache h/m/evict/shared
 }
 
 func newServer(cfg serverConfig, lg *obs.Logger) *server {
@@ -135,7 +170,27 @@ func newServer(cfg serverConfig, lg *obs.Logger) *server {
 			"Routers served a precomputed PE distance oracle."),
 		mDistMisses: reg.NewCounter("rewire_dist_cache_misses_total",
 			"Routers that had to compute a PE distance oracle (reverse BFS)."),
+		mRCHits: reg.NewCounter("rewire_resultcache_hits_total",
+			"Mapping requests served a finished mapping from the result cache (lookup plus deep copy, no compile)."),
+		mRCMisses: reg.NewCounter("rewire_resultcache_misses_total",
+			"Mapping requests that had to compile (result-cache misses; singleflight leaders)."),
+		mRCEvicts: reg.NewCounter("rewire_resultcache_evictions_total",
+			"Finished mappings dropped by the result cache's LRU bound."),
+		mRCShared: reg.NewCounter("rewire_resultcache_singleflight_shared_total",
+			"Requests that adopted a concurrent identical compile's result instead of compiling."),
+		mBatchReqs: reg.NewCounter("rewire_serve_batch_requests_total",
+			"POST /map/batch requests."),
+		mBatchEntries: reg.NewCounter("rewire_serve_batch_entries_total",
+			"Mapping entries across all batch requests."),
+		mBatchDeduped: reg.NewCounter("rewire_serve_batch_deduped_total",
+			"Batch entries served by copying a same-fingerprint entry's result within the batch."),
+		mJobs: reg.NewCounterVec("rewire_serve_async_jobs_total",
+			"Async mapping jobs by lifecycle event (submitted, completed, rejected).", "state"),
 	}
+	if cfg.CacheSize > 0 {
+		s.cache = rewire.NewResultCache(cfg.CacheSize)
+	}
+	s.jobs = newJobTable(cfg.JobCapacity)
 	return s
 }
 
@@ -143,6 +198,9 @@ func newServer(cfg serverConfig, lg *obs.Logger) *server {
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
 	m.HandleFunc("POST /map", s.handleMap)
+	m.HandleFunc("POST /map/batch", s.handleBatch)
+	m.HandleFunc("POST /map/submit", s.handleSubmit)
+	m.HandleFunc("GET /map/result/{id}", s.handleResult)
 	m.Handle("GET /metrics", s.metricsHandler())
 	m.HandleFunc("GET /healthz", s.handleHealthz)
 	m.HandleFunc("GET /readyz", s.handleReadyz)
@@ -195,6 +253,15 @@ type mapResponse struct {
 	Counters   map[string]int64 `json:"counters,omitempty"`
 	Grid       string           `json:"grid,omitempty"`
 	TraceURL   string           `json:"trace_url"`
+	// Cached marks a result served from the result cache (or by sharing
+	// a concurrent identical compile): no compile ran for this request,
+	// and DurationMS is the populating compile's cost — what the hit
+	// saved. See docs/CACHING.md.
+	Cached bool `json:"cached,omitempty"`
+	// Deduped marks a batch entry answered by copying another entry of
+	// the same batch with an identical fingerprint (it shares that
+	// entry's run_id and trace).
+	Deduped bool `json:"deduped,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx answer.
@@ -346,33 +413,22 @@ func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
 	// iteration. The worker slot frees only once the torn-down run has
 	// fully returned, so abandoned runs can neither over-subscribe the
 	// pool nor leave speculative goroutines running against it.
-	tpi := time.Duration(req.TimePerII) * time.Millisecond
-	if tpi == 0 {
-		tpi = 2 * time.Second
-	}
-	opts := rewire.Options{
-		Mapper:           mapper,
-		Seed:             req.Seed,
-		TimePerII:        tpi,
-		MaxII:            req.MaxII,
-		SweepParallelism: s.clampSweep(req.SweepParallelism),
-		Tracer:           rewire.NewTracer(),
-		Logger:           obs.New(lg.Slog()),
-	}
+	opts := s.buildOpts(&req, mapper, lg)
 	lg.Info("mapping request", "mapper", string(mapper), "kernel", g.Name,
-		"arch", cgra.Name, "seed", req.Seed, "time_per_ii_ms", tpi.Milliseconds(),
+		"arch", cgra.Name, "seed", req.Seed, "time_per_ii_ms", opts.TimePerII.Milliseconds(),
 		"sweep_window", opts.SweepParallelism)
 
 	runCtx, cancelRun := context.WithCancel(r.Context())
 	type outcome struct {
-		m   *rewire.Mapping
-		res rewire.Result
-		err error
+		m    *rewire.Mapping
+		res  rewire.Result
+		cout rewire.CacheOutcome
+		err  error
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		m, res, err := rewire.MapCtx(runCtx, g, cgra, opts)
-		done <- outcome{m: m, res: res, err: err}
+		m, res, cout, err := rewire.MapCached(runCtx, g, cgra, opts)
+		done <- outcome{m: m, res: res, cout: cout, err: err}
 	}()
 
 	select {
@@ -380,7 +436,7 @@ func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
 		cancelRun()
 		release()
 		s.mReqs.With(string(mapper), boolOutcome(out.res.Success)).Inc()
-		s.finishRun(w, lg, runID, &req, opts, out.m, out.res, out.err)
+		s.finishRun(w, lg, runID, &req, opts, out.m, out.res, out.cout, out.err)
 	case <-r.Context().Done():
 		// Client hung up mid-run: tear the sweep down and give the slot
 		// back only after every speculative attempt has unwound.
@@ -435,11 +491,47 @@ func boolOutcome(ok bool) string {
 	return "failed"
 }
 
+// buildOpts builds one run's engine options from a validated request:
+// effective budgets, clamped sweep window, a private tracer, the
+// request-scoped logger, and the server's shared result cache.
+func (s *server) buildOpts(req *mapRequest, mapper rewire.MapperName, lg *obs.Logger) rewire.Options {
+	return rewire.Options{
+		Mapper:           mapper,
+		Seed:             req.Seed,
+		TimePerII:        effectiveTPI(req),
+		MaxII:            req.MaxII,
+		SweepParallelism: s.clampSweep(req.SweepParallelism),
+		Tracer:           rewire.NewTracer(),
+		Logger:           obs.New(lg.Slog()),
+		Cache:            s.cache,
+	}
+}
+
+// effectiveTPI resolves a request's per-II budget to what the engine
+// will actually run with. Fingerprinting uses the same resolution, so
+// "default budget" and "2000ms" share a cache entry.
+func effectiveTPI(req *mapRequest) time.Duration {
+	if req.TimePerII == 0 {
+		return 2 * time.Second
+	}
+	return time.Duration(req.TimePerII) * time.Millisecond
+}
+
 // finishRun records a completed run and writes the success/failure
 // answer.
 func (s *server) finishRun(w http.ResponseWriter, lg *obs.Logger, runID string, req *mapRequest,
-	opts rewire.Options, m *rewire.Mapping, res rewire.Result, mapErr error) {
+	opts rewire.Options, m *rewire.Mapping, res rewire.Result, cout rewire.CacheOutcome, mapErr error) {
 	rec := s.recordRun(lg, runID, req, opts, res)
+	resp := buildMapResponse(runID, opts, m, res, rec, cout, mapErr, req.Render)
+	// A valid request whose kernel has no feasible schedule is a result,
+	// not a server error: 200 with success=false.
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// buildMapResponse renders one finished (or cache-served) run as the
+// wire answer shared by /map, /map/batch entries and async jobs.
+func buildMapResponse(runID string, opts rewire.Options, m *rewire.Mapping, res rewire.Result,
+	rec runRecord, cout rewire.CacheOutcome, mapErr error, render bool) mapResponse {
 	resp := mapResponse{
 		RunID:      runID,
 		Success:    res.Success,
@@ -451,16 +543,15 @@ func (s *server) finishRun(w http.ResponseWriter, lg *obs.Logger, runID string, 
 		DurationMS: float64(res.Duration.Microseconds()) / 1000,
 		Counters:   rec.Counters,
 		TraceURL:   "/runs/" + runID + "/trace",
+		Cached:     cout.Hit,
 	}
 	if mapErr != nil {
 		resp.Error = mapErr.Error()
 	}
-	if req.Render && m != nil {
+	if render && m != nil {
 		resp.Grid = rewire.Render(m)
 	}
-	// A valid request whose kernel has no feasible schedule is a result,
-	// not a server error: 200 with success=false.
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 // recordRun folds the run's tracer into the metrics registry and files
@@ -516,19 +607,25 @@ func (s *server) metricsHandler() http.Handler {
 	})
 }
 
-// refreshCacheCounters folds the process-wide cumulative cache stats
-// into the registry counters as deltas since the previous scrape (the
-// mutex keeps concurrent scrapes from double-counting a delta).
+// refreshCacheCounters folds the cumulative cache stats — process-wide
+// substrate caches plus this server's result cache — into the registry
+// counters as deltas since the previous scrape (the mutex keeps
+// concurrent scrapes from double-counting a delta).
 func (s *server) refreshCacheCounters() {
 	mh, mm := mrrg.CacheStats()
 	dh, dm := dist.CacheStats()
+	rc := s.cache.Stats() // nil cache reads all-zero
 	s.cacheMu.Lock()
 	defer s.cacheMu.Unlock()
 	s.mMRRGHits.Add(mh - s.lastCache[0])
 	s.mMRRGMisses.Add(mm - s.lastCache[1])
 	s.mDistHits.Add(dh - s.lastCache[2])
 	s.mDistMisses.Add(dm - s.lastCache[3])
-	s.lastCache = [4]int64{mh, mm, dh, dm}
+	s.mRCHits.Add(rc.Hits - s.lastCache[4])
+	s.mRCMisses.Add(rc.Misses - s.lastCache[5])
+	s.mRCEvicts.Add(rc.Evictions - s.lastCache[6])
+	s.mRCShared.Add(rc.SingleflightShared - s.lastCache[7])
+	s.lastCache = [8]int64{mh, mm, dh, dm, rc.Hits, rc.Misses, rc.Evictions, rc.SingleflightShared}
 }
 
 // handleHealthz: liveness — the process answers.

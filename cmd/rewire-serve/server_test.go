@@ -184,6 +184,242 @@ func TestConcurrentMapRequests(t *testing.T) {
 	}
 }
 
+// TestRepeatRequestHitsResultCache: the second identical POST /map is
+// served from the result cache — marked cached, same mapping, and the
+// resultcache hit counter moves.
+func TestRepeatRequestHitsResultCache(t *testing.T) {
+	ts := testServer(t, serverConfig{Workers: 2, CacheSize: 32})
+	body := `{"kernel":"mvt","arch":"4x4r4","seed":1,"time_per_ii_ms":2000}`
+
+	first, code := postMap(t, ts, body)
+	if code != http.StatusOK || !first.Success {
+		t.Fatalf("first request: code=%d %+v", code, first)
+	}
+	if first.Cached {
+		t.Fatal("first request claims to be cached")
+	}
+	second, code := postMap(t, ts, body)
+	if code != http.StatusOK || !second.Success {
+		t.Fatalf("second request: code=%d %+v", code, second)
+	}
+	if !second.Cached {
+		t.Fatal("second identical request was not served from the result cache")
+	}
+	if second.II != first.II || second.MII != first.MII {
+		t.Fatalf("cached answer differs: first II=%d, second II=%d", first.II, second.II)
+	}
+	if second.RunID == first.RunID {
+		t.Fatal("cache hit reused the first request's run_id")
+	}
+
+	// A near-identical request (different seed) must compile.
+	third, code := postMap(t, ts, `{"kernel":"mvt","arch":"4x4r4","seed":2,"time_per_ii_ms":2000}`)
+	if code != http.StatusOK || third.Cached {
+		t.Fatalf("near-identical request: code=%d cached=%v, want a fresh compile", code, third.Cached)
+	}
+
+	mBody, _ := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"rewire_resultcache_hits_total 1",
+		"rewire_resultcache_misses_total 2",
+		"rewire_resultcache_evictions_total 0",
+		"rewire_resultcache_singleflight_shared_total 0",
+	} {
+		if !strings.Contains(mBody, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestBatchDedup: a 3-entry batch with 2 identical entries compiles
+// twice, answers three times in order, and counts the dedup.
+func TestBatchDedup(t *testing.T) {
+	ts := testServer(t, serverConfig{Workers: 2, CacheSize: 32})
+	body := `{"requests":[
+		{"kernel":"mvt","arch":"4x4r4","seed":1,"time_per_ii_ms":2000},
+		{"kernel":"atax","arch":"4x4r4","seed":1,"time_per_ii_ms":2000},
+		{"kernel":"mvt","arch":"4x4r4","seed":1,"time_per_ii_ms":2000}
+	]}`
+	resp, err := http.Post(ts.URL+"/map/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /map/batch = %d", resp.StatusCode)
+	}
+	var out batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(out.Results))
+	}
+	if out.Deduped != 1 {
+		t.Fatalf("deduped = %d, want 1", out.Deduped)
+	}
+	// Order preserved: mvt, atax, mvt.
+	for i, wantKernel := range []string{"mvt", "atax", "mvt"} {
+		r := out.Results[i]
+		if !r.Success || r.Kernel != wantKernel {
+			t.Fatalf("result %d = %+v, want successful %s", i, r, wantKernel)
+		}
+	}
+	if out.Results[0].Deduped || out.Results[1].Deduped || !out.Results[2].Deduped {
+		t.Fatalf("dedup flags wrong: %v %v %v",
+			out.Results[0].Deduped, out.Results[1].Deduped, out.Results[2].Deduped)
+	}
+	if out.Results[2].RunID != out.Results[0].RunID {
+		t.Fatal("deduped entry does not share its representative's run")
+	}
+	if out.Results[2].II != out.Results[0].II {
+		t.Fatal("deduped entry's II differs from its representative")
+	}
+
+	mBody, _ := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"rewire_serve_batch_requests_total 1",
+		"rewire_serve_batch_entries_total 3",
+		"rewire_serve_batch_deduped_total 1",
+	} {
+		if !strings.Contains(mBody, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The whole batch is rejected only for structural reasons; a single
+	// invalid entry fails alone.
+	mixed := `{"requests":[{"kernel":"nope","arch":"4x4r4"},{"kernel":"mvt","arch":"4x4r4","time_per_ii_ms":2000}]}`
+	resp2, err := http.Post(ts.URL+"/map/batch", "application/json", strings.NewReader(mixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var out2 batchResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.Results[0].Error == "" || out2.Results[0].Success {
+		t.Fatalf("invalid entry did not fail: %+v", out2.Results[0])
+	}
+	if !out2.Results[1].Success {
+		t.Fatalf("valid entry failed alongside an invalid sibling: %+v", out2.Results[1])
+	}
+
+	// Structural failures: empty batch and over-cap batch.
+	for _, bad := range []string{`{}`, `{"requests":[]}`} {
+		r, err := http.Post(ts.URL+"/map/batch", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("empty batch = %d, want 400", r.StatusCode)
+		}
+	}
+}
+
+// TestSubmitPollRoundTrip: POST /map/submit answers 202 immediately;
+// polling GET /map/result/{id} eventually yields the finished run.
+func TestSubmitPollRoundTrip(t *testing.T) {
+	ts := testServer(t, serverConfig{Workers: 2, CacheSize: 32})
+	resp, err := http.Post(ts.URL+"/map/submit", "application/json",
+		strings.NewReader(`{"kernel":"mvt","arch":"4x4r4","seed":1,"time_per_ii_ms":2000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.JobID == "" || sub.Status != "running" {
+		t.Fatalf("submit = %d %+v, want 202 running", resp.StatusCode, sub)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var out mapResponse
+	for {
+		body, code := get(t, ts.URL+sub.ResultURL)
+		if code == http.StatusOK {
+			if err := json.Unmarshal([]byte(body), &out); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if code != http.StatusAccepted {
+			t.Fatalf("poll = %d, want 200 or 202", code)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never completed")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !out.Success || out.RunID != sub.JobID {
+		t.Fatalf("job result = %+v, want success under job id %s", out, sub.JobID)
+	}
+
+	// The async run retires into the same flight recorder ring.
+	runsBody, _ := get(t, ts.URL+"/runs")
+	var runs []runRecord
+	if err := json.Unmarshal([]byte(runsBody), &runs); err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].ID != sub.JobID {
+		t.Fatalf("flight recorder = %+v, want the async run", runs)
+	}
+
+	// Unknown job: 404. Invalid submission: 400, synchronously.
+	if _, code := get(t, ts.URL+"/map/result/doesnotexist"); code != http.StatusNotFound {
+		t.Fatalf("unknown job poll = %d, want 404", code)
+	}
+	badResp, err := http.Post(ts.URL+"/map/submit", "application/json",
+		strings.NewReader(`{"kernel":"nope","arch":"4x4r4"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid submit = %d, want 400", badResp.StatusCode)
+	}
+
+	mBody, _ := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`rewire_serve_async_jobs_total{state="submitted"} 1`,
+		`rewire_serve_async_jobs_total{state="completed"} 1`,
+	} {
+		if !strings.Contains(mBody, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestJobTableEviction pins the capacity discipline: completed jobs
+// make room oldest-first; a table full of running jobs rejects.
+func TestJobTableEviction(t *testing.T) {
+	tb := newJobTable(2)
+	if !tb.submit("a") || !tb.submit("b") {
+		t.Fatal("empty table rejected submissions")
+	}
+	if tb.submit("c") {
+		t.Fatal("table full of running jobs accepted a third")
+	}
+	tb.complete("a", mapResponse{RunID: "a"})
+	if !tb.submit("c") {
+		t.Fatal("completed job was not evicted to make room")
+	}
+	if _, _, ok := tb.get("a"); ok {
+		t.Fatal("evicted job still addressable")
+	}
+	if _, running, ok := tb.get("b"); !ok || !running {
+		t.Fatal("running job lost")
+	}
+	tb.complete("b", mapResponse{RunID: "b"})
+	if resp, running, ok := tb.get("b"); !ok || running || resp.RunID != "b" {
+		t.Fatalf("completed job state wrong: ok=%v running=%v resp=%+v", ok, running, resp)
+	}
+}
+
 func TestMapValidation(t *testing.T) {
 	ts := testServer(t, serverConfig{Workers: 1, MaxII: 16, MaxTimePerII: time.Second})
 	cases := []struct {

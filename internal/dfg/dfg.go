@@ -104,7 +104,19 @@ type Graph struct {
 
 	outs [][]int // per node: out-edge IDs
 	ins  [][]int // per node: in-edge IDs
+
+	// Nodes and edges are stored in fixed-capacity chunks so each
+	// AddNode/AddEdge amortises to 1/chunkSize allocations. A chunk is
+	// never appended past its capacity, so the *Node/*Edge pointers in
+	// Nodes/Edges stay stable for the life of the graph.
+	nodeArena [][]Node
+	edgeArena [][]Edge
+	adjArena  []int // backing store for small outs/ins slices
 }
+
+// chunkSize is the node/edge arena granularity. Registry kernels run
+// 13-44 nodes, so most graphs fit in one chunk per kind.
+const chunkSize = 64
 
 // New returns an empty named graph.
 func New(name string) *Graph { return &Graph{Name: name} }
@@ -112,7 +124,14 @@ func New(name string) *Graph { return &Graph{Name: name} }
 // AddNode appends a node and returns its ID.
 func (g *Graph) AddNode(name string, op OpKind) int {
 	id := len(g.Nodes)
-	g.Nodes = append(g.Nodes, &Node{ID: id, Name: name, Op: op})
+	last := len(g.nodeArena) - 1
+	if last < 0 || len(g.nodeArena[last]) == cap(g.nodeArena[last]) {
+		g.nodeArena = append(g.nodeArena, make([]Node, 0, chunkSize))
+		last++
+	}
+	chunk := &g.nodeArena[last]
+	*chunk = append(*chunk, Node{ID: id, Name: name, Op: op})
+	g.Nodes = append(g.Nodes, &(*chunk)[len(*chunk)-1])
 	g.outs = append(g.outs, nil)
 	g.ins = append(g.ins, nil)
 	return id
@@ -139,10 +158,38 @@ func (g *Graph) AddEdgeOp(from, to, dist, operand int) int {
 		panic(fmt.Sprintf("dfg: negative operand slot %d", operand))
 	}
 	id := len(g.Edges)
-	g.Edges = append(g.Edges, &Edge{ID: id, From: from, To: to, Dist: dist, Operand: operand})
-	g.outs[from] = append(g.outs[from], id)
-	g.ins[to] = append(g.ins[to], id)
+	last := len(g.edgeArena) - 1
+	if last < 0 || len(g.edgeArena[last]) == cap(g.edgeArena[last]) {
+		g.edgeArena = append(g.edgeArena, make([]Edge, 0, chunkSize))
+		last++
+	}
+	chunk := &g.edgeArena[last]
+	*chunk = append(*chunk, Edge{ID: id, From: from, To: to, Dist: dist, Operand: operand})
+	g.Edges = append(g.Edges, &(*chunk)[len(*chunk)-1])
+	g.outs[from] = g.adjAppend(g.outs[from], id)
+	g.ins[to] = g.adjAppend(g.ins[to], id)
 	return id
+}
+
+// adjCap is the arena-carved capacity of a node's out/in edge-ID list.
+// Registry nodes rarely exceed 4-degree; bigger lists spill to a normal
+// heap-grown slice via append.
+const adjCap = 4
+
+// adjAppend appends an edge ID to an adjacency list, carving fresh lists
+// out of a shared arena chunk. Carved lists are capacity-limited
+// three-index subslices, so appending past adjCap copies out instead of
+// overwriting a neighbouring list.
+func (g *Graph) adjAppend(s []int, id int) []int {
+	if s == nil {
+		if cap(g.adjArena)-len(g.adjArena) < adjCap {
+			g.adjArena = make([]int, 0, chunkSize*adjCap)
+		}
+		off := len(g.adjArena)
+		g.adjArena = g.adjArena[:off+adjCap]
+		s = g.adjArena[off : off : off+adjCap]
+	}
+	return append(s, id)
 }
 
 // NumNodes returns the node count.

@@ -7,6 +7,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -25,6 +26,7 @@ import (
 	"rewire/internal/mapping"
 	"rewire/internal/obs"
 	"rewire/internal/pathfinder"
+	"rewire/internal/resultcache"
 	"rewire/internal/sa"
 	"rewire/internal/stats"
 	"rewire/internal/trace"
@@ -72,6 +74,13 @@ type Config struct {
 	// (structured spans/counters). Per-run tracers keep the counter
 	// totals attributable to a single run even under Jobs>1.
 	TraceDir string
+	// Cache, when non-nil, routes every dispatched run through a
+	// result-level mapping cache: repeated (kernel, arch, options)
+	// requests — e.g. re-running a report after tweaking one arch, or a
+	// sweep whose combos overlap — are served as deep copies instead of
+	// recompiling. Results are bit-identical with or without the cache.
+	// See docs/CACHING.md.
+	Cache *resultcache.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -141,9 +150,26 @@ func Run(mapper string, cb Combo, cfg Config) (*mapping.Mapping, stats.Result) {
 }
 
 // RunDFG maps an arbitrary DFG (not necessarily a registry kernel) on an
-// architecture with one of the three mappers.
+// architecture with one of the three mappers. With Config.Cache set the
+// compile is content-addressed: the key is built after defaults are
+// resolved, so a cached entry and a fresh run always agree on the
+// effective budgets.
 func RunDFG(mapper string, g *dfg.Graph, a *arch.CGRA, cfg Config) (*mapping.Mapping, stats.Result) {
 	cfg = cfg.withDefaults()
+	if cfg.Cache != nil {
+		key := resultcache.KeyFor(g, a, resultcache.Request{
+			Mapper: mapper, Seed: cfg.Seed, TimePerII: cfg.TimePerII, MaxII: cfg.MaxII,
+		})
+		m, res, _, _ := cfg.Cache.Do(context.Background(), key, func() (*mapping.Mapping, stats.Result) {
+			return runDFGUncached(mapper, g, a, cfg)
+		})
+		return m, res
+	}
+	return runDFGUncached(mapper, g, a, cfg)
+}
+
+// runDFGUncached dispatches to the selected mapper.
+func runDFGUncached(mapper string, g *dfg.Graph, a *arch.CGRA, cfg Config) (*mapping.Mapping, stats.Result) {
 	switch mapper {
 	case "Rewire":
 		return core.Map(g, a, core.Options{

@@ -32,6 +32,7 @@ package kernelir
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -105,6 +106,15 @@ func (ix Index) Shift(v string, by int) Index {
 // String renders the index canonically (sorted variables, then constant),
 // which makes it usable as a deduplication key for loads.
 func (ix Index) String() string {
+	// Fast path for the dominant "a[i]" shape: one unit-coefficient
+	// variable and no constant renders as the variable name itself.
+	if len(ix.Terms) == 1 && ix.Const == 0 {
+		for k, c := range ix.Terms {
+			if c == 1 {
+				return k
+			}
+		}
+	}
 	names := make([]string, 0, len(ix.Terms))
 	for k, c := range ix.Terms {
 		if c != 0 {
@@ -125,14 +135,15 @@ func (ix Index) String() string {
 			b.WriteByte('-')
 			b.WriteString(k)
 		default:
-			fmt.Fprintf(&b, "%d%s", c, k)
+			b.WriteString(strconv.Itoa(c))
+			b.WriteString(k)
 		}
 	}
 	if ix.Const != 0 || b.Len() == 0 {
 		if b.Len() > 0 && ix.Const > 0 {
 			b.WriteByte('+')
 		}
-		fmt.Fprintf(&b, "%d", ix.Const)
+		b.WriteString(strconv.Itoa(ix.Const))
 	}
 	return b.String()
 }
@@ -179,7 +190,7 @@ func (ArrayRead) isExpr() {}
 func (Bin) isExpr()       {}
 func (Call) isExpr()      {}
 
-func (n Num) String() string { return fmt.Sprintf("%d", n.Val) }
+func (n Num) String() string { return strconv.Itoa(n.Val) }
 
 func (s Scalar) String() string {
 	if s.Delay > 0 {

@@ -67,8 +67,12 @@ type token struct {
 // lex splits source text into tokens. Comments run from '#' to end of
 // line. Newlines are significant (statement separators) and consecutive
 // blank lines collapse into one tokNewline.
-func lex(src string) ([]token, error) {
-	var toks []token
+func lex(src string) ([]token, error) { return lexInto(nil, src) }
+
+// lexInto is lex appending into a caller-provided buffer, so Parse can
+// recycle the token slice across calls (tokens are never retained past
+// the parse: AST strings are substrings of src, not of the tokens).
+func lexInto(toks []token, src string) ([]token, error) {
 	line := 1
 	emit := func(k tokKind, text string) {
 		// Collapse consecutive newlines.

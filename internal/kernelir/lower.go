@@ -2,6 +2,8 @@ package kernelir
 
 import (
 	"fmt"
+	"strconv"
+	"sync"
 
 	"rewire/internal/dfg"
 )
@@ -21,12 +23,16 @@ import (
 //     (a distance-d edge);
 //   - min/max lower to a cmp node plus a select node.
 func Lower(prog *Program) (*dfg.Graph, error) {
-	lo := &lowerer{
-		prog:  prog,
-		g:     dfg.New(prog.Name),
-		env:   make(map[string]int),
-		loads: make(map[string]int),
-	}
+	lo := lowererPool.Get().(*lowerer)
+	lo.prog = prog
+	lo.g = dfg.New(prog.Name)
+	defer func() {
+		lo.prog, lo.g = nil, nil
+		clear(lo.env)
+		clear(lo.loads)
+		lo.pending = lo.pending[:0]
+		lowererPool.Put(lo)
+	}()
 	for si := range prog.Stmts {
 		if err := lo.stmt(&prog.Stmts[si]); err != nil {
 			return nil, err
@@ -85,6 +91,14 @@ type lowerer struct {
 	loads   map[string]int // canonical array ref -> load node (CSE)
 	pending []pendingEdge
 }
+
+// lowererPool recycles the per-call scratch of Lower — the scalar
+// environment, the load-CSE table and the pending-edge list — across
+// calls. Lowering runs on every registry load, so the scratch maps
+// dominate its steady-state allocation profile without pooling.
+var lowererPool = sync.Pool{New: func() any {
+	return &lowerer{env: make(map[string]int), loads: make(map[string]int)}
+}}
 
 func (lo *lowerer) stmt(s *Stmt) error {
 	if s.LHS.Name == lo.prog.Induction && !s.LHS.IsArray() {
@@ -261,4 +275,4 @@ func (lo *lowerer) call(c Call, line int) (operand, error) {
 	}
 }
 
-func autoName(id int) string { return fmt.Sprintf("%%%d", id) }
+func autoName(id int) string { return "%" + strconv.Itoa(id) }

@@ -3,15 +3,27 @@ package kernelir
 import (
 	"fmt"
 	"strconv"
+	"sync"
 )
+
+// tokenPool recycles the token buffer between Parse calls. The returned
+// Program keeps substrings of src only, never the tokens themselves, so
+// the buffer is free for reuse the moment Parse returns.
+var tokenPool = sync.Pool{New: func() any {
+	s := make([]token, 0, 256)
+	return &s
+}}
 
 // Parse parses kernel IR source into a Program. See the package comment
 // for the language.
 func Parse(src string) (*Program, error) {
-	toks, err := lex(src)
+	tp := tokenPool.Get().(*[]token)
+	defer tokenPool.Put(tp)
+	toks, err := lexInto((*tp)[:0], src)
 	if err != nil {
 		return nil, err
 	}
+	*tp = toks // keep a grown backing array for the next call
 	p := &parser{toks: toks}
 	prog := &Program{
 		Name:      "kernel",

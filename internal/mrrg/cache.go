@@ -2,6 +2,7 @@ package mrrg
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -79,15 +80,17 @@ func Shared(cgra *arch.CGRA, ii int) *Graph {
 	return g
 }
 
-// archFingerprint canonically serialises every CGRA field that Graph
-// construction (or a consumer of Graph.Arch) can observe, plus the II.
-// Name is included deliberately: two same-shape architectures with
-// different names stay distinct, so Graph.Arch never aliases a CGRA the
-// caller did not pass in.
-func archFingerprint(c *arch.CGRA, ii int) string {
+// ArchFingerprint canonically serialises every CGRA field that Graph
+// construction (or a consumer of Graph.Arch) can observe. Name is
+// included deliberately: two same-shape architectures with different
+// names stay distinct, so Graph.Arch never aliases a CGRA the caller
+// did not pass in. It is exported so the result-level mapping cache
+// (internal/resultcache) keys on the exact same notion of architecture
+// identity as the substrate caches.
+func ArchFingerprint(c *arch.CGRA) string {
 	var b strings.Builder
 	b.Grow(64 + len(c.MemPE) + 4*len(c.PECaps))
-	fmt.Fprintf(&b, "%s|%dx%d|r%d|b%d|t%v|ii%d|m", c.Name, c.Rows, c.Cols, c.Regs, c.Banks, c.Torus, ii)
+	fmt.Fprintf(&b, "%s|%dx%d|r%d|b%d|t%v|m", c.Name, c.Rows, c.Cols, c.Regs, c.Banks, c.Torus)
 	for _, m := range c.MemPE {
 		if m {
 			b.WriteByte('1')
@@ -100,4 +103,10 @@ func archFingerprint(c *arch.CGRA, ii int) string {
 		fmt.Fprintf(&b, "%x,", uint64(m))
 	}
 	return b.String()
+}
+
+// archFingerprint is the Shared cache key: the architecture identity
+// plus the II the graph is time-extended to.
+func archFingerprint(c *arch.CGRA, ii int) string {
+	return ArchFingerprint(c) + "|ii" + strconv.Itoa(ii)
 }

@@ -1,0 +1,263 @@
+// Package resultcache is a content-addressed cache of finished
+// mappings: the result-level layer above the substrate caches (shared
+// MRRG graphs, distance oracles). An entry is keyed by the canonical
+// fingerprint triple of KeyFor — DFG fingerprint, architecture
+// fingerprint, options fingerprint — so a hit turns a multi-second
+// placement-and-routing run into a map lookup plus one deep copy.
+//
+// Isolation contract: the cache NEVER hands out a mapping it retains a
+// reference to. Do and Get return a deep copy (mapping.Clone) of the
+// stored entry, and the entry itself is a private deep copy of what the
+// compile produced — mutating a returned Mapping's placements, routes
+// or bank ports can never corrupt the cache, and mutating the mapping
+// a compile returned can never corrupt later hits. The DFG and CGRA
+// pointers inside a returned Mapping are shared with the compile that
+// populated the entry (both are immutable after construction, the same
+// ownership rule the MRRG cache relies on).
+//
+// Concurrency: all methods are safe for concurrent use, and Do
+// collapses concurrent identical requests into a single compile
+// (singleflight): one caller becomes the leader and runs the compute
+// function, the rest wait and share the leader's result. A leader
+// cancelled by its own context hands leadership to a surviving waiter
+// instead of poisoning it with the spurious failure. Failed compiles
+// (no valid mapping within budget) are shared with concurrent waiters
+// but never stored: failure can be budget- and machine-dependent, so
+// only successful mappings are content-addressable artifacts.
+//
+// A nil *Cache is the disabled cache, matching the repo's nil-safe
+// observability idiom: Do degenerates to calling compute, Get always
+// misses, Stats reads zero.
+package resultcache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"rewire/internal/mapping"
+	"rewire/internal/stats"
+)
+
+// DefaultCapacity bounds a cache built with New(0).
+const DefaultCapacity = 512
+
+// Cache is a bounded, LRU-evicting, singleflight-collapsing cache of
+// finished mappings. Use New; the zero value is not ready.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	inflight map[string]*call
+
+	hits, misses, evictions, shared int64
+}
+
+// entry is one cached result. m is the cache's private deep copy.
+type entry struct {
+	key string
+	m   *mapping.Mapping
+	res stats.Result
+}
+
+// call is one in-flight compile that concurrent identical requests
+// wait on. Fields other than done are written by the leader before
+// done is closed and read by waiters only after.
+type call struct {
+	done chan struct{}
+	// stored is the cache-owned deep copy (nil when the compile failed).
+	stored *mapping.Mapping
+	res    stats.Result
+	// canceled marks a leader torn down by its own context: waiters
+	// must not adopt the spurious failure and instead retry, promoting
+	// one of themselves to leader.
+	canceled bool
+}
+
+// Outcome describes how a Do call was satisfied.
+type Outcome struct {
+	// Hit reports that the mapping came from the cache or from sharing
+	// a concurrent identical compile — no compile ran for this caller.
+	Hit bool
+	// Shared reports that this caller waited on a concurrent identical
+	// compile (the singleflight path) rather than reading a stored
+	// entry.
+	Shared bool
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups served from a stored entry.
+	Hits int64
+	// Misses counts compiles the cache had to run (singleflight
+	// leaders; waiters count under SingleflightShared, not Misses).
+	Misses int64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int64
+	// SingleflightShared counts requests that adopted a concurrent
+	// identical compile's result instead of compiling.
+	SingleflightShared int64
+	// Entries and Capacity describe current occupancy.
+	Entries  int
+	Capacity int
+}
+
+// New returns an empty cache bounded to capacity entries (0 means
+// DefaultCapacity).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Stats returns the current counters. Nil-safe.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		SingleflightShared: c.shared,
+		Entries:            c.lru.Len(), Capacity: c.capacity,
+	}
+}
+
+// Len returns the number of stored entries. Nil-safe.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Get returns a deep copy of the stored mapping for k, bumping its LRU
+// position, or (nil, zero, false) on a miss. Nil-safe. Get does not
+// join in-flight compiles; use Do for that.
+func (c *Cache) Get(k Key) (*mapping.Mapping, stats.Result, bool) {
+	if c == nil {
+		return nil, stats.Result{}, false
+	}
+	key := k.String()
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		c.mu.Unlock()
+		return nil, stats.Result{}, false
+	}
+	c.lru.MoveToFront(el)
+	e := el.Value.(*entry)
+	c.hits++
+	c.mu.Unlock()
+	return e.m.Clone(), e.res, true
+}
+
+// Put stores a deep copy of m under k (no-op for nil m or nil cache).
+// Do is the normal write path; Put exists for pre-warming and tests.
+func (c *Cache) Put(k Key, m *mapping.Mapping, res stats.Result) {
+	if c == nil || m == nil {
+		return
+	}
+	c.mu.Lock()
+	c.insertLocked(k.String(), m.Clone(), res)
+	c.mu.Unlock()
+}
+
+// Do returns the cached mapping for k, or runs compute exactly once
+// across all concurrent callers with the same key and shares the
+// result. The returned mapping is always caller-owned (a deep copy on
+// every hit; the compute function's own return value for the leader).
+// compute reports failure by returning a nil mapping; failures are
+// returned but never stored.
+//
+// ctx bounds only the wait on a concurrent identical compile — compute
+// itself is expected to honour ctx internally (rewire.MapCtx does). A
+// waiter whose ctx expires returns ctx.Err() with a nil mapping.
+func (c *Cache) Do(ctx context.Context, k Key, compute func() (*mapping.Mapping, stats.Result)) (*mapping.Mapping, stats.Result, Outcome, error) {
+	if c == nil {
+		m, res := compute()
+		return m, res, Outcome{}, nil
+	}
+	key := k.String()
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(el)
+			e := el.Value.(*entry)
+			c.hits++
+			c.mu.Unlock()
+			return e.m.Clone(), e.res, Outcome{Hit: true}, nil
+		}
+		if cl, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-cl.done:
+			case <-ctx.Done():
+				return nil, stats.Result{}, Outcome{}, ctx.Err()
+			}
+			if cl.canceled {
+				// The leader was torn down by its own context; this
+				// waiter is still alive, so retry — the next loop
+				// iteration promotes it (or another waiter) to leader.
+				continue
+			}
+			c.mu.Lock()
+			c.shared++
+			c.mu.Unlock()
+			if cl.stored != nil {
+				return cl.stored.Clone(), cl.res, Outcome{Hit: true, Shared: true}, nil
+			}
+			return nil, cl.res, Outcome{Shared: true}, nil
+		}
+		cl := &call{done: make(chan struct{})}
+		c.inflight[key] = cl
+		c.misses++
+		c.mu.Unlock()
+
+		m, res := compute()
+		cl.res = res
+		cl.canceled = m == nil && ctx.Err() != nil
+		if m != nil {
+			cl.stored = m.Clone()
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if cl.stored != nil {
+			c.insertLocked(key, cl.stored, res)
+		}
+		c.mu.Unlock()
+		close(cl.done)
+		return m, res, Outcome{}, nil
+	}
+}
+
+// insertLocked files a cache-owned mapping under key and enforces the
+// capacity bound. Caller holds c.mu.
+func (c *Cache) insertLocked(key string, m *mapping.Mapping, res stats.Result) {
+	if el, ok := c.entries[key]; ok {
+		// Refresh in place (a Put racing a Do, or repeated Puts).
+		c.lru.MoveToFront(el)
+		e := el.Value.(*entry)
+		e.m, e.res = m, res
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&entry{key: key, m: m, res: res})
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		e := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.evictions++
+	}
+}

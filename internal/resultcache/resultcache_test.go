@@ -1,0 +1,342 @@
+package resultcache
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rewire/internal/arch"
+	"rewire/internal/dfg"
+	"rewire/internal/mapping"
+	"rewire/internal/mrrg"
+	"rewire/internal/stats"
+)
+
+// testMapping builds a tiny but structurally complete mapping by hand:
+// two placed nodes, one routed edge, no bank ports.
+func testMapping(t *testing.T) *mapping.Mapping {
+	t.Helper()
+	g := dfg.New("tiny")
+	a0 := g.AddNode("a", dfg.OpAdd)
+	a1 := g.AddNode("b", dfg.OpAdd)
+	g.AddEdge(a0, a1, 0)
+	m := mapping.New(g, arch.New4x4(2), 2)
+	m.Place[a0] = mapping.Placement{PE: 0, Time: 0}
+	m.Place[a1] = mapping.Placement{PE: 1, Time: 1}
+	m.Routes[0] = []mrrg.Node{}
+	return m
+}
+
+func key(s string) Key { return Key{DFG: s, Arch: "arch", Opts: "opts"} }
+
+func TestKeyCanonicalisation(t *testing.T) {
+	g := dfg.New("k")
+	n0 := g.AddNode("x", dfg.OpAdd)
+	n1 := g.AddNode("y", dfg.OpMul)
+	g.AddEdge(n0, n1, 1)
+	a := arch.New4x4(4)
+
+	base := KeyFor(g, a, Request{Mapper: "rewire", Seed: 1, TimePerII: time.Second, MaxII: 32})
+
+	// Mapper aliases collapse onto one canonical key.
+	for _, alias := range []string{"Rewire", "REWIRE", ""} {
+		k := KeyFor(g, a, Request{Mapper: alias, Seed: 1, TimePerII: time.Second, MaxII: 32})
+		if k != base {
+			t.Errorf("alias %q produced a different key", alias)
+		}
+	}
+	pf := KeyFor(g, a, Request{Mapper: "PF*", Seed: 1, TimePerII: time.Second, MaxII: 32})
+	if pf != KeyFor(g, a, Request{Mapper: "pathfinder", Seed: 1, TimePerII: time.Second, MaxII: 32}) {
+		t.Error("PF* and pathfinder should share a key")
+	}
+	if pf == base {
+		t.Error("pathfinder and rewire must not share a key")
+	}
+
+	// Every fingerprint-relevant option must move the key.
+	for name, req := range map[string]Request{
+		"seed":  {Mapper: "rewire", Seed: 2, TimePerII: time.Second, MaxII: 32},
+		"tpi":   {Mapper: "rewire", Seed: 1, TimePerII: 2 * time.Second, MaxII: 32},
+		"maxII": {Mapper: "rewire", Seed: 1, TimePerII: time.Second, MaxII: 16},
+	} {
+		if KeyFor(g, a, req) == base {
+			t.Errorf("changing %s did not change the key", name)
+		}
+	}
+
+	// DFG content moves the key: an extra edge, a renamed node.
+	g2 := g.Clone()
+	g2.AddEdge(n1, n0, 1)
+	if KeyFor(g2, a, Request{Mapper: "rewire", Seed: 1, TimePerII: time.Second, MaxII: 32}) == base {
+		t.Error("adding an edge did not change the key")
+	}
+	g3 := g.Clone()
+	g3.Nodes[0].Name = "renamed"
+	if KeyFor(g3, a, Request{Mapper: "rewire", Seed: 1, TimePerII: time.Second, MaxII: 32}) == base {
+		t.Error("renaming a node did not change the key")
+	}
+
+	// Architecture identity moves the key.
+	if KeyFor(g, arch.New4x4(2), Request{Mapper: "rewire", Seed: 1, TimePerII: time.Second, MaxII: 32}) == base {
+		t.Error("changing the architecture did not change the key")
+	}
+}
+
+func TestLRUEvictionAndStats(t *testing.T) {
+	c := New(2)
+	m := testMapping(t)
+	c.Put(key("a"), m, stats.Result{Success: true})
+	c.Put(key("b"), m, stats.Result{Success: true})
+	if _, _, ok := c.Get(key("a")); !ok { // bump "a": now "b" is LRU
+		t.Fatal("expected hit on a")
+	}
+	c.Put(key("c"), m, stats.Result{Success: true}) // evicts "b"
+	if _, _, ok := c.Get(key("b")); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	if _, _, ok := c.Get(key("a")); !ok {
+		t.Fatal("a should have survived eviction")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Capacity != 2 {
+		t.Fatalf("entries/capacity = %d/%d, want 2/2", st.Entries, st.Capacity)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", st.Hits, st.Misses)
+	}
+}
+
+// TestHitIsolation is the cache-correctness guardrail: a returned
+// mapping must be isolated from caller mutation in both directions —
+// mutating a hit must not corrupt the stored entry, and mutating the
+// mapping that populated the cache must not corrupt later hits.
+func TestHitIsolation(t *testing.T) {
+	c := New(0)
+	orig := testMapping(t)
+	want := orig.Clone()
+	c.Put(key("iso"), orig, stats.Result{Success: true, II: 2})
+
+	// Mutate the mapping the entry was populated from.
+	orig.Place[0] = mapping.Placement{PE: 13, Time: 9}
+	orig.Routes[0] = append(orig.Routes[0], mrrg.Node(42))
+	orig.BankPorts[0] = mrrg.Node(7)
+
+	hit, _, ok := c.Get(key("iso"))
+	if !ok {
+		t.Fatal("expected a hit")
+	}
+	assertSameMapping(t, "hit after mutating the source", want, hit)
+
+	// Mutate the hit itself: placements, routes, bank ports.
+	hit.Place[1] = mapping.Placement{PE: 15, Time: 3}
+	hit.Routes[0] = append(hit.Routes[0], mrrg.Node(99))
+	hit.BankPorts[1] = mrrg.Node(5)
+
+	again, _, ok := c.Get(key("iso"))
+	if !ok {
+		t.Fatal("expected a second hit")
+	}
+	assertSameMapping(t, "hit after mutating a previous hit", want, again)
+	if &again.Place[0] == &hit.Place[0] {
+		t.Fatal("two hits share placement backing storage")
+	}
+}
+
+func assertSameMapping(t *testing.T, what string, want, got *mapping.Mapping) {
+	t.Helper()
+	if got.II != want.II ||
+		!reflect.DeepEqual(want.Place, got.Place) ||
+		!reflect.DeepEqual(want.Routes, got.Routes) ||
+		!reflect.DeepEqual(want.BankPorts, got.BankPorts) {
+		t.Fatalf("%s: mapping diverged from the stored entry:\nwant %+v\ngot  %+v", what, want, got)
+	}
+}
+
+// TestDoSingleflight: N concurrent identical requests run exactly one
+// compile; the rest share the leader's result as independent copies.
+func TestDoSingleflight(t *testing.T) {
+	c := New(0)
+	tmpl := testMapping(t)
+	var compiles atomic.Int32
+	const n = 16
+
+	var wg sync.WaitGroup
+	results := make([]*mapping.Mapping, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, res, _, err := c.Do(context.Background(), key("sf"), func() (*mapping.Mapping, stats.Result) {
+				compiles.Add(1)
+				time.Sleep(20 * time.Millisecond) // hold the flight open for the waiters
+				return tmpl.Clone(), stats.Result{Success: true, II: 2}
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+				return
+			}
+			if m == nil || !res.Success {
+				t.Error("Do returned no mapping")
+				return
+			}
+			results[i] = m
+		}(i)
+	}
+	wg.Wait()
+
+	if got := compiles.Load(); got != 1 {
+		t.Fatalf("compiles = %d, want 1 (singleflight must collapse identical requests)", got)
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	if st.SingleflightShared+st.Hits != n-1 {
+		t.Fatalf("shared+hits = %d+%d, want %d callers served without compiling",
+			st.SingleflightShared, st.Hits, n-1)
+	}
+	// Every caller owns an isolated copy.
+	for i := 1; i < n; i++ {
+		if results[i] == results[0] {
+			t.Fatal("two callers received the same *Mapping")
+		}
+	}
+	results[0].Place[0].PE = 77
+	if results[1].Place[0].PE == 77 {
+		t.Fatal("callers share placement backing storage")
+	}
+}
+
+func TestDoFailureSharedButNotCached(t *testing.T) {
+	c := New(0)
+	var compiles atomic.Int32
+	fail := func() (*mapping.Mapping, stats.Result) {
+		compiles.Add(1)
+		return nil, stats.Result{Success: false}
+	}
+	for i := 0; i < 2; i++ {
+		m, res, out, err := c.Do(context.Background(), key("fail"), fail)
+		if err != nil || m != nil || res.Success || out.Hit {
+			t.Fatalf("round %d: m=%v res=%+v out=%+v err=%v", i, m, res, out, err)
+		}
+	}
+	if got := compiles.Load(); got != 2 {
+		t.Fatalf("compiles = %d, want 2 (failures must not be cached)", got)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache holds %d entries after failures, want 0", c.Len())
+	}
+}
+
+// TestDoCanceledLeaderPromotesWaiter: a leader torn down by its own
+// context must not poison waiters with the spurious failure — a live
+// waiter retries and becomes the new leader.
+func TestDoCanceledLeaderPromotesWaiter(t *testing.T) {
+	c := New(0)
+	tmpl := testMapping(t)
+	var compiles atomic.Int32
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{})
+	leaderOut := make(chan struct{})
+	go func() {
+		defer close(leaderOut)
+		m, _, _, _ := c.Do(leaderCtx, key("promote"), func() (*mapping.Mapping, stats.Result) {
+			compiles.Add(1)
+			close(leaderIn)
+			<-leaderCtx.Done() // the compile honours its context, like MapCtx
+			return nil, stats.Result{}
+		})
+		if m != nil {
+			t.Error("cancelled leader should report failure")
+		}
+	}()
+	<-leaderIn
+
+	waiterOut := make(chan *mapping.Mapping, 1)
+	go func() {
+		m, _, _, err := c.Do(context.Background(), key("promote"), func() (*mapping.Mapping, stats.Result) {
+			compiles.Add(1)
+			return tmpl.Clone(), stats.Result{Success: true}
+		})
+		if err != nil {
+			t.Errorf("waiter Do: %v", err)
+		}
+		waiterOut <- m
+	}()
+
+	// Give the waiter time to join the flight, then cancel the leader.
+	time.Sleep(20 * time.Millisecond)
+	cancelLeader()
+	<-leaderOut
+
+	select {
+	case m := <-waiterOut:
+		if m == nil {
+			t.Fatal("waiter inherited the cancelled leader's failure instead of recompiling")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never completed after leader cancellation")
+	}
+	if got := compiles.Load(); got != 2 {
+		t.Fatalf("compiles = %d, want 2 (cancelled leader, then promoted waiter)", got)
+	}
+}
+
+// TestDoWaiterContext: a waiter whose own context expires mid-wait
+// returns the context error without a mapping.
+func TestDoWaiterContext(t *testing.T) {
+	c := New(0)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), key("wait"), func() (*mapping.Mapping, stats.Result) {
+			close(started)
+			<-release
+			return nil, stats.Result{}
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	m, _, _, err := c.Do(ctx, key("wait"), func() (*mapping.Mapping, stats.Result) {
+		t.Error("expired waiter must not compile")
+		return nil, stats.Result{}
+	})
+	close(release)
+	if err == nil || m != nil {
+		t.Fatalf("want context error and nil mapping, got m=%v err=%v", m, err)
+	}
+}
+
+// TestNilCacheIsDisabled: the nil cache computes every time and never
+// panics, matching the repo's nil-safe observability idiom.
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	var compiles atomic.Int32
+	for i := 0; i < 2; i++ {
+		m, _, out, err := c.Do(context.Background(), key("nil"), func() (*mapping.Mapping, stats.Result) {
+			compiles.Add(1)
+			return testMapping(t), stats.Result{Success: true}
+		})
+		if err != nil || m == nil || out.Hit {
+			t.Fatalf("nil cache Do: m=%v out=%+v err=%v", m, out, err)
+		}
+	}
+	if compiles.Load() != 2 {
+		t.Fatal("nil cache must compute every call")
+	}
+	if _, _, ok := c.Get(key("nil")); ok {
+		t.Fatal("nil cache must miss")
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v, want zero", st)
+	}
+	c.Put(key("nil"), testMapping(t), stats.Result{})
+}

@@ -37,6 +37,7 @@ import (
 	"rewire/internal/obs"
 	"rewire/internal/pathfinder"
 	"rewire/internal/power"
+	"rewire/internal/resultcache"
 	"rewire/internal/sa"
 	"rewire/internal/sim"
 	"rewire/internal/stats"
@@ -71,7 +72,22 @@ type (
 	// A nil *Logger is the disabled logger: every method is a no-op
 	// costing one pointer check. See NewLogger and docs/OBSERVABILITY.md.
 	Logger = obs.Logger
+	// ResultCache is a bounded, LRU-evicting, singleflight-collapsing
+	// cache of finished mappings, content-addressed by the canonical
+	// (DFG, architecture, options) fingerprint triple. A nil
+	// *ResultCache is the disabled cache. See NewResultCache, MapCached
+	// and docs/CACHING.md.
+	ResultCache = resultcache.Cache
+	// CacheOutcome reports how a MapCached call was satisfied: Hit
+	// (served without compiling) and Shared (by waiting on a concurrent
+	// identical compile).
+	CacheOutcome = resultcache.Outcome
 )
+
+// NewResultCache builds a result cache bounded to capacity finished
+// mappings (0 means the default, resultcache.DefaultCapacity). Pass it
+// in Options.Cache to make Map/MapCtx consult and populate it.
+func NewResultCache(capacity int) *ResultCache { return resultcache.New(capacity) }
 
 // NewTracer returns an enabled tracer to pass in Options.Tracer.
 func NewTracer() *Tracer { return trace.New() }
@@ -118,6 +134,52 @@ type Options struct {
 	// records (see NewLogger). Nil — the default — disables logging at
 	// the same one-pointer-check cost as the tracer.
 	Logger *Logger
+	// Cache, when non-nil, makes Map/MapCtx consult and populate a
+	// content-addressed cache of finished mappings before compiling: a
+	// hit is a lookup plus one deep copy, never a recompile, and
+	// concurrent identical requests collapse into a single compile.
+	// Returned mappings are always caller-owned copies. Only the
+	// fingerprint-relevant fields above participate in the cache key
+	// (see optionFingerprintClass and docs/CACHING.md).
+	Cache *ResultCache
+}
+
+// optionFingerprintClass classifies every Options field as cache-key
+// relevant (true: it can change the committed mapping) or explicitly
+// exempt (false: wall-clock-only or observer-only — SweepParallelism
+// commits bit-identical mappings at every width per the PR 5
+// determinism matrix, tracers and loggers never feed back into the
+// search, and the cache handle itself is not part of what it caches).
+// TestOptionsFingerprintHonesty fails the build of any Options field
+// added without a classification here, keeping the fingerprint honest
+// by construction.
+var optionFingerprintClass = map[string]bool{
+	"Mapper":           true,
+	"Seed":             true,
+	"TimePerII":        true,
+	"MaxII":            true,
+	"SweepParallelism": false,
+	"Tracer":           false,
+	"Logger":           false,
+	"Cache":            false,
+}
+
+// CacheKey returns the canonical content-address of one mapping
+// request: the string form of the (DFG fingerprint, architecture
+// fingerprint, options fingerprint) triple. Equal keys commit
+// bit-identical mappings. The serve daemon uses it to deduplicate
+// batch entries before compiling.
+func CacheKey(g *DFG, cgra *CGRA, opt Options) string {
+	return cacheKeyFor(g, cgra, opt).String()
+}
+
+func cacheKeyFor(g *DFG, cgra *CGRA, opt Options) resultcache.Key {
+	return resultcache.KeyFor(g, cgra, resultcache.Request{
+		Mapper:    string(opt.Mapper),
+		Seed:      opt.Seed,
+		TimePerII: opt.TimePerII,
+		MaxII:     opt.MaxII,
+	})
 }
 
 // New4x4 builds the paper's 4x4 CGRA preset with the given register-file
@@ -170,39 +232,80 @@ func Map(g *DFG, cgra *CGRA, opt Options) (*Mapping, Result, error) {
 // MapCtx is Map with cancellation: cancelling ctx aborts the II sweep
 // promptly (in-flight attempts unwind within one inner-loop iteration)
 // and the call reports a failed mapping. rewire-serve uses this to tear
-// down speculative work when a client disconnects or times out.
+// down speculative work when a client disconnects or times out. When
+// Options.Cache is set the compile goes through the result cache; use
+// MapCached to additionally learn whether it hit.
 func MapCtx(ctx context.Context, g *DFG, cgra *CGRA, opt Options) (*Mapping, Result, error) {
-	var (
-		m   *Mapping
-		res Result
-	)
+	m, res, _, err := MapCached(ctx, g, cgra, opt)
+	return m, res, err
+}
+
+// MapCached is MapCtx plus the cache outcome. With Options.Cache nil
+// it compiles unconditionally and reports a zero outcome; with a cache
+// it returns a stored mapping when the request's fingerprint is known
+// (a deep copy — caller-owned, mutating it cannot corrupt the cache),
+// collapses concurrent identical requests into one compile, and stores
+// successful results for later requests. Failed mappings are never
+// cached: failure can be budget-dependent, so only successes are
+// content-addressable. See docs/CACHING.md.
+func MapCached(ctx context.Context, g *DFG, cgra *CGRA, opt Options) (*Mapping, Result, CacheOutcome, error) {
+	if err := validMapper(opt.Mapper); err != nil {
+		return nil, Result{}, CacheOutcome{}, err
+	}
+	if opt.Cache == nil {
+		m, res := mapUncached(ctx, g, cgra, opt)
+		return m, res, CacheOutcome{}, noMappingErr(m, g, cgra, opt, res)
+	}
+	m, res, out, err := opt.Cache.Do(ctx, cacheKeyFor(g, cgra, opt), func() (*Mapping, Result) {
+		return mapUncached(ctx, g, cgra, opt)
+	})
+	if err != nil {
+		return nil, res, out, fmt.Errorf("rewire: mapping %q on %s aborted: %w", g.Name, cgra.Name, err)
+	}
+	return m, res, out, noMappingErr(m, g, cgra, opt, res)
+}
+
+// mapUncached dispatches to the selected mapper. The mapper is already
+// validated.
+func mapUncached(ctx context.Context, g *DFG, cgra *CGRA, opt Options) (*Mapping, Result) {
 	switch opt.Mapper {
-	case MapperRewire, "":
-		m, res = core.MapCtx(ctx, g, cgra, core.Options{
-			Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
-			SweepParallelism: opt.SweepParallelism,
-			Tracer:           opt.Tracer, Logger: opt.Logger,
-		})
 	case MapperPathFinder:
-		m, res = pathfinder.MapCtx(ctx, g, cgra, pathfinder.Options{
+		return pathfinder.MapCtx(ctx, g, cgra, pathfinder.Options{
 			Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
 			SweepParallelism: opt.SweepParallelism,
 			Tracer:           opt.Tracer, Logger: opt.Logger,
 		})
 	case MapperSA:
-		m, res = sa.MapCtx(ctx, g, cgra, sa.Options{
+		return sa.MapCtx(ctx, g, cgra, sa.Options{
 			Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
 			SweepParallelism: opt.SweepParallelism,
 			Tracer:           opt.Tracer, Logger: opt.Logger,
 		})
+	default: // MapperRewire or ""
+		return core.MapCtx(ctx, g, cgra, core.Options{
+			Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
+			SweepParallelism: opt.SweepParallelism,
+			Tracer:           opt.Tracer, Logger: opt.Logger,
+		})
+	}
+}
+
+func validMapper(m MapperName) error {
+	switch m {
+	case MapperRewire, MapperPathFinder, MapperSA, "":
+		return nil
 	default:
-		return nil, res, fmt.Errorf("rewire: unknown mapper %q", opt.Mapper)
+		return fmt.Errorf("rewire: unknown mapper %q", m)
 	}
-	if m == nil {
-		return nil, res, fmt.Errorf("rewire: no valid mapping for %q on %s within II<=%d (MII=%d)",
-			g.Name, cgra.Name, maxOr(opt.MaxII, 32), res.MII)
+}
+
+// noMappingErr converts a nil mapping into the standard failure error.
+func noMappingErr(m *Mapping, g *DFG, cgra *CGRA, opt Options, res Result) error {
+	if m != nil {
+		return nil
 	}
-	return m, res, nil
+	return fmt.Errorf("rewire: no valid mapping for %q on %s within II<=%d (MII=%d)",
+		g.Name, cgra.Name, maxOr(opt.MaxII, 32), res.MII)
 }
 
 func maxOr(v, dflt int) int {

@@ -10,7 +10,11 @@
 //     shared threshold still absorbs seed-level wobble, or
 //   - any allocs/op increase on a bench whose baseline allocs/op is 0 —
 //     the zero-alloc pins (disabled tracer/logger/metrics hot paths)
-//     must stay exactly zero, with no noise allowance.
+//     must stay exactly zero, with no noise allowance, or
+//   - allocs/op worse than a non-zero baseline by more than -threshold —
+//     allocation counts are deterministic per op, so a jump past the
+//     threshold is a real regression (a lost pool, a new per-op copy),
+//     not runner noise.
 //
 // Benchmarks present in only one file are reported but never fail the
 // diff: renames and additions are routine between PRs.
@@ -66,7 +70,7 @@ type regression struct {
 }
 
 func (r regression) String() string {
-	if r.Metric == "allocs/op" {
+	if r.Metric == "allocs/op" && r.Base == 0 {
 		return fmt.Sprintf("%s: allocs/op %g -> %g (zero-alloc pin broken)", r.Name, r.Base, r.Cur)
 	}
 	return fmt.Sprintf("%s: %s %.0f -> %.0f (%+.1f%%)", r.Name, r.Metric, r.Base, r.Cur, 100*(r.Cur-r.Base)/r.Base)
@@ -95,9 +99,20 @@ func diff(base, cur Output, threshold float64) (regs []regression, notes []strin
 				regs = append(regs, regression{b.Name, "ns/op", bNS, cNS})
 			}
 		}
-		if bAllocs, ok := b.Metrics["allocs/op"]; ok && bAllocs == 0 {
-			if cAllocs := c.Metrics["allocs/op"]; cAllocs > 0 {
-				regs = append(regs, regression{b.Name, "allocs/op", bAllocs, cAllocs})
+		if bAllocs, ok := b.Metrics["allocs/op"]; ok {
+			cAllocs := c.Metrics["allocs/op"]
+			switch {
+			case bAllocs == 0:
+				// Zero-alloc pins get no noise allowance at all.
+				if cAllocs > 0 {
+					regs = append(regs, regression{b.Name, "allocs/op", bAllocs, cAllocs})
+				}
+			case cAllocs > 0:
+				delta := (cAllocs - bAllocs) / bAllocs
+				notes = append(notes, fmt.Sprintf("%-44s allocs/op %10.0f -> %10.0f  %+6.1f%%", b.Name, bAllocs, cAllocs, 100*delta))
+				if delta > threshold {
+					regs = append(regs, regression{b.Name, "allocs/op", bAllocs, cAllocs})
+				}
 			}
 		}
 		for _, m := range sortedKeys(b.Metrics) {
