@@ -25,6 +25,7 @@ import (
 
 	"rewire/internal/arch"
 	"rewire/internal/core"
+	"rewire/internal/diag"
 	"rewire/internal/eval"
 	"rewire/internal/kernels"
 	"rewire/internal/mapping"
@@ -353,6 +354,26 @@ func BenchmarkSubValidate(b *testing.B) {
 		if err := mapping.Validate(m); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSubDiagDisabled pins the disabled-diagnostics contract: with
+// no collector and no progress bus (the Options zero value), every
+// instrumentation point the mappers hit per negotiation step — attempt
+// handle, round tick, contention charge, progress publish — must cost a
+// pointer check and nothing else. benchdiff gates allocs/op at 0.
+func BenchmarkSubDiagDisabled(b *testing.B) {
+	b.ReportAllocs()
+	var dc *diag.Collector
+	var bus *diag.Bus
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		att := dc.StartII(4, 1)
+		bus.Publish(diag.Event{Type: "attempt_start", II: 4, Attempt: 1})
+		att.Round(7)
+		att.Contend(mrrg.Node(i&1023), mrrg.Net(i&63))
+		att.Finish(false, nil)
+		bus.Publish(diag.Event{Type: "attempt_end", II: 4, Attempt: 1})
 	}
 }
 

@@ -48,6 +48,7 @@ func main() {
 
 		jsonOut    = flag.String("json", "", "write the aggregated result set as JSON to this path")
 		traceDir   = flag.String("trace-dir", "", "write one Chrome trace + JSONL trace per mapper run into this directory")
+		reportDir  = flag.String("report", "", "write one post-mortem report (.report.json + .report.html) per mapper run into this directory")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole evaluation to this path (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this path (go tool pprof)")
 
@@ -83,6 +84,7 @@ func main() {
 		Verbose:          !*quiet,
 		Out:              os.Stdout,
 		TraceDir:         *traceDir,
+		ReportDir:        *reportDir,
 		Logger:           log,
 	}
 	if *cacheCap > 0 {

@@ -9,9 +9,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -44,6 +46,7 @@ func main() {
 
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event file of the mapping run to this path (open in Perfetto / chrome://tracing)")
 		traceJSONL = flag.String("trace-jsonl", "", "write the structured JSONL trace (spans, counters, histograms) to this path")
+		reportDir  = flag.String("report", "", "write the mapping post-mortem into this directory: report.json, report.html, report.txt and the progress-event log events.jsonl")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path (inspect with: go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this path (inspect with: go tool pprof)")
 
@@ -109,6 +112,14 @@ func main() {
 	if *cacheCap > 0 {
 		cache = rewire.NewResultCache(*cacheCap)
 	}
+	var (
+		diag *rewire.DiagCollector
+		bus  *rewire.ProgressBus
+	)
+	if *reportDir != "" {
+		diag = rewire.NewDiagCollector()
+		bus = rewire.NewProgressBus(0)
+	}
 	m, res, err := rewire.Map(g, cgra, rewire.Options{
 		Mapper:           rewire.MapperName(*mapper),
 		Seed:             *seed,
@@ -118,6 +129,8 @@ func main() {
 		Tracer:           tr,
 		Logger:           log,
 		Cache:            cache,
+		Diag:             diag,
+		Progress:         bus,
 	})
 	// Profiles and traces are written before the success check: a failed
 	// mapping run is exactly the one worth profiling.
@@ -136,6 +149,7 @@ func main() {
 		f.Close()
 	}
 	writeTrace(tr, *traceOut, *traceJSONL)
+	writeReport(diag, bus, *reportDir)
 	fmt.Println(res)
 	if err != nil {
 		fatalf("%v", err)
@@ -227,6 +241,42 @@ func writeTrace(tr *rewire.Tracer, chromePath, jsonlPath string) {
 		}
 		f.Close()
 	}
+}
+
+// writeReport renders the run's post-mortem into dir. Written before
+// the success check, like the traces: a failed mapping run is exactly
+// the one whose report matters.
+func writeReport(diag *rewire.DiagCollector, bus *rewire.ProgressBus, dir string) {
+	if diag == nil {
+		return
+	}
+	bus.Close()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatalf("report: %v", err)
+	}
+	r := diag.Report()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fatalf("report: %v", err)
+	}
+	for name, body := range map[string][]byte{
+		"report.json": append(data, '\n'),
+		"report.html": []byte(rewire.RenderReportHTML(r)),
+		"report.txt":  []byte(rewire.RenderReport(r)),
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), body, 0o644); err != nil {
+			fatalf("report: %v", err)
+		}
+	}
+	f, err := os.Create(filepath.Join(dir, "events.jsonl"))
+	if err != nil {
+		fatalf("report: %v", err)
+	}
+	if err := bus.WriteJSONL(f); err != nil {
+		fatalf("report: %v", err)
+	}
+	f.Close()
+	fmt.Fprintf(os.Stderr, "post-mortem written to %s\n", dir)
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -110,7 +110,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func(i int, e *parsed) {
 			defer wg.Done()
 			runID := obs.NewRunID()
-			results[i] = s.executeOne(ctx, s.lg.WithRun(runID), runID, &breq.Requests[i], e.g, e.cgra, e.mapper)
+			results[i] = s.executeOne(ctx, s.lg.WithRun(runID), runID, &breq.Requests[i], e.g, e.cgra, e.mapper, nil)
 		}(i, e)
 	}
 	wg.Wait()
@@ -135,9 +135,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // the worker pool — admission, cached compile, metrics fold, flight
 // record — and returns its wire answer. ctx bounds both the admission
 // wait and the run. It backs batch entries and async jobs; POST /map
-// keeps its own flow for the detach-on-timeout semantics.
+// keeps its own flow for the detach-on-timeout semantics. bus, when
+// non-nil, receives the run's live progress events (async jobs stream
+// it via GET /map/events/{id}); the caller owns its lifecycle.
 func (s *server) executeOne(ctx context.Context, lg *obs.Logger, runID string, req *mapRequest,
-	g *rewire.DFG, cgra *rewire.CGRA, mapper rewire.MapperName) mapResponse {
+	g *rewire.DFG, cgra *rewire.CGRA, mapper rewire.MapperName, bus *rewire.ProgressBus) mapResponse {
 	queued := time.Now()
 	s.mQueued.Add(1)
 	select {
@@ -157,7 +159,7 @@ func (s *server) executeOne(ctx context.Context, lg *obs.Logger, runID string, r
 		<-s.sem
 	}()
 
-	opts := s.buildOpts(req, mapper, lg)
+	opts := s.buildOpts(req, mapper, lg, bus)
 	lg.Info("mapping request", "mapper", string(mapper), "kernel", g.Name,
 		"arch", cgra.Name, "seed", req.Seed, "time_per_ii_ms", opts.TimePerII.Milliseconds(),
 		"sweep_window", opts.SweepParallelism)
@@ -173,6 +175,9 @@ type submitResponse struct {
 	JobID     string `json:"job_id"`
 	Status    string `json:"status"` // running or done
 	ResultURL string `json:"result_url"`
+	// EventsURL is the job's live progress stream (Server-Sent Events);
+	// see GET /map/events/{id}.
+	EventsURL string `json:"events_url,omitempty"`
 }
 
 // handleSubmit serves POST /map/submit: validate now, map later.
@@ -192,7 +197,8 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	if !s.jobs.submit(jobID) {
+	bus := rewire.NewProgressBus(0)
+	if !s.jobs.submit(jobID, bus) {
 		s.mJobs.With("rejected").Inc()
 		lg.Warn("job table full; submission rejected")
 		writeJSON(w, http.StatusServiceUnavailable,
@@ -203,14 +209,67 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	go func() {
 		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
 		defer cancel()
-		resp := s.executeOne(ctx, lg, jobID, &req, g, cgra, mapper)
+		resp := s.executeOne(ctx, lg, jobID, &req, g, cgra, mapper, bus)
+		// Closing the bus is what ends every live SSE stream; late
+		// subscribers still replay the retained tail. The published total
+		// is read before more subscribers can race the counter.
+		published, _ := bus.Stats()
+		bus.Close()
+		s.mDiagProgress.Add(int64(published))
 		s.jobs.complete(jobID, resp)
 		s.mJobs.With("completed").Inc()
-		lg.Info("async job done", "success", resp.Success, "cached", resp.Cached)
+		lg.Info("async job done", "success", resp.Success, "cached", resp.Cached,
+			"progress_events", published)
 	}()
 	writeJSON(w, http.StatusAccepted, submitResponse{
 		JobID: jobID, Status: "running", ResultURL: "/map/result/" + jobID,
+		EventsURL: "/map/events/" + jobID,
 	})
+}
+
+// handleEvents serves GET /map/events/{id}: the async job's progress
+// stream as Server-Sent Events. Retained events replay first (the bus
+// drops oldest beyond its capacity), then live events stream until the
+// job ends; each SSE id is the event's monotonic sequence number, so a
+// reconnecting client can detect gaps. Works on completed jobs too:
+// the retained tail replays, then the stream ends.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	bus := s.jobs.bus(id)
+	if bus == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: fmt.Sprintf("job %q is unknown or already evicted (table keeps the last %d jobs)", id, s.cfg.JobCapacity)})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "streaming unsupported by this connection"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch, cancel := bus.Subscribe(64)
+	defer cancel()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				fmt.Fprint(w, "event: end\ndata: {}\n\n")
+				fl.Flush()
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 // handleResult serves GET /map/result/{id}.
@@ -244,15 +303,20 @@ type jobTable struct {
 type asyncJob struct {
 	running bool
 	resp    mapResponse
+	// progress is the job's live event bus; it stays readable after
+	// completion (retained events replay to late subscribers) and is
+	// dropped with the job at eviction.
+	progress *rewire.ProgressBus
 }
 
 func newJobTable(capacity int) *jobTable {
 	return &jobTable{jobs: make(map[string]*asyncJob), capacity: capacity}
 }
 
-// submit registers a running job, evicting completed jobs as needed.
-// It returns false when the table is full of running jobs.
-func (t *jobTable) submit(id string) bool {
+// submit registers a running job with its progress bus, evicting
+// completed jobs as needed. It returns false when the table is full of
+// running jobs.
+func (t *jobTable) submit(id string, bus *rewire.ProgressBus) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for len(t.jobs) >= t.capacity && len(t.doneIDs) > 0 {
@@ -262,8 +326,19 @@ func (t *jobTable) submit(id string) bool {
 	if len(t.jobs) >= t.capacity {
 		return false
 	}
-	t.jobs[id] = &asyncJob{running: true}
+	t.jobs[id] = &asyncJob{running: true, progress: bus}
 	return true
+}
+
+// bus returns a job's progress bus, nil when the job is unknown.
+func (t *jobTable) bus(id string) *rewire.ProgressBus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.jobs[id]
+	if !ok {
+		return nil
+	}
+	return j.progress
 }
 
 // complete retires a job with its result.

@@ -113,6 +113,11 @@ type server struct {
 	mBatchDeduped *metrics.Counter    // rewire_serve_batch_deduped_total
 	mJobs         *metrics.CounterVec // rewire_serve_async_jobs_total{state}
 
+	// Diagnostics surface.
+	mDiagReports  *metrics.CounterVec // rewire_diag_reports_total{outcome}
+	mDiagContest  *metrics.Histogram  // rewire_diag_contested_resources_units
+	mDiagProgress *metrics.Counter    // rewire_map_progress_events_total
+
 	// Substrate and result cache counters, exported by diffing the
 	// cumulative stats on each scrape (counters may only move forward,
 	// so the handler adds deltas since the previous export).
@@ -186,6 +191,12 @@ func newServer(cfg serverConfig, lg *obs.Logger) *server {
 			"Batch entries served by copying a same-fingerprint entry's result within the batch."),
 		mJobs: reg.NewCounterVec("rewire_serve_async_jobs_total",
 			"Async mapping jobs by lifecycle event (submitted, completed, rejected).", "state"),
+		mDiagReports: reg.NewCounterVec("rewire_diag_reports_total",
+			"Mapping post-mortem reports collected, by run outcome (ok, failed).", "outcome"),
+		mDiagContest: reg.NewHistogram("rewire_diag_contested_resources_units",
+			"Distinct contested fabric resources per collected report.", metrics.Pow2Buckets(10)),
+		mDiagProgress: reg.NewCounter("rewire_map_progress_events_total",
+			"Progress events published on async jobs' live streams (drop-oldest retention; see /map/events/{id})."),
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = rewire.NewResultCache(cfg.CacheSize)
@@ -201,11 +212,14 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("POST /map/batch", s.handleBatch)
 	m.HandleFunc("POST /map/submit", s.handleSubmit)
 	m.HandleFunc("GET /map/result/{id}", s.handleResult)
+	m.HandleFunc("GET /map/events/{id}", s.handleEvents)
 	m.Handle("GET /metrics", s.metricsHandler())
 	m.HandleFunc("GET /healthz", s.handleHealthz)
 	m.HandleFunc("GET /readyz", s.handleReadyz)
 	m.HandleFunc("GET /runs", s.handleRuns)
 	m.HandleFunc("GET /runs/{id}/trace", s.handleRunTrace)
+	m.HandleFunc("GET /runs/{id}/report", s.handleRunReport)
+	m.HandleFunc("GET /runs/{id}/report.html", s.handleRunReportHTML)
 	m.HandleFunc("GET /debug/pprof/", pprof.Index)
 	m.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	m.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -262,6 +276,12 @@ type mapResponse struct {
 	// the same batch with an identical fingerprint (it shares that
 	// entry's run_id and trace).
 	Deduped bool `json:"deduped,omitempty"`
+	// ReportURL points at the run's post-mortem report while it stays in
+	// the flight recorder; Report inlines its top-line summary on failed
+	// runs, so a polling client learns what the fabric fought over
+	// without a second request.
+	ReportURL string              `json:"report_url,omitempty"`
+	Report    *rewire.DiagSummary `json:"report,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx answer.
@@ -413,7 +433,7 @@ func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
 	// iteration. The worker slot frees only once the torn-down run has
 	// fully returned, so abandoned runs can neither over-subscribe the
 	// pool nor leave speculative goroutines running against it.
-	opts := s.buildOpts(&req, mapper, lg)
+	opts := s.buildOpts(&req, mapper, lg, nil)
 	lg.Info("mapping request", "mapper", string(mapper), "kernel", g.Name,
 		"arch", cgra.Name, "seed", req.Seed, "time_per_ii_ms", opts.TimePerII.Milliseconds(),
 		"sweep_window", opts.SweepParallelism)
@@ -492,9 +512,12 @@ func boolOutcome(ok bool) string {
 }
 
 // buildOpts builds one run's engine options from a validated request:
-// effective budgets, clamped sweep window, a private tracer, the
-// request-scoped logger, and the server's shared result cache.
-func (s *server) buildOpts(req *mapRequest, mapper rewire.MapperName, lg *obs.Logger) rewire.Options {
+// effective budgets, clamped sweep window, a private tracer and
+// diagnostics collector, the request-scoped logger, and the server's
+// shared result cache. bus is the async job's progress stream (nil for
+// synchronous runs: nothing subscribes before the answer, so there is
+// nothing to stream to).
+func (s *server) buildOpts(req *mapRequest, mapper rewire.MapperName, lg *obs.Logger, bus *rewire.ProgressBus) rewire.Options {
 	return rewire.Options{
 		Mapper:           mapper,
 		Seed:             req.Seed,
@@ -504,6 +527,8 @@ func (s *server) buildOpts(req *mapRequest, mapper rewire.MapperName, lg *obs.Lo
 		Tracer:           rewire.NewTracer(),
 		Logger:           obs.New(lg.Slog()),
 		Cache:            s.cache,
+		Diag:             rewire.NewDiagCollector(),
+		Progress:         bus,
 	}
 }
 
@@ -544,9 +569,13 @@ func buildMapResponse(runID string, opts rewire.Options, m *rewire.Mapping, res 
 		Counters:   rec.Counters,
 		TraceURL:   "/runs/" + runID + "/trace",
 		Cached:     cout.Hit,
+		ReportURL:  "/runs/" + runID + "/report",
 	}
 	if mapErr != nil {
 		resp.Error = mapErr.Error()
+	}
+	if !res.Success {
+		resp.Report = rec.report.Summary()
 	}
 	if render && m != nil {
 		resp.Grid = rewire.Render(m)
@@ -570,6 +599,11 @@ func (s *server) recordRun(lg *obs.Logger, runID string, req *mapRequest,
 	}
 	s.mAmend.With(mapper).Observe(float64(res.ClusterAmendments))
 	metrics.FoldTracer(s.reg, opts.Tracer)
+	report := opts.Diag.Report()
+	if report != nil {
+		s.mDiagReports.With(boolOutcome(res.Success)).Inc()
+		s.mDiagContest.Observe(float64(len(report.Contested)))
+	}
 
 	rec := runRecord{
 		ID:         runID,
@@ -584,6 +618,7 @@ func (s *server) recordRun(lg *obs.Logger, runID string, req *mapRequest,
 		DurationMS: float64(res.Duration.Microseconds()) / 1000,
 		Counters:   opts.Tracer.CounterTotals(),
 		tracer:     opts.Tracer,
+		report:     report,
 	}
 	s.flight.add(rec)
 	lg.Info("run recorded", "mapper", mapper, "kernel", res.Kernel, "arch", res.Arch,
@@ -677,6 +712,40 @@ func (s *server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleRunReport serves one recorded run's post-mortem as JSON
+// (schema "rewire-report-v1").
+func (s *server) handleRunReport(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.reportFor(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, rec.report)
+}
+
+// handleRunReportHTML serves the same report as a self-contained HTML
+// page.
+func (s *server) handleRunReportHTML(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.reportFor(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, rewire.RenderReportHTML(rec.report))
+}
+
+// reportFor resolves {id} to a flight-recorder entry that carries a
+// report, writing the 404 itself otherwise.
+func (s *server) reportFor(w http.ResponseWriter, r *http.Request) (runRecord, bool) {
+	id := r.PathValue("id")
+	rec, ok := s.flight.get(id)
+	if !ok || rec.report == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: fmt.Sprintf("run %q has no report in the flight recorder (keeps the last %d runs)", id, s.cfg.FlightSize)})
+		return runRecord{}, false
+	}
+	return rec, true
+}
+
 // runRecord is one flight-recorder entry: the run summary plus the
 // retained tracer backing the /runs/{id}/trace download.
 type runRecord struct {
@@ -693,6 +762,7 @@ type runRecord struct {
 	Counters   map[string]int64 `json:"counters,omitempty"`
 
 	tracer *trace.Tracer
+	report *rewire.DiagReport
 }
 
 // flightRecorder is a fixed-size ring of the last N runs. Old entries

@@ -398,14 +398,14 @@ func TestSubmitPollRoundTrip(t *testing.T) {
 // make room oldest-first; a table full of running jobs rejects.
 func TestJobTableEviction(t *testing.T) {
 	tb := newJobTable(2)
-	if !tb.submit("a") || !tb.submit("b") {
+	if !tb.submit("a", nil) || !tb.submit("b", nil) {
 		t.Fatal("empty table rejected submissions")
 	}
-	if tb.submit("c") {
+	if tb.submit("c", nil) {
 		t.Fatal("table full of running jobs accepted a third")
 	}
 	tb.complete("a", mapResponse{RunID: "a"})
-	if !tb.submit("c") {
+	if !tb.submit("c", nil) {
 		t.Fatal("completed job was not evicted to make room")
 	}
 	if _, _, ok := tb.get("a"); ok {

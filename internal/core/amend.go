@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"rewire/internal/diag"
 	"rewire/internal/mapping"
 	"rewire/internal/route"
 	"rewire/internal/stats"
@@ -32,6 +33,10 @@ func Amend(m *mapping.Mapping, opt Options) (*mapping.Mapping, stats.Result, err
 	root := tr.StartSpan(nil, "rewire.amend").
 		WithStr("kernel", m.DFG.Name).WithStr("arch", m.Arch.Name).WithInt("ii", int64(m.II))
 	defer root.End()
+	opt.Diag.Begin(m.DFG, m.Arch, "Rewire(amend)", res.MII)
+	opt.Progress.Publish(diag.Event{Type: "run_start", Mapper: "rewire",
+		Kernel: m.DFG.Name, Arch: m.Arch.Name, MII: res.MII})
+	att := opt.Diag.StartII(m.II, 0)
 	am := &amender{
 		g:      m.DFG,
 		sess:   sess,
@@ -43,9 +48,21 @@ func Amend(m *mapping.Mapping, opt Options) (*mapping.Mapping, stats.Result, err
 		tr:     tr,
 		ctr:    newCounters(tr),
 		span:   root,
+		att:    att,
+		bus:    opt.Progress,
 	}
 	am.router.Instrument(tr)
 	ok := am.amend()
+	if !ok {
+		route.AttributeFailures(att, am.sess, am.router)
+	}
+	att.Finish(ok, am.sess)
+	committedII := 0
+	if ok {
+		committedII = m.II
+	}
+	opt.Diag.Commit(ok, committedII)
+	opt.Progress.Publish(diag.Event{Type: "run_end", II: committedII, Outcome: outcomeWord(ok, false)})
 	// Count router work on failure too (the audit contract: effort
 	// counters are filled on every path, not only successes).
 	res.RouterExpansions = am.router.Expansions

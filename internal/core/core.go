@@ -27,6 +27,7 @@ import (
 
 	"rewire/internal/arch"
 	"rewire/internal/dfg"
+	"rewire/internal/diag"
 	"rewire/internal/mapping"
 	"rewire/internal/obs"
 	"rewire/internal/pathfinder"
@@ -104,6 +105,15 @@ type Options struct {
 	// per-placement or per-tuple events). nil disables logging at one
 	// pointer check per site, like the tracer.
 	Logger *obs.Logger
+	// Diag accumulates the post-mortem: the amendment-round convergence
+	// series, contested-resource attribution on failed attempts, the
+	// unroutable-edge list. nil disables collection at one pointer check
+	// per site.
+	Diag *diag.Collector
+	// Progress receives coarse progress events (run, II-attempt and
+	// amendment-round boundaries) for live streaming. nil disables
+	// publishing at one pointer check per site.
+	Progress *diag.Bus
 }
 
 func (o Options) withDefaults() Options {
@@ -181,6 +191,9 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 	defer root.End()
 	lg := opt.Logger.With("mapper", "rewire", "kernel", g.Name, "arch", a.Name)
 	lg.Debug("map start", "mii", res.MII, "max_ii", opt.MaxII, "sweep_window", opt.SweepParallelism)
+	opt.Diag.Begin(g, a, "Rewire", res.MII)
+	opt.Progress.Publish(diag.Event{Type: "run_start", Mapper: "rewire",
+		Kernel: g.Name, Arch: a.Name, MII: res.MII})
 
 	attemptII := func(actx context.Context, ii int) (iiOut, bool) {
 		var out iiOut
@@ -196,6 +209,8 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 			aSpan := tr.StartSpan(iiSpan, "attempt").WithInt("attempt", attempt)
 			m := mapping.New(g, a, ii)
 			sess, router := pathfinder.BuildInitialTraced(actx, m, iiSeed^(attempt<<16), &out.st, tr, aSpan)
+			att := opt.Diag.StartII(ii, int(attempt))
+			opt.Progress.Publish(diag.Event{Type: "attempt_start", II: ii, Attempt: int(attempt)})
 			am := &amender{
 				g:      g,
 				sess:   sess,
@@ -207,6 +222,8 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 				tr:     tr,
 				ctr:    ctr,
 				span:   aSpan,
+				att:    att,
+				bus:    opt.Progress,
 			}
 			ok := am.amend()
 			// Router work is accumulated per attempt — failed attempts
@@ -215,6 +232,17 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 			out.st.RouterExpansions += router.Expansions
 			ctr.routerExpansions.Add(router.Expansions)
 			aSpan.WithBool("ok", ok).End()
+			if !ok {
+				// Post-mortem: name what the leftover ill-mapped edges are
+				// fighting over (diagnostic-only, nil-safe).
+				route.AttributeFailures(att, am.sess, am.router)
+			}
+			att.Finish(ok, am.sess)
+			if actx.Err() != nil {
+				att.Cancelled()
+			}
+			opt.Progress.Publish(diag.Event{Type: "attempt_end", II: ii, Attempt: int(attempt),
+				Outcome: outcomeWord(ok, actx.Err() != nil)})
 			if !ok {
 				am.sess.Close()
 				continue
@@ -236,6 +264,7 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 
 	win, winII, below, ok := sweep.Run(ctx, res.MII, opt.MaxII, attemptII, sweep.Options{
 		Parallelism: opt.SweepParallelism, Tracer: tr, Parent: root, Logger: lg,
+		Progress: opt.Progress,
 	})
 	for _, o := range below {
 		mergeEffort(&res, &o.st)
@@ -245,14 +274,30 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 		res.Success = true
 		res.II = winII
 		res.Duration = time.Since(start)
+		opt.Diag.Commit(true, winII)
+		opt.Progress.Publish(diag.Event{Type: "run_end", II: winII, Outcome: "ok"})
 		lg.Info("mapped", "ii", winII, "mii", res.MII,
 			"amendments", res.ClusterAmendments, "duration_ms", res.Duration.Milliseconds())
 		return win.m, res
 	}
 	res.Duration = time.Since(start)
+	opt.Diag.Commit(false, 0)
+	opt.Progress.Publish(diag.Event{Type: "run_end", Outcome: "failed"})
 	lg.Warn("mapping failed", "mii", res.MII, "max_ii", opt.MaxII,
 		"duration_ms", res.Duration.Milliseconds())
 	return nil, res
+}
+
+// outcomeWord is the progress-event outcome label for one attempt.
+func outcomeWord(ok, cancelled bool) string {
+	switch {
+	case ok:
+		return "ok"
+	case cancelled:
+		return "cancelled"
+	default:
+		return "failed"
+	}
 }
 
 // paceEvery is how many generator recursion steps pass between real
@@ -277,6 +322,13 @@ type amender struct {
 	ctr  counters
 	span *trace.Span // parent for cluster_amendment spans
 	cur  *trace.Span // the open cluster_amendment span (parent of phase spans)
+
+	// att/bus collect the post-mortem and progress stream; both are nil
+	// (free no-ops) when diagnostics are disabled.
+	att *diag.IIAttempt
+	bus *diag.Bus
+
+	amendRounds int // amendment rounds completed (for round progress events)
 }
 
 // amend repairs the initial mapping cluster by cluster (Algorithm 1,
@@ -292,6 +344,10 @@ func (a *amender) amend() bool {
 		if len(ill) == 0 {
 			return true
 		}
+		a.amendRounds++
+		a.att.Round(len(ill))
+		a.bus.Publish(diag.Event{Type: "round", II: a.sess.M.II,
+			Round: a.amendRounds, Ill: len(ill)})
 		u := a.buildCluster(ill)
 		if !a.mapCluster(u) {
 			// Keep the rip-ups: a failed cluster leaves its nodes unmapped,

@@ -8,6 +8,7 @@ package eval
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"rewire/internal/arch"
 	"rewire/internal/core"
 	"rewire/internal/dfg"
+	"rewire/internal/diag"
 	"rewire/internal/kernels"
 	"rewire/internal/mapping"
 	"rewire/internal/obs"
@@ -30,6 +32,7 @@ import (
 	"rewire/internal/sa"
 	"rewire/internal/stats"
 	"rewire/internal/trace"
+	"rewire/internal/viz"
 )
 
 // Config tunes an evaluation run.
@@ -74,6 +77,17 @@ type Config struct {
 	// (structured spans/counters). Per-run tracers keep the counter
 	// totals attributable to a single run even under Jobs>1.
 	TraceDir string
+	// ReportDir, when non-empty, makes RunCombos give every mapper run
+	// its own diagnostics collector and export the post-mortem to
+	// <ReportDir>/<mapper>_<kernel>@<arch>.report.json (schema
+	// "rewire-report-v1") and .report.html. Per-run collectors keep the
+	// attribution per run even under Jobs>1; failed runs are exactly the
+	// ones whose reports matter.
+	ReportDir string
+	// Diag, when non-nil, is a shared diagnostics collector for runs
+	// dispatched through Run/RunDFG directly (RunCombos uses per-run
+	// collectors via ReportDir instead). nil disables collection.
+	Diag *diag.Collector
 	// Cache, when non-nil, routes every dispatched run through a
 	// result-level mapping cache: repeated (kernel, arch, options)
 	// requests — e.g. re-running a report after tweaking one arch, or a
@@ -175,19 +189,19 @@ func runDFGUncached(mapper string, g *dfg.Graph, a *arch.CGRA, cfg Config) (*map
 		return core.Map(g, a, core.Options{
 			Seed: cfg.Seed, MaxII: cfg.MaxII, TimePerII: cfg.TimePerII,
 			SweepParallelism: cfg.SweepParallelism,
-			Tracer:           cfg.Tracer, Logger: cfg.Logger,
+			Tracer:           cfg.Tracer, Logger: cfg.Logger, Diag: cfg.Diag,
 		})
 	case "PF*":
 		return pathfinder.Map(g, a, pathfinder.Options{
 			Seed: cfg.Seed, MaxII: cfg.MaxII, TimePerII: cfg.TimePerII,
 			SweepParallelism: cfg.SweepParallelism,
-			Tracer:           cfg.Tracer, Logger: cfg.Logger,
+			Tracer:           cfg.Tracer, Logger: cfg.Logger, Diag: cfg.Diag,
 		})
 	case "SA":
 		return sa.Map(g, a, sa.Options{
 			Seed: cfg.Seed, MaxII: cfg.MaxII, TimePerII: cfg.TimePerII,
 			SweepParallelism: cfg.SweepParallelism,
-			Tracer:           cfg.Tracer, Logger: cfg.Logger,
+			Tracer:           cfg.Tracer, Logger: cfg.Logger, Diag: cfg.Diag,
 		})
 	default:
 		panic("eval: unknown mapper " + mapper)
@@ -309,25 +323,58 @@ func RunCombos(cfg Config, combos []Combo) *Results {
 // (usually nil) is used as-is. Export failures are reported on stderr —
 // never on Config.Out, which the in-order flush owns.
 func runOne(mapper string, cb Combo, cfg Config) stats.Result {
-	if cfg.TraceDir == "" {
+	if cfg.TraceDir == "" && cfg.ReportDir == "" {
 		_, res := Run(mapper, cb, cfg)
 		return res
 	}
-	tr := trace.New()
-	cfg.Tracer = tr
+	var tr *trace.Tracer
+	if cfg.TraceDir != "" {
+		tr = trace.New()
+		cfg.Tracer = tr
+	}
+	var dc *diag.Collector
+	if cfg.ReportDir != "" {
+		dc = diag.NewCollector()
+		cfg.Diag = dc
+	}
 	_, res := Run(mapper, cb, cfg)
-	if err := exportTrace(tr, cfg.TraceDir, mapper, cb); err != nil {
-		// Surface export failures through the structured logger; with no
-		// logger wired, fall back to the shared stderr default rather
-		// than losing the error (Config.Out is owned by the in-order
-		// progress flush and stays untouched).
-		lg := cfg.Logger
-		if lg == nil {
-			lg = obs.Default()
+	// Surface export failures through the structured logger; with no
+	// logger wired, fall back to the shared stderr default rather than
+	// losing the error (Config.Out is owned by the in-order progress
+	// flush and stays untouched).
+	lg := cfg.Logger
+	if lg == nil {
+		lg = obs.Default()
+	}
+	if tr != nil {
+		if err := exportTrace(tr, cfg.TraceDir, mapper, cb); err != nil {
+			lg.Error("trace export failed", "mapper", mapper, "combo", comboKey(cb), "err", err)
 		}
-		lg.Error("trace export failed", "mapper", mapper, "combo", comboKey(cb), "err", err)
+	}
+	if dc != nil {
+		if err := exportReport(dc, cfg.ReportDir, mapper, cb); err != nil {
+			lg.Error("report export failed", "mapper", mapper, "combo", comboKey(cb), "err", err)
+		}
 	}
 	return res
+}
+
+// exportReport writes one run's post-mortem as <base>.report.json and
+// <base>.report.html under dir.
+func exportReport(dc *diag.Collector, dir, mapper string, cb Combo) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	r := dc.Report()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	base := traceFileBase(mapper, cb)
+	if err := os.WriteFile(filepath.Join(dir, base+".report.json"), append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, base+".report.html"), []byte(viz.RenderReportHTML(r)), 0o644)
 }
 
 // exportTrace writes one run's tracer as <base>.trace.json (Chrome

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"io"
 	"os"
@@ -136,5 +137,48 @@ func TestRunCombosTraceDir(t *testing.T) {
 	}
 	if base := traceFileBase("PF*", Combo{Kernel: "bicg(u)", Arch: arch.New4x4(4)}); base != "PF__bicg_u_@4x4r4" {
 		t.Errorf("sanitized base = %q", base)
+	}
+}
+
+// RunCombos with ReportDir writes one schema-tagged post-mortem (JSON +
+// HTML) per mapper run, each attributed to its own run even under
+// parallel jobs.
+func TestRunCombosReportDir(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Seed: 1, TimePerII: 2 * time.Second, Jobs: 2,
+		Out: io.Discard, ReportDir: dir,
+	}
+	combos := []Combo{{Kernel: "mvt", Arch: arch.New4x4(4)}}
+	RunCombos(cfg, combos)
+
+	for _, mapper := range Mappers {
+		base := traceFileBase(mapper, combos[0])
+		data, err := os.ReadFile(filepath.Join(dir, base+".report.json"))
+		if err != nil {
+			t.Fatalf("missing report: %v", err)
+		}
+		var r struct {
+			Schema   string `json:"schema"`
+			Kernel   string `json:"kernel"`
+			Mapper   string `json:"mapper"`
+			Attempts []any  `json:"attempts"`
+		}
+		if err := json.Unmarshal(data, &r); err != nil {
+			t.Fatalf("%s.report.json: invalid JSON: %v", base, err)
+		}
+		if r.Schema != "rewire-report-v1" || r.Kernel != "mvt" || r.Mapper != mapper {
+			t.Errorf("%s: report identity = %+v", base, r)
+		}
+		if len(r.Attempts) == 0 {
+			t.Errorf("%s: report has no attempt timeline", base)
+		}
+		html, err := os.ReadFile(filepath.Join(dir, base+".report.html"))
+		if err != nil {
+			t.Fatalf("missing HTML report: %v", err)
+		}
+		if !bytes.Contains(html, []byte("<!DOCTYPE html>")) {
+			t.Errorf("%s.report.html is not an HTML page", base)
+		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"rewire/internal/arch"
 	"rewire/internal/dfg"
+	"rewire/internal/diag"
 	"rewire/internal/mapping"
 	"rewire/internal/mrrg"
 	"rewire/internal/obs"
@@ -65,6 +66,14 @@ type Options struct {
 	// Logger receives run- and II-level structured log records. nil
 	// disables logging at one pointer check per site, like the tracer.
 	Logger *obs.Logger
+	// Diag accumulates the post-mortem: per-resource contention from the
+	// rip-up/history loop, the per-II convergence series, unroutable
+	// edges. nil disables collection at one pointer check per site.
+	Diag *diag.Collector
+	// Progress receives coarse progress events (run, II-attempt and
+	// remap-round boundaries) for live streaming. nil disables
+	// publishing at one pointer check per site.
+	Progress *diag.Bus
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -112,6 +121,9 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 	defer root.End()
 	lg := opt.Logger.With("mapper", "pathfinder", "kernel", g.Name, "arch", a.Name)
 	lg.Debug("map start", "mii", res.MII, "max_ii", opt.MaxII, "sweep_window", opt.SweepParallelism)
+	opt.Diag.Begin(g, a, "PF*", res.MII)
+	opt.Progress.Publish(diag.Event{Type: "run_start", Mapper: "pathfinder",
+		Kernel: g.Name, Arch: a.Name, MII: res.MII})
 
 	attempt := func(actx context.Context, ii int) (iiOutcome, bool) {
 		var out iiOutcome
@@ -122,6 +134,9 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 		ms.End()
 		p.beam = opt.CandidateBeam
 		p.instrument(tr, iiSpan)
+		p.att = opt.Diag.StartII(ii, 0)
+		p.bus = opt.Progress
+		p.bus.Publish(diag.Event{Type: "attempt_start", II: ii})
 		ok := p.run(actx, opt)
 		out.remaps = p.remaps
 		// Each II owns a fresh router; accumulate its work win or lose so
@@ -132,7 +147,17 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 		if ok {
 			finalize(p.sess.M, &out.st)
 			out.m = p.sess.M
+		} else {
+			// Post-mortem: name the resources the unroutable edges are
+			// fighting over (diagnostic-only, nil-safe).
+			route.AttributeFailures(p.att, p.sess, p.router)
 		}
+		p.att.Finish(ok, p.sess)
+		if actx.Err() != nil {
+			p.att.Cancelled()
+		}
+		p.bus.Publish(diag.Event{Type: "attempt_end", II: ii, Round: p.remaps,
+			Outcome: outcomeWord(ok, actx.Err() != nil)})
 		p.sess.Close()
 		if !ok && lg.On() {
 			lg.Debug("ii exhausted", "ii", ii, "remaps", p.remaps)
@@ -142,6 +167,7 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 
 	win, winII, below, ok := sweep.Run(ctx, res.MII, opt.MaxII, attempt, sweep.Options{
 		Parallelism: opt.SweepParallelism, Tracer: tr, Parent: root, Logger: lg,
+		Progress: opt.Progress,
 	})
 	totalRemaps := 0
 	for _, o := range below {
@@ -159,6 +185,8 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 		res.II = winII
 		res.Duration = time.Since(start)
 		res.RemapIterations = totalRemaps / iisExplored
+		opt.Diag.Commit(true, winII)
+		opt.Progress.Publish(diag.Event{Type: "run_end", II: winII, Outcome: "ok"})
 		lg.Info("mapped", "ii", winII, "mii", res.MII,
 			"remaps", res.RemapIterations, "duration_ms", res.Duration.Milliseconds())
 		return win.m, res
@@ -167,9 +195,23 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 	if iisExplored > 0 {
 		res.RemapIterations = totalRemaps / iisExplored
 	}
+	opt.Diag.Commit(false, 0)
+	opt.Progress.Publish(diag.Event{Type: "run_end", Outcome: "failed"})
 	lg.Warn("mapping failed", "mii", res.MII, "max_ii", opt.MaxII,
 		"duration_ms", res.Duration.Milliseconds())
 	return nil, res
+}
+
+// outcomeWord is the progress-event outcome label for one attempt.
+func outcomeWord(ok, cancelled bool) string {
+	switch {
+	case ok:
+		return "ok"
+	case cancelled:
+		return "cancelled"
+	default:
+		return "failed"
+	}
 }
 
 // finalize validates the result defensively; an invalid "success" is a
@@ -234,6 +276,11 @@ type perII struct {
 	tr   *trace.Tracer
 	span *trace.Span // parent for this II's phase spans
 	ctr  pfCounters
+
+	// att/bus collect the post-mortem and progress stream; both are nil
+	// (free no-ops) when diagnostics are disabled.
+	att *diag.IIAttempt
+	bus *diag.Bus
 }
 
 // pfCounters caches the tracer's metric handles (nil when disabled; all
@@ -311,6 +358,13 @@ func (p *perII) run(ctx context.Context, opt Options) bool {
 		v := ill[p.rng.Intn(len(ill))]
 		p.remaps++
 		p.ctr.remaps.Add(1)
+		p.att.Round(len(ill))
+		// Progress stays coarse: one round event per 32 remap iterations
+		// keeps a long negotiation visible without flooding the bus.
+		if p.remaps&31 == 0 {
+			p.bus.Publish(diag.Event{Type: "round", II: p.sess.M.II,
+				Round: p.remaps, Ill: len(ill)})
+		}
 		p.ripWithHistory(v)
 		if !p.placeNode(v, p.beam) {
 			// Could not even place: evict a random placed node to open
@@ -553,14 +607,18 @@ func (p *perII) ripRoutesOnly(v int) {
 func (p *perII) ripWithHistory(v int) {
 	for _, eid := range append(append([]int{}, p.g.InEdges(v)...), p.g.OutEdges(v)...) {
 		if p.sess.M.Routed(eid) {
+			net := mrrg.Net(p.g.Edges[eid].From)
 			for _, n := range p.sess.M.Routes[eid] {
 				p.hist[n] += 0.5
+				p.att.Contend(n, net)
 			}
 		}
 	}
 	if p.sess.M.Placed(v) {
 		pl := p.sess.M.Place[v]
-		p.hist[p.sess.Graph.FU(pl.PE, pl.Time)] += 1
+		fu := p.sess.Graph.FU(pl.PE, pl.Time)
+		p.hist[fu] += 1
+		p.att.Contend(fu, mrrg.Net(v))
 	}
 	p.sess.RipNode(v)
 }

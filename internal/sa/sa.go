@@ -20,6 +20,7 @@ import (
 
 	"rewire/internal/arch"
 	"rewire/internal/dfg"
+	"rewire/internal/diag"
 	"rewire/internal/mapping"
 	"rewire/internal/obs"
 	"rewire/internal/placer"
@@ -64,6 +65,15 @@ type Options struct {
 	// Logger receives run- and II-level structured log records. nil
 	// disables logging at one pointer check per site, like the tracer.
 	Logger *obs.Logger
+	// Diag accumulates the post-mortem: per-restart routing-attempt
+	// convergence, contested-resource attribution on failed restarts,
+	// the unroutable-edge list. nil disables collection at one pointer
+	// check per site.
+	Diag *diag.Collector
+	// Progress receives coarse progress events (run, II-attempt and
+	// routing-attempt boundaries) for live streaming. nil disables
+	// publishing at one pointer check per site.
+	Progress *diag.Bus
 }
 
 func (o Options) withDefaults() Options {
@@ -128,6 +138,9 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 	defer root.End()
 	lg := opt.Logger.With("mapper", "sa", "kernel", g.Name, "arch", a.Name)
 	lg.Debug("map start", "mii", res.MII, "max_ii", opt.MaxII, "sweep_window", opt.SweepParallelism)
+	opt.Diag.Begin(g, a, "SA", res.MII)
+	opt.Progress.Publish(diag.Event{Type: "run_start", Mapper: "sa",
+		Kernel: g.Name, Arch: a.Name, MII: res.MII})
 
 	attempt := func(actx context.Context, ii int) (iiOut, bool) {
 		var out iiOut
@@ -142,6 +155,9 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 			an := newAnnealer(g, a, ii, rng, &out.st)
 			ms.End()
 			an.tr, an.span, an.ctr = tr, rSpan, ctr
+			an.att = opt.Diag.StartII(ii, restart)
+			an.bus = opt.Progress
+			an.bus.Publish(diag.Event{Type: "attempt_start", II: ii, Attempt: restart})
 			an.router.Instrument(tr)
 			ok := an.run(opt, pace)
 			out.moves += an.moves
@@ -151,6 +167,12 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 			out.st.RouterExpansions += an.router.Expansions
 			ctr.routerExpansions.Add(an.router.Expansions)
 			rSpan.WithBool("ok", ok).WithInt("moves", int64(an.moves)).End()
+			an.att.Finish(ok, an.sess)
+			if actx.Err() != nil {
+				an.att.Cancelled()
+			}
+			an.bus.Publish(diag.Event{Type: "attempt_end", II: ii, Attempt: restart,
+				Round: an.moves, Outcome: outcomeWord(ok, actx.Err() != nil)})
 			if !ok {
 				an.sess.Close()
 				continue
@@ -172,6 +194,7 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 
 	win, winII, below, ok := sweep.Run(ctx, res.MII, opt.MaxII, attempt, sweep.Options{
 		Parallelism: opt.SweepParallelism, Tracer: tr, Parent: root, Logger: lg,
+		Progress: opt.Progress,
 	})
 	totalMoves := 0
 	for _, o := range below {
@@ -189,6 +212,8 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 		res.II = winII
 		res.Duration = time.Since(start)
 		res.RemapIterations = totalMoves / iisExplored
+		opt.Diag.Commit(true, winII)
+		opt.Progress.Publish(diag.Event{Type: "run_end", II: winII, Outcome: "ok"})
 		lg.Info("mapped", "ii", winII, "mii", res.MII,
 			"moves", res.RemapIterations, "duration_ms", res.Duration.Milliseconds())
 		return win.m, res
@@ -197,9 +222,23 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 	if iisExplored > 0 {
 		res.RemapIterations = totalMoves / iisExplored
 	}
+	opt.Diag.Commit(false, 0)
+	opt.Progress.Publish(diag.Event{Type: "run_end", Outcome: "failed"})
 	lg.Warn("mapping failed", "mii", res.MII, "max_ii", opt.MaxII,
 		"duration_ms", res.Duration.Milliseconds())
 	return nil, res
+}
+
+// outcomeWord is the progress-event outcome label for one attempt.
+func outcomeWord(ok, cancelled bool) string {
+	switch {
+	case ok:
+		return "ok"
+	case cancelled:
+		return "cancelled"
+	default:
+		return "failed"
+	}
 }
 
 type annealer struct {
@@ -215,6 +254,11 @@ type annealer struct {
 	tr   *trace.Tracer
 	span *trace.Span // this restart's anneal span
 	ctr  saCounters
+
+	// att/bus collect the post-mortem and progress stream; both are nil
+	// (free no-ops) when diagnostics are disabled.
+	att *diag.IIAttempt
+	bus *diag.Bus
 }
 
 // saCounters caches the tracer's metric handles (nil-safe no-ops when
@@ -284,13 +328,39 @@ func (an *annealer) run(opt Options, pace *sweep.Pacer) bool {
 			if an.routeAll() {
 				return true
 			}
+			// Each full-routing attempt is one negotiation round of the
+			// convergence series (ill count only when diag is on — the
+			// IllMapped scan is not free).
+			if an.att != nil {
+				an.att.Round(len(an.sess.IllMapped()))
+				an.bus.Publish(diag.Event{Type: "round", II: an.sess.M.II,
+					Round: an.moves, Ill: len(an.sess.IllMapped())})
+			}
 		}
 	}
 	if cost < penaltyUnroutable && an.routeAll() {
 		return true
 	}
+	an.attributeFailure()
 	an.clearRoutes()
 	return false
+}
+
+// attributeFailure feeds the post-mortem on a failed restart: it
+// best-effort re-routes the current placement (routeAll rips all routes
+// on its first conflict, which would leave nothing to attribute), then
+// names the resources blocking whatever stayed unroutable.
+// Diagnostic-only — a no-op unless diagnostics are enabled.
+func (an *annealer) attributeFailure() {
+	if an.att == nil || len(an.sess.M.UnplacedNodes()) > 0 {
+		return
+	}
+	for e := range an.g.Edges {
+		if !an.sess.M.Routed(e) {
+			_ = route.Edge(an.sess, an.router, e)
+		}
+	}
+	route.AttributeFailures(an.att, an.sess, an.router)
 }
 
 const (

@@ -22,6 +22,7 @@ import (
 	"context"
 	"time"
 
+	"rewire/internal/diag"
 	"rewire/internal/obs"
 	"rewire/internal/trace"
 )
@@ -48,6 +49,11 @@ type Options struct {
 	Parent *trace.Span
 	// Logger receives sweep-level debug records. nil disables logging.
 	Logger *obs.Logger
+	// Progress receives one ii_start event per launched II attempt and
+	// one ii_end event per received result — the sweep-boundary feed of
+	// the live progress stream (see internal/diag). nil disables
+	// publishing at one pointer check per boundary.
+	Progress *diag.Bus
 }
 
 // slot is one in-flight or finished attempt.
@@ -100,6 +106,7 @@ func Run[R any](ctx context.Context, lo, hi int, attempt Attempt[R], opt Options
 		s := &slot[R]{ii: ii, cancel: cancel}
 		pending[ii] = s
 		launchedCtr.Add(1)
+		opt.Progress.Publish(diag.Event{Type: "ii_start", II: ii})
 		if ii > resolve {
 			specCtr.Add(1)
 		}
@@ -129,6 +136,7 @@ func Run[R any](ctx context.Context, lo, hi int, attempt Attempt[R], opt Options
 		for len(pending) > 0 {
 			s := <-results
 			delete(pending, s.ii)
+			opt.Progress.Publish(diag.Event{Type: "ii_end", II: s.ii, Outcome: "cancelled"})
 			wastedCtr.Add(s.elapsed.Milliseconds())
 		}
 		for _, s := range done {
@@ -183,6 +191,14 @@ func Run[R any](ctx context.Context, lo, hi int, attempt Attempt[R], opt Options
 		s := <-results
 		delete(pending, s.ii)
 		done[s.ii] = s
+		switch {
+		case s.ok:
+			opt.Progress.Publish(diag.Event{Type: "ii_end", II: s.ii, Outcome: "ok"})
+		case s.cancelSent:
+			opt.Progress.Publish(diag.Event{Type: "ii_end", II: s.ii, Outcome: "cancelled"})
+		default:
+			opt.Progress.Publish(diag.Event{Type: "ii_end", II: s.ii, Outcome: "failed"})
+		}
 		if s.ok && s.ii < lowestOK {
 			lowestOK = s.ii
 			// Attempts above a feasible II are moot; attempts at or below

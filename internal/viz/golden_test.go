@@ -1,0 +1,64 @@
+package viz
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting
+// the file under -update. Golden files pin the exact rendered text so
+// formatting regressions (column widths, orderings, headers) surface
+// as diffs instead of slipping through substring checks.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./internal/viz -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s does not match golden file; run go test ./internal/viz -update if intended\ngot:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+func TestUtilisationGolden(t *testing.T) {
+	m := smallMapping(t)
+	got, err := Utilisation(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "utilisation", got)
+}
+
+func TestRouteTableGolden(t *testing.T) {
+	m := smallMapping(t)
+	got, err := RouteTable(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "routetable", got)
+}
+
+func TestRouteTableGoldenUnrouted(t *testing.T) {
+	m := smallMapping(t).Clone()
+	m.Routes[1] = nil
+	got, err := RouteTable(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "routetable_unrouted", got)
+}

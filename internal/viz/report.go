@@ -1,0 +1,230 @@
+package viz
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+
+	"rewire/internal/diag"
+)
+
+// sparkRunes are the eight sparkline levels, lowest to highest.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders an integer series as a one-line unicode sparkline,
+// scaled to the series maximum. An empty series renders empty.
+func Sparkline(series []int) string {
+	if len(series) == 0 {
+		return ""
+	}
+	max := 0
+	for _, v := range series {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range series {
+		i := 0
+		if max > 0 {
+			i = v * (len(sparkRunes) - 1) / max
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}
+
+// pePressure folds a report's contested resources into per-PE totals.
+func pePressure(r *diag.Report) (press []int, max int) {
+	press = make([]int, r.Rows*r.Cols)
+	for _, res := range r.Contested {
+		if res.PE < 0 || res.PE >= len(press) {
+			continue
+		}
+		press[res.PE] += res.TimesContested
+		if press[res.PE] > max {
+			max = press[res.PE]
+		}
+	}
+	return press, max
+}
+
+// heatRunes shade a cell from cold to hot.
+var heatRunes = []rune(" ░▒▓█")
+
+// PressureHeatmap renders the report's contested-resource pressure as
+// an ASCII heatmap over the fabric grid: one cell per PE, shaded by the
+// total contention charged to that PE's resources (FU, outgoing links,
+// registers), with the raw count alongside. Reports with no contention
+// render a note instead of an empty grid.
+func PressureHeatmap(r *diag.Report) string {
+	if r == nil || r.Rows == 0 || r.Cols == 0 {
+		return "no fabric geometry recorded\n"
+	}
+	press, max := pePressure(r)
+	var b strings.Builder
+	fmt.Fprintf(&b, "contention pressure on %s (%dx%d), hottest PE = %d clashes:\n",
+		r.Arch, r.Rows, r.Cols, max)
+	if max == 0 {
+		b.WriteString("  (no contention recorded)\n")
+		return b.String()
+	}
+	for row := 0; row < r.Rows; row++ {
+		b.WriteString("  ")
+		for col := 0; col < r.Cols; col++ {
+			p := press[row*r.Cols+col]
+			i := 0
+			if p > 0 {
+				// Nonzero pressure always shades at least one level.
+				i = 1 + p*(len(heatRunes)-2)/max
+				if i >= len(heatRunes) {
+					i = len(heatRunes) - 1
+				}
+			}
+			sh := string(heatRunes[i])
+			fmt.Fprintf(&b, "%s%s%4d ", sh, sh, p)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderReport renders the whole post-mortem as readable ASCII: run
+// outcome, per-II attempt timeline with convergence sparklines, the
+// pressure heatmap, the contested-resource table and the unroutable
+// edges. Safe on nil.
+func RenderReport(r *diag.Report) string {
+	if r == nil {
+		return "no diagnostics collected\n"
+	}
+	var b strings.Builder
+	outcome := "FAILED"
+	if r.Success {
+		outcome = fmt.Sprintf("mapped at II=%d", r.II)
+	}
+	fmt.Fprintf(&b, "post-mortem: %s on %s via %s — %s (MII=%d", r.Kernel, r.Arch, r.Mapper, outcome, r.MII)
+	if r.Cached {
+		b.WriteString(", served from cache")
+	}
+	b.WriteString(")\n")
+
+	if len(r.Attempts) > 0 {
+		b.WriteString("\nattempts:\n")
+		for _, a := range r.Attempts {
+			fmt.Fprintf(&b, "  II=%-3d try %-2d %-9s %7.1fms rounds=%-5d contested=%-4d %s\n",
+				a.II, a.Attempt, a.Outcome, a.DurMS, a.Rounds, a.Contested, Sparkline(a.Convergence))
+		}
+	}
+
+	b.WriteByte('\n')
+	b.WriteString(PressureHeatmap(r))
+
+	if len(r.Contested) > 0 {
+		b.WriteString("\nmost contested resources:\n")
+		for _, res := range r.Contested {
+			fmt.Fprintf(&b, "  %-18s %4dx", res.Resource, res.TimesContested)
+			if len(res.Contenders) > 0 {
+				fmt.Fprintf(&b, "  fought over by %s", strings.Join(res.Contenders, ", "))
+			}
+			if res.FinalOccupant != "" {
+				fmt.Fprintf(&b, "  (held by %s)", res.FinalOccupant)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	if len(r.Unroutable) > 0 {
+		b.WriteString("\nunroutable edges:\n")
+		for _, e := range r.Unroutable {
+			fmt.Fprintf(&b, "  e%-3d %s -> %s (lat=%d at II=%d)\n", e.Edge, e.From, e.To, e.Latency, e.II)
+		}
+	}
+	return b.String()
+}
+
+// RenderReportHTML renders the post-mortem as a self-contained HTML
+// page: the same content as RenderReport with a colour-graded heatmap
+// table. Safe on nil.
+func RenderReportHTML(r *diag.Report) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	b.WriteString("<title>rewire post-mortem</title>\n<style>\n")
+	b.WriteString(`body{font-family:system-ui,sans-serif;margin:2em;max-width:70em}
+h1{font-size:1.3em} h2{font-size:1.1em;margin-top:1.5em}
+table{border-collapse:collapse} td,th{border:1px solid #ccc;padding:.3em .6em;text-align:left}
+.heat td{width:3em;height:3em;text-align:center;font-weight:bold}
+.spark{font-family:monospace} .ok{color:#0a0} .bad{color:#c00}
+`)
+	b.WriteString("</style></head><body>\n")
+	if r == nil {
+		b.WriteString("<h1>rewire post-mortem</h1><p>no diagnostics collected</p></body></html>\n")
+		return b.String()
+	}
+	esc := html.EscapeString
+	fmt.Fprintf(&b, "<h1>%s on %s via %s</h1>\n", esc(r.Kernel), esc(r.Arch), esc(r.Mapper))
+	if r.Success {
+		fmt.Fprintf(&b, "<p class=\"ok\">mapped at II=%d (MII=%d)", r.II, r.MII)
+	} else {
+		fmt.Fprintf(&b, "<p class=\"bad\">FAILED (MII=%d)", r.MII)
+	}
+	if r.Cached {
+		b.WriteString(" — served from cache")
+	}
+	b.WriteString("</p>\n")
+
+	if len(r.Attempts) > 0 {
+		b.WriteString("<h2>II attempts</h2>\n<table><tr><th>II</th><th>try</th><th>outcome</th>" +
+			"<th>ms</th><th>rounds</th><th>contested</th><th>convergence</th></tr>\n")
+		for _, a := range r.Attempts {
+			fmt.Fprintf(&b, "<tr><td>%d</td><td>%d</td><td>%s</td><td>%.1f</td><td>%d</td><td>%d</td>"+
+				"<td class=\"spark\">%s</td></tr>\n",
+				a.II, a.Attempt, esc(a.Outcome), a.DurMS, a.Rounds, a.Contested, Sparkline(a.Convergence))
+		}
+		b.WriteString("</table>\n")
+	}
+
+	if r.Rows > 0 && r.Cols > 0 {
+		press, max := pePressure(r)
+		fmt.Fprintf(&b, "<h2>contention heatmap (%dx%d, hottest PE = %d clashes)</h2>\n", r.Rows, r.Cols, max)
+		b.WriteString("<table class=\"heat\">\n")
+		for row := 0; row < r.Rows; row++ {
+			b.WriteString("<tr>")
+			for col := 0; col < r.Cols; col++ {
+				p := press[row*r.Cols+col]
+				heat := 0.0
+				if max > 0 {
+					heat = float64(p) / float64(max)
+				}
+				// White (cold) through red (hot).
+				g := int(255 * (1 - heat))
+				fmt.Fprintf(&b, "<td style=\"background:rgb(255,%d,%d)\">%d</td>", g, g, p)
+			}
+			b.WriteString("</tr>\n")
+		}
+		b.WriteString("</table>\n")
+	}
+
+	if len(r.Contested) > 0 {
+		b.WriteString("<h2>most contested resources</h2>\n<table><tr><th>resource</th><th>kind</th>" +
+			"<th>clashes</th><th>contenders</th><th>final occupant</th></tr>\n")
+		for _, res := range r.Contested {
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%d</td><td>%s</td><td>%s</td></tr>\n",
+				esc(res.Resource), esc(res.Kind), res.TimesContested,
+				esc(strings.Join(res.Contenders, ", ")), esc(res.FinalOccupant))
+		}
+		b.WriteString("</table>\n")
+	}
+	if len(r.Unroutable) > 0 {
+		b.WriteString("<h2>unroutable edges</h2>\n<table><tr><th>edge</th><th>from</th><th>to</th>" +
+			"<th>latency</th><th>II</th></tr>\n")
+		es := append([]diag.EdgeReport(nil), r.Unroutable...)
+		sort.Slice(es, func(i, j int) bool { return es[i].Edge < es[j].Edge })
+		for _, e := range es {
+			fmt.Fprintf(&b, "<tr><td>e%d</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td></tr>\n",
+				e.Edge, esc(e.From), esc(e.To), e.Latency, e.II)
+		}
+		b.WriteString("</table>\n")
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}

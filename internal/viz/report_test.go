@@ -1,0 +1,112 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"rewire/internal/diag"
+)
+
+func sampleReport() *diag.Report {
+	return &diag.Report{
+		Schema: diag.SchemaID, Kernel: "fig6", Arch: "cgra4x4", Rows: 4, Cols: 4,
+		Mapper: "Rewire", Success: false, MII: 2,
+		Attempts: []diag.AttemptReport{
+			{II: 2, Attempt: 0, Outcome: "failed", DurMS: 12.5, Rounds: 40,
+				Convergence: []int{8, 6, 5, 5, 4, 4, 4, 4}, Contested: 3},
+			{II: 3, Attempt: 0, Outcome: "cancelled", DurMS: 3.1, Rounds: 7},
+		},
+		Contested: []diag.ResourceReport{
+			{Resource: "link(5,S)@t1", Kind: "link", PE: 5, Time: 1, TimesContested: 9,
+				Contenders: []string{"mul3", "add7"}, FinalOccupant: "mul3"},
+			{Resource: "fu(10)@t0", Kind: "fu", PE: 10, Time: 0, TimesContested: 4,
+				Contenders: []string{"ld2"}},
+		},
+		Unroutable: []diag.EdgeReport{
+			{Edge: 7, From: "mul3", To: "st9", II: 2, Latency: 1},
+		},
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Fatalf("empty series sparkline = %q", got)
+	}
+	got := Sparkline([]int{0, 4, 8})
+	if want := "▁▄█"; got != want {
+		t.Fatalf("sparkline = %q, want %q", got, want)
+	}
+	// All-zero series renders lowest level, not a division by zero.
+	if got := Sparkline([]int{0, 0}); got != "▁▁" {
+		t.Fatalf("zero series sparkline = %q", got)
+	}
+}
+
+func TestPressureHeatmap(t *testing.T) {
+	r := sampleReport()
+	h := PressureHeatmap(r)
+	if !strings.Contains(h, "hottest PE = 9") {
+		t.Fatalf("heatmap missing hottest count:\n%s", h)
+	}
+	// 4 rows of cells plus the header line.
+	if lines := strings.Count(h, "\n"); lines != 5 {
+		t.Fatalf("want 5 lines, got %d:\n%s", lines, h)
+	}
+	if !strings.Contains(h, "   9") || !strings.Contains(h, "   4") {
+		t.Fatalf("heatmap missing per-PE counts:\n%s", h)
+	}
+	if !strings.Contains(PressureHeatmap(nil), "no fabric geometry") {
+		t.Fatal("nil report heatmap lacks the geometry note")
+	}
+	empty := &diag.Report{Rows: 2, Cols: 2}
+	if !strings.Contains(PressureHeatmap(empty), "no contention recorded") {
+		t.Fatal("contention-free heatmap lacks the empty note")
+	}
+}
+
+func TestRenderReport(t *testing.T) {
+	out := RenderReport(sampleReport())
+	for _, want := range []string{
+		"fig6", "FAILED", "MII=2",
+		"II=2", "failed", "█▆▅▅▄▄▄▄", // timeline with sparkline
+		"link(5,S)@t1", "fought over by mul3, add7", "held by mul3",
+		"e7", "mul3 -> st9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if got := RenderReport(nil); !strings.Contains(got, "no diagnostics") {
+		t.Fatalf("nil report = %q", got)
+	}
+	ok := sampleReport()
+	ok.Success, ok.II, ok.Cached = true, 3, true
+	out = RenderReport(ok)
+	if !strings.Contains(out, "mapped at II=3") || !strings.Contains(out, "served from cache") {
+		t.Fatalf("success report wrong:\n%s", out)
+	}
+}
+
+func TestRenderReportHTML(t *testing.T) {
+	out := RenderReportHTML(sampleReport())
+	for _, want := range []string{
+		"<!DOCTYPE html>", "</html>",
+		"fig6", "FAILED", "link(5,S)@t1", "mul3, add7",
+		"class=\"heat\"", "background:rgb(255,0,0)", // hottest cell fully red
+		"e7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("html report missing %q", want)
+		}
+	}
+	// Labels are escaped: a hostile kernel name cannot inject markup.
+	evil := sampleReport()
+	evil.Kernel = "<script>alert(1)</script>"
+	out = RenderReportHTML(evil)
+	if strings.Contains(out, "<script>") {
+		t.Fatal("kernel name not HTML-escaped")
+	}
+	if !strings.Contains(RenderReportHTML(nil), "no diagnostics collected") {
+		t.Fatal("nil report html lacks the empty note")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"rewire/internal/config"
 	"rewire/internal/core"
 	"rewire/internal/dfg"
+	"rewire/internal/diag"
 	"rewire/internal/interp"
 	"rewire/internal/kernelir"
 	"rewire/internal/kernels"
@@ -82,6 +83,29 @@ type (
 	// (served without compiling) and Shared (by waiting on a concurrent
 	// identical compile).
 	CacheOutcome = resultcache.Outcome
+	// DiagCollector accumulates a mapping post-mortem: the per-II attempt
+	// timeline, amendment-round convergence series, contested-resource
+	// attribution on failed attempts, and the unroutable-edge list. A nil
+	// *DiagCollector is the disabled collector: every method is a no-op
+	// costing one pointer check. See NewDiagCollector and
+	// docs/OBSERVABILITY.md.
+	DiagCollector = diag.Collector
+	// DiagReport is the structured post-mortem a DiagCollector renders
+	// after the run (schema "rewire-report-v1"). Marshal it as JSON or
+	// render it with RenderReport/RenderReportHTML.
+	DiagReport = diag.Report
+	// DiagSummary is a report's top-line condensation (outcome, IIs
+	// attempted, the few most contested resources), sized for embedding
+	// in API error answers.
+	DiagSummary = diag.Summary
+	// ProgressBus is a bounded drop-oldest broadcast bus of coarse
+	// progress events (run, II and amendment-round boundaries). A nil
+	// *ProgressBus is the disabled bus: Publish is a no-op costing one
+	// pointer check. See NewProgressBus and docs/OBSERVABILITY.md.
+	ProgressBus = diag.Bus
+	// ProgressEvent is one progress-bus event (schema
+	// "rewire-progress-v1").
+	ProgressEvent = diag.Event
 )
 
 // NewResultCache builds a result cache bounded to capacity finished
@@ -91,6 +115,17 @@ func NewResultCache(capacity int) *ResultCache { return resultcache.New(capacity
 
 // NewTracer returns an enabled tracer to pass in Options.Tracer.
 func NewTracer() *Tracer { return trace.New() }
+
+// NewDiagCollector returns an enabled diagnostics collector to pass in
+// Options.Diag. After the run, Report() (or ReportTopK) renders the
+// post-mortem.
+func NewDiagCollector() *DiagCollector { return diag.NewCollector() }
+
+// NewProgressBus returns an enabled progress bus retaining up to
+// capacity events (0 means diag.DefaultBusCapacity). Pass it in
+// Options.Progress, Subscribe for live streams, and Close it when the
+// run's consumers are done.
+func NewProgressBus(capacity int) *ProgressBus { return diag.NewBus(capacity) }
 
 // NewLogger builds a structured logger writing to w to pass in
 // Options.Logger. Level is "debug", "info", "warn" or "error"; format
@@ -142,6 +177,18 @@ type Options struct {
 	// fingerprint-relevant fields above participate in the cache key
 	// (see optionFingerprintClass and docs/CACHING.md).
 	Cache *ResultCache
+	// Diag, when non-nil, collects the mapping post-mortem (attempt
+	// timeline, contested resources, unroutable edges) for the run; read
+	// it back with Diag.Report() afterwards. Nil — the default — disables
+	// collection at one pointer check per site. Diagnostics observe the
+	// search and never feed back into it.
+	Diag *DiagCollector
+	// Progress, when non-nil, receives coarse live progress events
+	// (run/II/round boundaries) during the run; subscribe to stream them.
+	// Nil — the default — disables publishing at one pointer check per
+	// boundary. The caller owns the bus lifecycle (Close it after the
+	// run); mappers only publish.
+	Progress *ProgressBus
 }
 
 // optionFingerprintClass classifies every Options field as cache-key
@@ -162,6 +209,8 @@ var optionFingerprintClass = map[string]bool{
 	"Tracer":           false,
 	"Logger":           false,
 	"Cache":            false,
+	"Diag":             false,
+	"Progress":         false,
 }
 
 // CacheKey returns the canonical content-address of one mapping
@@ -262,6 +311,13 @@ func MapCached(ctx context.Context, g *DFG, cgra *CGRA, opt Options) (*Mapping, 
 	if err != nil {
 		return nil, res, out, fmt.Errorf("rewire: mapping %q on %s aborted: %w", g.Name, cgra.Name, err)
 	}
+	if out.Hit || out.Shared {
+		// The mappers never ran for this caller, so its collector saw
+		// nothing: record the served outcome and flag it as cached.
+		opt.Diag.Begin(g, cgra, res.Mapper, res.MII)
+		opt.Diag.Commit(res.Success, res.II)
+		opt.Diag.MarkCached()
+	}
 	return m, res, out, noMappingErr(m, g, cgra, opt, res)
 }
 
@@ -274,18 +330,21 @@ func mapUncached(ctx context.Context, g *DFG, cgra *CGRA, opt Options) (*Mapping
 			Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
 			SweepParallelism: opt.SweepParallelism,
 			Tracer:           opt.Tracer, Logger: opt.Logger,
+			Diag: opt.Diag, Progress: opt.Progress,
 		})
 	case MapperSA:
 		return sa.MapCtx(ctx, g, cgra, sa.Options{
 			Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
 			SweepParallelism: opt.SweepParallelism,
 			Tracer:           opt.Tracer, Logger: opt.Logger,
+			Diag: opt.Diag, Progress: opt.Progress,
 		})
 	default: // MapperRewire or ""
 		return core.MapCtx(ctx, g, cgra, core.Options{
 			Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
 			SweepParallelism: opt.SweepParallelism,
 			Tracer:           opt.Tracer, Logger: opt.Logger,
+			Diag: opt.Diag, Progress: opt.Progress,
 		})
 	}
 }
@@ -335,6 +394,16 @@ func RenderRoutes(m *Mapping) (string, error) { return viz.RouteTable(m) }
 // RenderUtilisation summarises fabric occupancy (ALU/link/register/bank).
 func RenderUtilisation(m *Mapping) (string, error) { return viz.Utilisation(m) }
 
+// RenderReport renders a mapping post-mortem as readable ASCII: the II
+// attempt timeline with convergence sparklines, a contention pressure
+// heatmap over the fabric grid, the most contested resources and the
+// unroutable edges. Safe on a nil report.
+func RenderReport(r *DiagReport) string { return viz.RenderReport(r) }
+
+// RenderReportHTML renders the post-mortem as a self-contained HTML
+// page with a colour-graded heatmap. Safe on a nil report.
+func RenderReportHTML(r *DiagReport) string { return viz.RenderReportHTML(r) }
+
 // Amend repairs an arbitrary partial or congested mapping at its own II
 // without building a new one from scratch — Rewire is orthogonal to the
 // mapper that produced the input ("can take any initial mapping from
@@ -344,6 +413,7 @@ func Amend(m *Mapping, opt Options) (*Mapping, Result, error) {
 	return core.Amend(m, core.Options{
 		Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
 		Tracer: opt.Tracer, Logger: opt.Logger,
+		Diag: opt.Diag, Progress: opt.Progress,
 	})
 }
 

@@ -49,6 +49,8 @@ func TestOptionsFingerprintHonesty(t *testing.T) {
 		"SweepParallelism": {Mapper: MapperRewire, Seed: 1, TimePerII: time.Second, MaxII: 16, SweepParallelism: 4},
 		"Tracer":           {Mapper: MapperRewire, Seed: 1, TimePerII: time.Second, MaxII: 16, Tracer: NewTracer()},
 		"Cache":            {Mapper: MapperRewire, Seed: 1, TimePerII: time.Second, MaxII: 16, Cache: NewResultCache(1)},
+		"Diag":             {Mapper: MapperRewire, Seed: 1, TimePerII: time.Second, MaxII: 16, Diag: NewDiagCollector()},
+		"Progress":         {Mapper: MapperRewire, Seed: 1, TimePerII: time.Second, MaxII: 16, Progress: NewProgressBus(0)},
 	}
 	for field, relevant := range optionFingerprintClass {
 		opt, ok := variants[field]

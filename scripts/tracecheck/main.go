@@ -1,12 +1,14 @@
 // Command tracecheck validates trace files emitted by the mapping
 // pipeline: Chrome trace_event documents (*.trace.json, the format
-// Perfetto and chrome://tracing load) and structured JSONL traces
-// (*.jsonl). CI runs it over a small traced mapping so a malformed
-// exporter fails the build rather than the first person opening a trace.
+// Perfetto and chrome://tracing load), structured JSONL traces and
+// progress-event logs (*.jsonl — told apart by their meta record's
+// format field: rewire-trace-v1 vs rewire-progress-v1). CI runs it
+// over a small traced mapping so a malformed exporter fails the build
+// rather than the first person opening a trace.
 //
 // Usage:
 //
-//	tracecheck file.trace.json file.jsonl ...
+//	tracecheck file.trace.json file.jsonl events.jsonl ...
 //
 // The format is picked per file by suffix (.jsonl vs anything else =
 // Chrome). Exit status is non-zero if any file is invalid.
@@ -87,9 +89,9 @@ func checkChrome(path string) error {
 	return nil
 }
 
-// checkJSONL verifies a structured JSONL trace: every line is valid
-// JSON, the first line is the rewire-trace-v1 meta record, and at least
-// one span line follows.
+// checkJSONL verifies a structured JSONL file, dispatching on its meta
+// record's format field: rewire-trace-v1 (spans/counters) or
+// rewire-progress-v1 (progress events).
 func checkJSONL(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -98,22 +100,45 @@ func checkJSONL(path string) error {
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	line, spans := 0, 0
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("empty file")
+	}
+	var meta struct {
+		Type    string `json:"type"`
+		Format  string `json:"format"`
+		Dropped uint64 `json:"dropped"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
+		return fmt.Errorf("line 1: invalid JSON: %w", err)
+	}
+	if meta.Type != "meta" {
+		return fmt.Errorf("line 1 is not a meta record")
+	}
+	switch meta.Format {
+	case "rewire-trace-v1":
+		return checkTraceJSONL(path, sc)
+	case "rewire-progress-v1":
+		return checkProgressJSONL(path, sc, meta.Dropped)
+	default:
+		return fmt.Errorf("unknown JSONL format %q (want rewire-trace-v1 or rewire-progress-v1)", meta.Format)
+	}
+}
+
+// checkTraceJSONL verifies a structured trace after its meta line:
+// every line is valid JSON and at least one named span follows.
+func checkTraceJSONL(path string, sc *bufio.Scanner) error {
+	line, spans := 1, 0
 	for sc.Scan() {
 		line++
 		var rec struct {
-			Type   string `json:"type"`
-			Format string `json:"format"`
-			Name   string `json:"name"`
+			Type string `json:"type"`
+			Name string `json:"name"`
 		}
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
 			return fmt.Errorf("line %d: invalid JSON: %w", line, err)
-		}
-		if line == 1 {
-			if rec.Type != "meta" || rec.Format != "rewire-trace-v1" {
-				return fmt.Errorf("line 1 is not a rewire-trace-v1 meta record")
-			}
-			continue
 		}
 		if rec.Type == "span" {
 			if rec.Name == "" {
@@ -125,12 +150,82 @@ func checkJSONL(path string) error {
 	if err := sc.Err(); err != nil {
 		return err
 	}
-	if line == 0 {
-		return fmt.Errorf("empty file")
-	}
 	if spans == 0 {
 		return fmt.Errorf("no span records")
 	}
 	fmt.Printf("tracecheck: %s: %d lines, %d spans\n", path, line, spans)
+	return nil
+}
+
+// checkProgressJSONL verifies a progress-event log after its meta
+// line: every event parses, sequence numbers strictly increase, and
+// attempt boundaries nest correctly. When the bus dropped nothing the
+// stream is complete, so the checks tighten: the first sequence is 1,
+// every attempt_end closes a seen attempt_start, and a run_end (when
+// present) is the final event. A dropped-oldest stream (meta.dropped >
+// 0) is a tail, so an end without its start is legitimate there.
+func checkProgressJSONL(path string, sc *bufio.Scanner, dropped uint64) error {
+	type attemptKey struct{ ii, attempt int }
+	open := map[attemptKey]bool{}
+	var (
+		line     = 1
+		events   = 0
+		lastSeq  uint64
+		lastType string
+	)
+	for sc.Scan() {
+		line++
+		var ev struct {
+			Seq     uint64  `json:"seq"`
+			MS      float64 `json:"ms"`
+			Type    string  `json:"type"`
+			II      int     `json:"ii"`
+			Attempt int     `json:"attempt"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("line %d: invalid JSON: %w", line, err)
+		}
+		if ev.Type == "" {
+			return fmt.Errorf("line %d: event without a type", line)
+		}
+		if ev.MS < 0 {
+			return fmt.Errorf("line %d: negative timestamp %v", line, ev.MS)
+		}
+		if events == 0 {
+			if dropped == 0 && ev.Seq != 1 {
+				return fmt.Errorf("line %d: complete stream starts at seq %d, want 1", line, ev.Seq)
+			}
+		} else if ev.Seq <= lastSeq {
+			return fmt.Errorf("line %d: seq %d does not increase past %d", line, ev.Seq, lastSeq)
+		}
+		if lastType == "run_end" {
+			return fmt.Errorf("line %d: event after run_end", line)
+		}
+		k := attemptKey{ev.II, ev.Attempt}
+		switch ev.Type {
+		case "attempt_start":
+			if open[k] {
+				return fmt.Errorf("line %d: attempt II=%d #%d started twice", line, ev.II, ev.Attempt)
+			}
+			open[k] = true
+		case "attempt_end":
+			if !open[k] && dropped == 0 {
+				return fmt.Errorf("line %d: attempt II=%d #%d ends without a start", line, ev.II, ev.Attempt)
+			}
+			delete(open, k)
+		}
+		lastSeq, lastType = ev.Seq, ev.Type
+		events++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if events == 0 {
+		return fmt.Errorf("no progress events")
+	}
+	if lastType == "run_end" && len(open) > 0 {
+		return fmt.Errorf("run ended with %d attempts still open", len(open))
+	}
+	fmt.Printf("tracecheck: %s: %d progress events (%d dropped upstream)\n", path, events, dropped)
 	return nil
 }
