@@ -28,6 +28,7 @@ import (
 	"rewire/internal/diag"
 	"rewire/internal/eval"
 	"rewire/internal/kernels"
+	"rewire/internal/ledger"
 	"rewire/internal/mapping"
 	"rewire/internal/mrrg"
 	"rewire/internal/pathfinder"
@@ -374,6 +375,24 @@ func BenchmarkSubDiagDisabled(b *testing.B) {
 		att.Contend(mrrg.Node(i&1023), mrrg.Net(i&63))
 		att.Finish(false, nil)
 		bus.Publish(diag.Event{Type: "attempt_end", II: 4, Attempt: 1})
+	}
+}
+
+// BenchmarkSubLedgerDisabled pins the disabled-ledger contract: with no
+// ledger configured (a nil *ledger.Ledger), recording a completed run
+// must cost a pointer check and nothing else — no marshaling, no lock,
+// no allocation. benchdiff gates allocs/op at 0.
+func BenchmarkSubLedgerDisabled(b *testing.B) {
+	b.ReportAllocs()
+	var l *ledger.Ledger
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(ledger.Entry{
+			Source: "bench", Kernel: "mvt", Arch: "4x4r4", Mapper: "rewire",
+			Success: true, II: 3, MII: 2, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

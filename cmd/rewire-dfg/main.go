@@ -15,16 +15,23 @@ import (
 
 	"rewire"
 	"rewire/internal/arch"
+	"rewire/internal/buildinfo"
 )
 
 func main() {
 	var (
-		kernel = flag.String("kernel", "", "bundled kernel name")
-		src    = flag.String("src", "", "path to a kernel-IR source file (alternative to -kernel)")
-		unroll = flag.Int("unroll", 1, "unroll factor applied to -src kernels")
-		dot    = flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+		kernel  = flag.String("kernel", "", "bundled kernel name")
+		src     = flag.String("src", "", "path to a kernel-IR source file (alternative to -kernel)")
+		unroll  = flag.Int("unroll", 1, "unroll factor applied to -src kernels")
+		dot     = flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+		version = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get().String())
+		return
+	}
 
 	var (
 		g   *rewire.DFG

@@ -21,9 +21,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
+	"rewire/internal/buildinfo"
 	"rewire/internal/eval"
+	"rewire/internal/ledger"
 	"rewire/internal/obs"
 	"rewire/internal/resultcache"
 )
@@ -45,6 +48,11 @@ func main() {
 		sweepJ   = flag.Int("sweep-j", 1, "speculative II-sweep window per run (1 = serial; IIs and mappings are bit-identical at any width)")
 		cacheCap = flag.Int("result-cache", 0, "result-cache capacity in finished mappings (0 disables; overlapping combos across studies are served from cache, results unchanged)")
 		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
+		version  = flag.Bool("version", false, "print the build identity and exit")
+
+		ledgerDir  = flag.String("ledger", "", "append one QoR ledger entry per run to <dir>/ledger.jsonl (the canonical quality record; see docs/OBSERVABILITY.md)")
+		kernelsCSV = flag.String("kernels", "", "comma-separated kernel filter (default: all 47 combos)")
+		archsCSV   = flag.String("archs", "", "comma-separated arch-name filter, e.g. 4x4r4 (default: all)")
 
 		jsonOut    = flag.String("json", "", "write the aggregated result set as JSON to this path")
 		traceDir   = flag.String("trace-dir", "", "write one Chrome trace + JSONL trace per mapper run into this directory")
@@ -56,6 +64,11 @@ func main() {
 		logFormat = flag.String("log-format", "text", "stderr log format: text or json")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get().String())
+		return
+	}
 
 	lg, lerr := obs.Setup(os.Stderr, *logLevel, *logFormat)
 	if lerr != nil {
@@ -90,9 +103,22 @@ func main() {
 	if *cacheCap > 0 {
 		cfg.Cache = resultcache.New(*cacheCap)
 	}
+	if *ledgerDir != "" {
+		led, err := ledger.Open(*ledgerDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer led.Close()
+		cfg.Ledger = led
+	}
 	if *scaling {
 		eval.Scaling(cfg, os.Stdout)
 		return
+	}
+	combos := filterCombos(eval.Combos(), *kernelsCSV, *archsCSV)
+	if len(combos) == 0 {
+		log.Error("no combos match the -kernels/-archs filter")
+		os.Exit(2)
 	}
 	// The -j 1 banner matches the historical serial harness byte for
 	// byte; the worker count is only announced when there is a pool.
@@ -101,8 +127,8 @@ func main() {
 		workers = fmt.Sprintf(", %d workers", *jobs)
 	}
 	fmt.Printf("running %d combos x %d mappers (budget %s per II, seed %d%s)...\n\n",
-		len(eval.Combos()), len(eval.Mappers), *budget, *seed, workers)
-	results := eval.RunAll(cfg)
+		len(combos), len(eval.Mappers), *budget, *seed, workers)
+	results := eval.RunCombos(cfg, combos)
 	fmt.Println()
 
 	if *jsonOut != "" {
@@ -132,6 +158,35 @@ func main() {
 	if !specific || *summary {
 		results.Summary(os.Stdout)
 	}
+}
+
+// filterCombos keeps the combos whose kernel / arch name appear in the
+// respective CSV filter; an empty filter keeps everything. The small CI
+// qor-gate matrix is carved out this way.
+func filterCombos(combos []eval.Combo, kernelsCSV, archsCSV string) []eval.Combo {
+	csvSet := func(s string) map[string]bool {
+		if s == "" {
+			return nil
+		}
+		set := map[string]bool{}
+		for _, f := range strings.Split(s, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				set[f] = true
+			}
+		}
+		return set
+	}
+	wantK, wantA := csvSet(kernelsCSV), csvSet(archsCSV)
+	if wantK == nil && wantA == nil {
+		return combos
+	}
+	var out []eval.Combo
+	for _, cb := range combos {
+		if (wantK == nil || wantK[cb.Kernel]) && (wantA == nil || wantA[cb.Arch.Name]) {
+			out = append(out, cb)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"rewire"
+	"rewire/internal/buildinfo"
 	"rewire/internal/obs"
 )
 
@@ -43,6 +44,7 @@ func main() {
 		simIter  = flag.Int("simulate", 0, "functionally verify the mapping over N simulated iterations")
 		saveTo   = flag.String("save", "", "write the mapping as a JSON bundle to this path")
 		list     = flag.Bool("list", false, "list bundled kernels and exit")
+		version  = flag.Bool("version", false, "print the build identity and exit")
 
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event file of the mapping run to this path (open in Perfetto / chrome://tracing)")
 		traceJSONL = flag.String("trace-jsonl", "", "write the structured JSONL trace (spans, counters, histograms) to this path")
@@ -54,6 +56,11 @@ func main() {
 		logFormat = flag.String("log-format", "text", "stderr log format: text or json")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get().String())
+		return
+	}
 
 	lg, lerr := rewire.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if lerr != nil {

@@ -165,7 +165,7 @@ func (s *server) executeOne(ctx context.Context, lg *obs.Logger, runID string, r
 		"sweep_window", opts.SweepParallelism)
 	m, res, cout, err := rewire.MapCached(ctx, g, cgra, opts)
 	s.mReqs.With(string(mapper), boolOutcome(res.Success)).Inc()
-	rec := s.recordRun(lg, runID, req, opts, res)
+	rec := s.recordRun(lg, runID, req, opts, g, cgra, res, cout)
 	return buildMapResponse(runID, opts, m, res, rec, cout, err, req.Render)
 }
 

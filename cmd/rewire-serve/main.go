@@ -21,6 +21,8 @@
 //	GET  /metrics          Prometheus text exposition (v0.0.4)
 //	GET  /healthz          liveness
 //	GET  /readyz           readiness (200 after kernel warmup)
+//	GET  /qor              QoR ledger aggregates (runs, success rates, best II) as JSON
+//	GET  /qor.html         the QoR dashboard as a self-contained page
 //	GET  /runs             flight recorder: last N run summaries, newest first
 //	GET  /runs/{id}/trace  one recorded run's Chrome trace (Perfetto-loadable)
 //	GET  /debug/pprof/     CPU/heap/goroutine profiles (go tool pprof)
@@ -32,11 +34,14 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"net/http"
 	"os"
 	"runtime"
 	"time"
 
+	"rewire/internal/buildinfo"
+	"rewire/internal/ledger"
 	"rewire/internal/obs"
 )
 
@@ -52,15 +57,32 @@ func main() {
 		maxBatch  = flag.Int("max-batch", 64, "largest number of entries one POST /map/batch may carry")
 		jobTO     = flag.Duration("job-timeout", 5*time.Minute, "async job wall-clock bound (queue wait included)")
 		jobCap    = flag.Int("job-capacity", 256, "async job table size (running plus retained completed jobs)")
+		ledgerDir = flag.String("ledger", "", "append one QoR ledger entry per retired run to <dir>/ledger.jsonl (default: in-memory only; see docs/OBSERVABILITY.md)")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", "log format: text or json")
+		version   = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get().String())
+		return
+	}
 
 	lg, err := obs.Setup(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
 		obs.Default().Error("bad logging flags", "err", err)
 		os.Exit(2)
+	}
+
+	var led *ledger.Ledger
+	if *ledgerDir != "" {
+		led, err = ledger.Open(*ledgerDir)
+		if err != nil {
+			lg.Error("cannot open QoR ledger", "dir", *ledgerDir, "err", err)
+			os.Exit(1)
+		}
+		defer led.Close()
 	}
 
 	s := newServer(serverConfig{
@@ -73,6 +95,7 @@ func main() {
 		MaxBatch:       *maxBatch,
 		JobTimeout:     *jobTO,
 		JobCapacity:    *jobCap,
+		Ledger:         led,
 	}, lg)
 	go s.warmup()
 

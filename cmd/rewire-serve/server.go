@@ -14,11 +14,15 @@ import (
 	"time"
 
 	"rewire"
+	"rewire/internal/buildinfo"
 	"rewire/internal/dist"
+	"rewire/internal/ledger"
 	"rewire/internal/metrics"
 	"rewire/internal/mrrg"
 	"rewire/internal/obs"
+	"rewire/internal/resultcache"
 	"rewire/internal/trace"
+	"rewire/internal/viz"
 )
 
 // serverConfig sizes the daemon.
@@ -51,6 +55,11 @@ type serverConfig struct {
 	// room, and submissions are rejected only when every slot is still
 	// running.
 	JobCapacity int
+	// Ledger, when non-nil, is the persistent QoR store every retired
+	// run appends to (the -ledger flag opens a file-backed one). When
+	// nil the server falls back to an in-memory ledger so GET /qor
+	// always has the process's own history to aggregate.
+	Ledger *ledger.Ledger
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -93,7 +102,8 @@ type server struct {
 	cache  *rewire.ResultCache // nil when CacheSize <= 0
 	jobs   *jobTable
 	ready  atomic.Bool
-	start  time.Time
+	led    *ledger.Ledger
+	proc   *metrics.ProcessCollector
 
 	mReqs     *metrics.CounterVec // rewire_map_requests_total{mapper,outcome}
 	mInflight *metrics.Gauge      // rewire_serve_inflight_requests
@@ -103,9 +113,6 @@ type server struct {
 	mII       *metrics.HistogramVec
 	mSlack    *metrics.HistogramVec
 	mAmend    *metrics.HistogramVec
-	mUptime   *metrics.Gauge
-	mGoros    *metrics.Gauge
-	mHeap     *metrics.Gauge
 
 	// Batch and async surface counters.
 	mBatchReqs    *metrics.Counter    // rewire_serve_batch_requests_total
@@ -142,7 +149,6 @@ func newServer(cfg serverConfig, lg *obs.Logger) *server {
 		reg:    reg,
 		sem:    make(chan struct{}, cfg.Workers),
 		flight: newFlightRecorder(cfg.FlightSize),
-		start:  time.Now(),
 
 		mReqs: reg.NewCounterVec("rewire_map_requests_total",
 			"POST /map requests by mapper and outcome (ok, failed, invalid, timeout, overload).",
@@ -161,12 +167,6 @@ func newServer(cfg serverConfig, lg *obs.Logger) *server {
 			"Achieved II minus the theoretical MII (0 = optimal).", metrics.Pow2Buckets(6), "mapper"),
 		mAmend: reg.NewHistogramVec("rewire_map_amendment_rounds_units",
 			"Cluster amendment rounds per run (Rewire's remapping analogue).", metrics.Pow2Buckets(10), "mapper"),
-		mUptime: reg.NewGauge("rewire_process_uptime_seconds",
-			"Seconds since the daemon started."),
-		mGoros: reg.NewGauge("rewire_process_goroutines_units",
-			"Live goroutines."),
-		mHeap: reg.NewGauge("rewire_process_heap_alloc_bytes",
-			"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc)."),
 		mMRRGHits: reg.NewCounter("rewire_mrrg_cache_hits_total",
 			"Sessions served an already-built modulo routing resource graph."),
 		mMRRGMisses: reg.NewCounter("rewire_mrrg_cache_misses_total",
@@ -198,8 +198,16 @@ func newServer(cfg serverConfig, lg *obs.Logger) *server {
 		mDiagProgress: reg.NewCounter("rewire_map_progress_events_total",
 			"Progress events published on async jobs' live streams (drop-oldest retention; see /map/events/{id})."),
 	}
+	// The process gauges (uptime, goroutines, heap) and the
+	// rewire_build_info identity gauge live in the shared collector;
+	// metricsHandler refreshes them on every scrape.
+	s.proc = metrics.RegisterProcess(reg)
 	if cfg.CacheSize > 0 {
 		s.cache = rewire.NewResultCache(cfg.CacheSize)
+	}
+	s.led = cfg.Ledger
+	if s.led == nil {
+		s.led = ledger.NewMemory()
 	}
 	s.jobs = newJobTable(cfg.JobCapacity)
 	return s
@@ -216,6 +224,8 @@ func (s *server) mux() *http.ServeMux {
 	m.Handle("GET /metrics", s.metricsHandler())
 	m.HandleFunc("GET /healthz", s.handleHealthz)
 	m.HandleFunc("GET /readyz", s.handleReadyz)
+	m.HandleFunc("GET /qor", s.handleQoR)
+	m.HandleFunc("GET /qor.html", s.handleQoRHTML)
 	m.HandleFunc("GET /runs", s.handleRuns)
 	m.HandleFunc("GET /runs/{id}/trace", s.handleRunTrace)
 	m.HandleFunc("GET /runs/{id}/report", s.handleRunReport)
@@ -456,7 +466,7 @@ func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
 		cancelRun()
 		release()
 		s.mReqs.With(string(mapper), boolOutcome(out.res.Success)).Inc()
-		s.finishRun(w, lg, runID, &req, opts, out.m, out.res, out.cout, out.err)
+		s.finishRun(w, lg, runID, &req, opts, g, cgra, out.m, out.res, out.cout, out.err)
 	case <-r.Context().Done():
 		// Client hung up mid-run: tear the sweep down and give the slot
 		// back only after every speculative attempt has unwound.
@@ -465,7 +475,7 @@ func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
 		release()
 		s.mReqs.With(string(mapper), "canceled").Inc()
 		lg.Warn("client disconnected mid-run; sweep torn down")
-		s.recordRun(lg, runID, &req, opts, out.res)
+		s.recordRun(lg, runID, &req, opts, g, cgra, out.res, out.cout)
 	case <-deadline.C:
 		s.mReqs.With(string(mapper), "timeout").Inc()
 		lg.Warn("mapping run exceeded the request timeout", "timeout_ms", s.cfg.RequestTimeout.Milliseconds())
@@ -480,7 +490,7 @@ func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			out := <-done
 			release()
-			s.recordRun(lg, runID, &req, opts, out.res)
+			s.recordRun(lg, runID, &req, opts, g, cgra, out.res, out.cout)
 		}()
 	}
 }
@@ -545,8 +555,9 @@ func effectiveTPI(req *mapRequest) time.Duration {
 // finishRun records a completed run and writes the success/failure
 // answer.
 func (s *server) finishRun(w http.ResponseWriter, lg *obs.Logger, runID string, req *mapRequest,
-	opts rewire.Options, m *rewire.Mapping, res rewire.Result, cout rewire.CacheOutcome, mapErr error) {
-	rec := s.recordRun(lg, runID, req, opts, res)
+	opts rewire.Options, g *rewire.DFG, cgra *rewire.CGRA,
+	m *rewire.Mapping, res rewire.Result, cout rewire.CacheOutcome, mapErr error) {
+	rec := s.recordRun(lg, runID, req, opts, g, cgra, res, cout)
 	resp := buildMapResponse(runID, opts, m, res, rec, cout, mapErr, req.Render)
 	// A valid request whose kernel has no feasible schedule is a result,
 	// not a server error: 200 with success=false.
@@ -583,11 +594,15 @@ func buildMapResponse(runID string, opts rewire.Options, m *rewire.Mapping, res 
 	return resp
 }
 
-// recordRun folds the run's tracer into the metrics registry and files
-// the flight-recorder entry. It is the single bookkeeping point for
-// both the on-time and the timed-out completion paths.
+// recordRun folds the run's tracer into the metrics registry, files
+// the flight-recorder entry and appends the run to the QoR ledger. It
+// is the single bookkeeping point for every completion path — the
+// on-time answer, the detached post-timeout drain, batch entries and
+// async jobs. g and cgra carry the compiled graph and fabric for the
+// ledger's content fingerprints.
 func (s *server) recordRun(lg *obs.Logger, runID string, req *mapRequest,
-	opts rewire.Options, res rewire.Result) runRecord {
+	opts rewire.Options, g *rewire.DFG, cgra *rewire.CGRA,
+	res rewire.Result, cout rewire.CacheOutcome) runRecord {
 	// requests_total is incremented by the caller (exactly once per
 	// request, whatever the outcome label); this method records the
 	// run-quality metrics, which apply on every completion path.
@@ -621,10 +636,73 @@ func (s *server) recordRun(lg *obs.Logger, runID string, req *mapRequest,
 		report:     report,
 	}
 	s.flight.add(rec)
+
+	e := ledger.Entry{
+		Source: "serve",
+		Kernel: res.Kernel, Arch: res.Arch, Mapper: mapper, Seed: req.Seed,
+		Success: res.Success, Cached: cout.Hit || cout.Shared,
+		II: res.II, MII: res.MII,
+		CompileMS: float64(res.Duration.Microseconds()) / 1000,
+	}
+	if g != nil && cgra != nil {
+		e.DFGFP, e.ArchFP, e.OptsFP = ledger.Fingerprints(g, cgra, resultcache.Request{
+			Mapper: mapper, Seed: req.Seed, TimePerII: opts.TimePerII, MaxII: req.MaxII,
+		})
+	}
+	e.AttachReport(report)
+	if err := s.led.Append(e); err != nil {
+		lg.Error("ledger append failed", "err", err)
+	}
+
 	lg.Info("run recorded", "mapper", mapper, "kernel", res.Kernel, "arch", res.Arch,
 		"success", res.Success, "ii", res.II, "mii", res.MII,
 		"duration_ms", res.Duration.Milliseconds())
 	return rec
+}
+
+// qorResponse is the GET /qor answer: the ledger's aggregate view.
+type qorResponse struct {
+	Runs   int            `json:"runs"`
+	Groups []qorGroup     `json:"groups"`
+	Ledger string         `json:"ledger,omitempty"` // backing file, "" when in-memory
+	Build  buildinfo.Info `json:"build"`
+}
+
+// qorGroup is one (kernel, arch, mapper) aggregate on the wire.
+type qorGroup struct {
+	Kernel      string  `json:"kernel"`
+	Arch        string  `json:"arch"`
+	Mapper      string  `json:"mapper"`
+	Runs        int     `json:"runs"`
+	Successes   int     `json:"successes"`
+	SuccessRate float64 `json:"success_rate"`
+	BestII      int     `json:"best_ii,omitempty"`
+	MII         int     `json:"mii"`
+	MedianMS    float64 `json:"median_compile_ms"`
+	LastTSMS    int64   `json:"last_ts_ms"`
+}
+
+// handleQoR serves the ledger aggregates as JSON.
+func (s *server) handleQoR(w http.ResponseWriter, _ *http.Request) {
+	entries := s.led.Entries()
+	groups := ledger.Aggregate(entries)
+	out := qorResponse{Runs: len(entries), Groups: make([]qorGroup, 0, len(groups)),
+		Ledger: s.led.Path(), Build: buildinfo.Get()}
+	for _, g := range groups {
+		out.Groups = append(out.Groups, qorGroup{
+			Kernel: g.Kernel, Arch: g.Arch, Mapper: g.Mapper,
+			Runs: g.Runs, Successes: g.Successes, SuccessRate: g.SuccessRate(),
+			BestII: g.BestII, MII: g.MII,
+			MedianMS: ledger.Median(g.CompileMS), LastTSMS: g.LastTSMS,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleQoRHTML serves the QoR dashboard as a self-contained page.
+func (s *server) handleQoRHTML(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, viz.RenderQoRHTML(s.led.Entries()))
 }
 
 // metricsHandler refreshes the process gauges and cache counters, then
@@ -632,11 +710,7 @@ func (s *server) recordRun(lg *obs.Logger, runID string, req *mapRequest,
 func (s *server) metricsHandler() http.Handler {
 	inner := s.reg.Handler()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		s.mUptime.Set(time.Since(s.start).Seconds())
-		s.mGoros.Set(float64(runtime.NumGoroutine()))
-		s.mHeap.Set(float64(ms.HeapAlloc))
+		s.proc.Refresh()
 		s.refreshCacheCounters()
 		inner.ServeHTTP(w, r)
 	})

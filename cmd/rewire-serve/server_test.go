@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"rewire/internal/ledger"
 	"rewire/internal/obs"
 )
 
@@ -649,5 +650,77 @@ func TestMetricsExpositionContentType(t *testing.T) {
 	defer resp.Body.Close()
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
 		t.Fatalf("content type = %q", ct)
+	}
+}
+
+// TestQoREndpoints maps once against a file-backed ledger and checks
+// that the run shows up in GET /qor, renders on /qor.html, lands in
+// the ledger file, and that /metrics carries the build-info and
+// process gauges.
+func TestQoREndpoints(t *testing.T) {
+	dir := t.TempDir()
+	led, err := ledger.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led.Close()
+	ts := testServer(t, serverConfig{Workers: 2, FlightSize: 8, Ledger: led})
+
+	out, code := postMap(t, ts,
+		`{"kernel":"mvt","arch":"4x4r4","mapper":"rewire","seed":1,"time_per_ii_ms":2000}`)
+	if code != http.StatusOK || !out.Success {
+		t.Fatalf("POST /map = %d success=%v", code, out.Success)
+	}
+
+	body, code := get(t, ts.URL+"/qor")
+	if code != http.StatusOK {
+		t.Fatalf("GET /qor = %d", code)
+	}
+	var qor qorResponse
+	if err := json.Unmarshal([]byte(body), &qor); err != nil {
+		t.Fatalf("bad /qor JSON: %v", err)
+	}
+	if qor.Runs != 1 || len(qor.Groups) != 1 {
+		t.Fatalf("/qor = %+v, want 1 run in 1 group", qor)
+	}
+	g := qor.Groups[0]
+	if g.Kernel != "mvt" || g.Arch != "4x4r4" || g.Mapper != "rewire" ||
+		g.Successes != 1 || g.BestII == 0 {
+		t.Errorf("/qor group wrong: %+v", g)
+	}
+	if qor.Ledger == "" || qor.Build.GoVersion == "" {
+		t.Errorf("/qor misses ledger path or build info: %+v", qor)
+	}
+
+	html, code := get(t, ts.URL+"/qor.html")
+	if code != http.StatusOK || !strings.Contains(html, "mvt@4x4r4") {
+		t.Errorf("GET /qor.html = %d, dashboard misses the run", code)
+	}
+
+	// The run must be durable: the ledger file parses and holds it.
+	es, err := ledger.ReadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 1 || es[0].Source != "serve" || es[0].DFGFP == "" {
+		t.Errorf("ledger file = %+v, want one serve entry with fingerprints", es)
+	}
+	if es[0].Attempts == 0 {
+		t.Errorf("ledger entry has no attempt summary: %+v", es[0])
+	}
+
+	mBody, code := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	for _, want := range []string{
+		"rewire_build_info{",
+		"rewire_process_uptime_seconds",
+		"rewire_process_goroutines_units",
+		"rewire_process_heap_alloc_bytes",
+	} {
+		if !strings.Contains(mBody, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }

@@ -1,0 +1,88 @@
+// Package buildinfo reads the binary's own identity — Go toolchain
+// version, VCS revision, commit time and dirty-worktree flag — from the
+// build metadata the Go linker stamps into every binary
+// (runtime/debug.ReadBuildInfo). It is what ties an observed run to the
+// code that produced it: the QoR ledger stamps every entry with it, the
+// four CLIs print it under -version, and rewire-serve exports it as the
+// rewire_build_info gauge.
+//
+// Binaries built from a source tarball (or under `go test`) carry no
+// VCS metadata; the fields then report "unknown" rather than failing,
+// so callers never need to guard.
+package buildinfo
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// GoVersion is the toolchain that built the binary (e.g. "go1.22.1").
+	GoVersion string `json:"go_version"`
+	// Revision is the full VCS commit hash, or "unknown" when the binary
+	// was built outside a checkout (tarball builds, go test).
+	Revision string `json:"vcs_revision"`
+	// Time is the commit time (RFC3339) when known, "" otherwise.
+	Time string `json:"vcs_time,omitempty"`
+	// Modified reports a dirty worktree at build time: the revision alone
+	// does not identify the code.
+	Modified bool `json:"vcs_modified"`
+}
+
+var (
+	once   sync.Once
+	cached Info
+)
+
+// Get returns the binary's build identity. The first call reads
+// runtime/debug.ReadBuildInfo; later calls return the cached value.
+func Get() Info {
+	once.Do(func() {
+		cached = read()
+	})
+	return cached
+}
+
+func read() Info {
+	info := Info{GoVersion: "unknown", Revision: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.GoVersion != "" {
+		info.GoVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			if s.Value != "" {
+				info.Revision = s.Value
+			}
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// ShortRevision returns the first 12 characters of the revision — the
+// customary short hash — or the full value when shorter.
+func (i Info) ShortRevision() string {
+	if len(i.Revision) > 12 {
+		return i.Revision[:12]
+	}
+	return i.Revision
+}
+
+// String renders the identity on one line, the -version output of the
+// CLIs: "rewire <rev> (<go version>[, modified])".
+func (i Info) String() string {
+	s := "rewire " + i.ShortRevision() + " (" + i.GoVersion
+	if i.Modified {
+		s += ", modified"
+	}
+	return s + ")"
+}

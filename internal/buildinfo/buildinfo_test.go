@@ -1,0 +1,45 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+// Under `go test` there is no VCS stamping, but Get must still return a
+// usable identity: a Go version and "unknown" placeholders, never empty
+// strings.
+func TestGetNeverEmpty(t *testing.T) {
+	i := Get()
+	if i.GoVersion == "" {
+		t.Error("GoVersion is empty")
+	}
+	if i.Revision == "" {
+		t.Error("Revision is empty")
+	}
+	if i != Get() {
+		t.Error("Get is not stable across calls")
+	}
+}
+
+func TestShortRevision(t *testing.T) {
+	long := Info{Revision: "0123456789abcdef0123"}
+	if got := long.ShortRevision(); got != "0123456789ab" {
+		t.Errorf("ShortRevision = %q, want %q", got, "0123456789ab")
+	}
+	short := Info{Revision: "abc"}
+	if got := short.ShortRevision(); got != "abc" {
+		t.Errorf("ShortRevision = %q, want %q", got, "abc")
+	}
+}
+
+func TestStringMentionsModified(t *testing.T) {
+	i := Info{GoVersion: "go1.22", Revision: "deadbeef", Modified: true}
+	s := i.String()
+	if !strings.Contains(s, "deadbeef") || !strings.Contains(s, "go1.22") || !strings.Contains(s, "modified") {
+		t.Errorf("String() = %q misses a field", s)
+	}
+	clean := Info{GoVersion: "go1.22", Revision: "deadbeef"}
+	if strings.Contains(clean.String(), "modified") {
+		t.Errorf("String() = %q claims modified on a clean build", clean.String())
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"rewire/internal/dfg"
 	"rewire/internal/diag"
 	"rewire/internal/kernels"
+	"rewire/internal/ledger"
 	"rewire/internal/mapping"
 	"rewire/internal/obs"
 	"rewire/internal/pathfinder"
@@ -95,6 +96,14 @@ type Config struct {
 	// recompiling. Results are bit-identical with or without the cache.
 	// See docs/CACHING.md.
 	Cache *resultcache.Cache
+	// Ledger, when non-nil, receives one QoR entry per run dispatched
+	// through Run/RunDFG: achieved II vs MII, compile time, cache
+	// outcome and an attempt/contention summary, fingerprinted like the
+	// result cache. When Diag is nil each run gets a private collector
+	// so the summary is attributable to that run alone; a shared Diag
+	// collector is used as-is and its summary is cumulative. nil
+	// disables recording at the cost of one pointer check.
+	Ledger *ledger.Ledger
 }
 
 func (c Config) withDefaults() Config {
@@ -170,16 +179,62 @@ func Run(mapper string, cb Combo, cfg Config) (*mapping.Mapping, stats.Result) {
 // effective budgets.
 func RunDFG(mapper string, g *dfg.Graph, a *arch.CGRA, cfg Config) (*mapping.Mapping, stats.Result) {
 	cfg = cfg.withDefaults()
+	// With a ledger but no caller-supplied collector, give the run a
+	// private one so the recorded attempt/contention summary is
+	// attributable to this run alone.
+	if cfg.Ledger != nil && cfg.Diag == nil {
+		cfg.Diag = diag.NewCollector()
+	}
+	var (
+		m      *mapping.Mapping
+		res    stats.Result
+		cached bool
+	)
 	if cfg.Cache != nil {
 		key := resultcache.KeyFor(g, a, resultcache.Request{
 			Mapper: mapper, Seed: cfg.Seed, TimePerII: cfg.TimePerII, MaxII: cfg.MaxII,
 		})
-		m, res, _, _ := cfg.Cache.Do(context.Background(), key, func() (*mapping.Mapping, stats.Result) {
+		var out resultcache.Outcome
+		m, res, out, _ = cfg.Cache.Do(context.Background(), key, func() (*mapping.Mapping, stats.Result) {
 			return runDFGUncached(mapper, g, a, cfg)
 		})
-		return m, res
+		cached = out.Hit || out.Shared
+	} else {
+		m, res = runDFGUncached(mapper, g, a, cfg)
 	}
-	return runDFGUncached(mapper, g, a, cfg)
+	appendLedger(cfg, g, a, mapper, res, cached)
+	return m, res
+}
+
+// appendLedger records one finished run in the QoR ledger. Append
+// failures are logged, never propagated: observability must not fail a
+// mapping that succeeded.
+func appendLedger(cfg Config, g *dfg.Graph, a *arch.CGRA, mapper string, res stats.Result, cached bool) {
+	if cfg.Ledger == nil {
+		return
+	}
+	dfgFP, archFP, optsFP := ledger.Fingerprints(g, a, resultcache.Request{
+		Mapper: mapper, Seed: cfg.Seed, TimePerII: cfg.TimePerII, MaxII: cfg.MaxII,
+	})
+	kernel := res.Kernel
+	if kernel == "" {
+		kernel = g.Name
+	}
+	e := ledger.Entry{
+		Source: "eval",
+		Kernel: kernel, Arch: a.Name, Mapper: mapper, Seed: cfg.Seed,
+		Success: res.Success, Cached: cached, II: res.II, MII: res.MII,
+		CompileMS: float64(res.Duration) / float64(time.Millisecond),
+		DFGFP:     dfgFP, ArchFP: archFP, OptsFP: optsFP,
+	}
+	e.AttachReport(cfg.Diag.Report())
+	if err := cfg.Ledger.Append(e); err != nil {
+		lg := cfg.Logger
+		if lg == nil {
+			lg = obs.Default()
+		}
+		lg.Error("ledger append failed", "kernel", kernel, "arch", a.Name, "err", err)
+	}
 }
 
 // runDFGUncached dispatches to the selected mapper.

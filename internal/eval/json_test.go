@@ -70,11 +70,38 @@ func TestResultsJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// Every malformed-input path of ResultsFromJSON must return an error,
+// never a half-decoded Results or a panic.
 func TestResultsFromJSONRejectsGarbage(t *testing.T) {
-	if _, err := ResultsFromJSON([]byte("{")); err == nil {
-		t.Error("truncated JSON accepted")
+	cases := map[string]string{
+		"truncated JSON":        "{",
+		"empty input":           "",
+		"JSON but not object":   `[1,2,3]`,
+		"wrong field types":     `{"combos":"nope"}`,
+		"bad combo arch":        `{"combos":[{"kernel":"x","arch":"weird"}]}`,
+		"bad run arch":          `{"runs":[{"mapper":"Rewire","kernel":"x","arch":"not-a-grid","result":{}}]}`,
+		"arch missing suffix":   `{"combos":[{"kernel":"x","arch":"4x4"}]}`,
+		"arch empty name":       `{"combos":[{"kernel":"x","arch":""}]}`,
+		"run result not object": `{"runs":[{"mapper":"Rewire","kernel":"x","arch":"4x4r4","result":7}]}`,
 	}
-	if _, err := ResultsFromJSON([]byte(`{"combos":[{"kernel":"x","arch":"weird"}]}`)); err == nil {
-		t.Error("unparseable architecture name accepted")
+	for name, in := range cases {
+		if _, err := ResultsFromJSON([]byte(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+// A valid document with zero runs decodes to an empty, usable Results —
+// absence of data is not an error.
+func TestResultsFromJSONEmptyDocument(t *testing.T) {
+	out, err := ResultsFromJSON([]byte(`{"combos":[],"elapsed_ns":0,"runs":[]}`))
+	if err != nil {
+		t.Fatalf("empty document rejected: %v", err)
+	}
+	if len(out.Combos) != 0 || len(out.ByRun) != 0 {
+		t.Errorf("empty document decoded to %+v", out)
+	}
+	if _, ok := out.Get("Rewire", Combo{Kernel: "mvt", Arch: arch.New4x4(4)}); ok {
+		t.Error("Get on an empty Results claims a result")
 	}
 }

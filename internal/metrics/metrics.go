@@ -14,7 +14,10 @@
 // the rewire_ prefix is counted in; counters end in _total, histograms
 // and gauges end in a unit (_seconds, _bytes, _requests, _units for
 // dimensionless counts). The reserved exposition suffixes _bucket,
-// _sum and _count are rejected as base names.
+// _sum and _count are rejected as base names. One sanctioned
+// exception: gauges ending in _info (Prometheus info-metric
+// convention, e.g. rewire_build_info) pin their value to 1 and carry
+// the payload in labels, so the suffix stands in for the unit.
 //
 // Like internal/trace, the API is nil-safe: a nil *Registry hands out
 // nil collectors and every method on a nil Counter, Gauge or Histogram
@@ -56,6 +59,12 @@ func (t Type) String() string {
 // three further lower-case segments (subsystem, name, unit).
 var nameRE = regexp.MustCompile(`^rewire(_[a-z][a-z0-9]*){3,}$`)
 
+// infoRE matches the one sanctioned exception to the unit-suffix rule:
+// Prometheus-convention info gauges (rewire_build_info and friends),
+// whose value is pinned to 1 and whose payload lives in the labels. The
+// _info suffix is itself the "unit", so two segments suffice.
+var infoRE = regexp.MustCompile(`^rewire(_[a-z][a-z0-9]*)+_info$`)
+
 // labelRE is the Prometheus label-name grammar (we additionally forbid
 // the reserved "le").
 var labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
@@ -65,6 +74,17 @@ var labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
 // counter-name audit — and code generating names from trace counters
 // can enforce the same rule the registry applies.
 func CheckName(name string, typ Type) error {
+	if strings.HasSuffix(name, "_info") {
+		// Info gauges carry their payload in labels with the value pinned
+		// to 1 (Prometheus convention); only gauges may use the suffix.
+		if typ != TypeGauge {
+			return fmt.Errorf("metrics: %s %q: the _info suffix is reserved for info gauges", typ, name)
+		}
+		if !infoRE.MatchString(name) {
+			return fmt.Errorf("metrics: info gauge %q does not match rewire_<name>_info", name)
+		}
+		return nil
+	}
 	if !nameRE.MatchString(name) {
 		return fmt.Errorf("metrics: name %q does not match rewire_<subsystem>_<name>_<unit>", name)
 	}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"runtime"
+	"strconv"
+	"time"
+
+	"rewire/internal/buildinfo"
+)
+
+// ProcessCollector owns the process-health gauges every rewire daemon
+// exports — uptime, live goroutines, allocated heap — plus the
+// rewire_build_info identity gauge. Registering once and calling
+// Refresh from the scrape handler keeps the gauges current without a
+// background goroutine; the build-info gauge is constant (value 1, the
+// identity lives in its labels) and needs no refresh.
+//
+// A nil *ProcessCollector (from registering on a nil registry) is the
+// disabled collector: Refresh is a no-op.
+type ProcessCollector struct {
+	start  time.Time
+	uptime *Gauge
+	goros  *Gauge
+	heap   *Gauge
+}
+
+// RegisterProcess registers the process gauges on reg and returns the
+// collector whose Refresh updates them. The build-info gauge is set
+// here, once, from the binary's own build metadata.
+func RegisterProcess(reg *Registry) *ProcessCollector {
+	if reg == nil {
+		return nil
+	}
+	bi := buildinfo.Get()
+	reg.NewGaugeVec("rewire_build_info",
+		"Build identity of the running binary (value is always 1; the identity is in the labels).",
+		"go_version", "vcs_revision", "modified").
+		With(bi.GoVersion, bi.Revision, strconv.FormatBool(bi.Modified)).Set(1)
+	return &ProcessCollector{
+		start: time.Now(),
+		uptime: reg.NewGauge("rewire_process_uptime_seconds",
+			"Seconds since the process started."),
+		goros: reg.NewGauge("rewire_process_goroutines_units",
+			"Live goroutines."),
+		heap: reg.NewGauge("rewire_process_heap_alloc_bytes",
+			"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc)."),
+	}
+}
+
+// Refresh snapshots the process state into the gauges. Call it from the
+// scrape handler, before rendering. Safe on nil.
+func (p *ProcessCollector) Refresh() {
+	if p == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.uptime.Set(time.Since(p.start).Seconds())
+	p.goros.Set(float64(runtime.NumGoroutine()))
+	p.heap.Set(float64(ms.HeapAlloc))
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// RegisterProcess must expose the three process gauges and the
+// build-info identity gauge, and Refresh must land real values in the
+// exposition.
+func TestProcessCollectorExposition(t *testing.T) {
+	reg := NewRegistry()
+	pc := RegisterProcess(reg)
+	pc.Refresh()
+
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+
+	for _, want := range []string{
+		"rewire_build_info{",
+		"rewire_process_uptime_seconds",
+		"rewire_process_goroutines_units",
+		"rewire_process_heap_alloc_bytes",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition misses %s:\n%s", want, body)
+		}
+	}
+	// The info gauge's value is pinned to 1 and its labels carry the
+	// identity.
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "rewire_build_info{") {
+			if !strings.HasSuffix(line, " 1") {
+				t.Errorf("build info gauge not pinned to 1: %q", line)
+			}
+			for _, l := range []string{"go_version=", "vcs_revision=", "modified="} {
+				if !strings.Contains(line, l) {
+					t.Errorf("build info gauge misses label %s: %q", l, line)
+				}
+			}
+		}
+		if strings.HasPrefix(line, "rewire_process_goroutines_units ") {
+			if strings.HasSuffix(line, " 0") {
+				t.Errorf("goroutine gauge not refreshed: %q", line)
+			}
+		}
+	}
+}
+
+// The _info suffix is an exception for gauges only; counters and
+// histograms must still be rejected, as must malformed info names.
+func TestInfoNameRule(t *testing.T) {
+	if err := CheckName("rewire_build_info", TypeGauge); err != nil {
+		t.Errorf("rewire_build_info rejected for a gauge: %v", err)
+	}
+	if err := CheckName("rewire_build_info", TypeCounter); err == nil {
+		t.Error("rewire_build_info accepted for a counter")
+	}
+	if err := CheckName("rewire_info", TypeGauge); err == nil {
+		t.Error("rewire_info (no name segment) accepted")
+	}
+}
+
+// A nil collector (nil registry) must no-op.
+func TestProcessCollectorNil(t *testing.T) {
+	var reg *Registry
+	pc := RegisterProcess(reg)
+	pc.Refresh() // must not panic
+}

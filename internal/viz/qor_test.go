@@ -1,0 +1,72 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"rewire/internal/ledger"
+)
+
+func qorEntries() []ledger.Entry {
+	e := func(kernel, mapper string, ii int, ms float64) ledger.Entry {
+		return ledger.Entry{
+			Kernel: kernel, Arch: "4x4r4", Mapper: mapper,
+			Success: ii > 0, II: ii, MII: 2, CompileMS: ms,
+		}
+	}
+	return []ledger.Entry{
+		e("mvt", "rewire", 3, 10),
+		e("mvt", "rewire", 2, 12),
+		e("mvt", "pathfinder", 4, 30),
+		e("atax", "rewire", 2, 8),
+		e("atax", "pathfinder", 0, 50), // failed
+	}
+}
+
+func TestRenderQoR(t *testing.T) {
+	out := RenderQoR(qorEntries())
+	for _, want := range []string{
+		"5 runs in 4 groups",
+		"mvt@4x4r4", "atax@4x4r4",
+		"mapping quality", "compile-time trend", "win rate",
+		// rewire beats pathfinder on both combos (lower best II on mvt,
+		// success-vs-failure on atax).
+		"2/2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII dashboard misses %q:\n%s", want, out)
+		}
+	}
+	// The II series for mvt/rewire has two points: the sparkline must
+	// not be empty.
+	if !strings.ContainsAny(out, "▁▂▃▄▅▆▇█") {
+		t.Error("dashboard has no sparklines")
+	}
+}
+
+func TestRenderQoRHTML(t *testing.T) {
+	out := RenderQoRHTML(qorEntries())
+	for _, want := range []string{
+		"<!DOCTYPE html>", "QoR dashboard",
+		"mvt@4x4r4", "win rate", "2/2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML dashboard misses %q", want)
+		}
+	}
+	// Kernel names are user input on the serve path: they must be
+	// escaped.
+	evil := []ledger.Entry{{Kernel: "<script>", Arch: "a", Mapper: "rewire", Success: true, II: 1, MII: 1}}
+	if strings.Contains(RenderQoRHTML(evil), "<script>") {
+		t.Error("HTML dashboard does not escape kernel names")
+	}
+}
+
+func TestRenderQoREmpty(t *testing.T) {
+	if out := RenderQoR(nil); !strings.Contains(out, "empty") {
+		t.Errorf("empty ASCII dashboard: %q", out)
+	}
+	if out := RenderQoRHTML(nil); !strings.Contains(out, "empty") {
+		t.Errorf("empty HTML dashboard: %q", out)
+	}
+}

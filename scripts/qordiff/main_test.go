@@ -1,0 +1,124 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rewire/internal/ledger"
+)
+
+func group(kernel, mapper string, bestII, runs, successes int, ms ...float64) ledger.Group {
+	return ledger.Group{
+		Kernel: kernel, Arch: "4x4r4", Mapper: mapper,
+		Runs: runs, Successes: successes, BestII: bestII, MII: 2, CompileMS: ms,
+	}
+}
+
+// Identical snapshots must diff clean — the HEAD-vs-HEAD CI gate.
+func TestDiffIdenticalIsClean(t *testing.T) {
+	gs := []ledger.Group{
+		group("mvt", "rewire", 3, 2, 2, 120, 130),
+		group("atax", "rewire", 2, 1, 1, 88),
+	}
+	regs, _ := diff(gs, gs, 0.5)
+	if len(regs) != 0 {
+		t.Fatalf("identical snapshots regressed: %v", regs)
+	}
+}
+
+// Any best-II increase is a regression; a decrease is an improvement
+// note, not a failure.
+func TestDiffIIRegression(t *testing.T) {
+	base := []ledger.Group{group("mvt", "rewire", 3, 1, 1, 100)}
+	worse := []ledger.Group{group("mvt", "rewire", 4, 1, 1, 100)}
+	regs, _ := diff(base, worse, 0.5)
+	if len(regs) != 1 || regs[0].What != "best II" {
+		t.Fatalf("II 3->4 not flagged: %v", regs)
+	}
+	better := []ledger.Group{group("mvt", "rewire", 2, 1, 1, 100)}
+	regs, notes := diff(base, better, 0.5)
+	if len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+	if !strings.Contains(strings.Join(notes, "\n"), "improved") {
+		t.Errorf("improvement not noted: %v", notes)
+	}
+}
+
+// Losing all successes on a group that used to map is a regression.
+func TestDiffSuccessLost(t *testing.T) {
+	base := []ledger.Group{group("atax", "rewire", 2, 1, 1, 88)}
+	cur := []ledger.Group{group("atax", "rewire", 0, 1, 0, 412)}
+	regs, _ := diff(base, cur, 0.5)
+	found := false
+	for _, r := range regs {
+		if r.What == "success" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lost success not flagged: %v", regs)
+	}
+}
+
+// A success-rate drop fails even when the best run still lands.
+func TestDiffSuccessRateDrop(t *testing.T) {
+	base := []ledger.Group{group("mvt", "rewire", 3, 4, 4, 100, 100, 100, 100)}
+	cur := []ledger.Group{group("mvt", "rewire", 3, 4, 3, 100, 100, 100)}
+	regs, _ := diff(base, cur, 0.5)
+	if len(regs) != 1 || regs[0].What != "success rate" {
+		t.Fatalf("success-rate drop 100%%->75%% not flagged: %v", regs)
+	}
+}
+
+// Median compile time fails only past the threshold.
+func TestDiffCompileTimeThreshold(t *testing.T) {
+	base := []ledger.Group{group("mvt", "rewire", 3, 1, 1, 100)}
+	slow := []ledger.Group{group("mvt", "rewire", 3, 1, 1, 160)}
+	if regs, _ := diff(base, slow, 0.5); len(regs) != 1 || regs[0].What != "median compile ms" {
+		t.Fatalf("+60%% compile time not flagged at +50%% threshold: %v", regs)
+	}
+	okish := []ledger.Group{group("mvt", "rewire", 3, 1, 1, 140)}
+	if regs, _ := diff(base, okish, 0.5); len(regs) != 0 {
+		t.Fatalf("+40%% compile time flagged at +50%% threshold: %v", regs)
+	}
+}
+
+// Coverage changes are notes, never failures.
+func TestDiffCoverageChangesAreNotes(t *testing.T) {
+	base := []ledger.Group{group("mvt", "rewire", 3, 1, 1, 100)}
+	cur := []ledger.Group{group("atax", "rewire", 2, 1, 1, 88)}
+	regs, notes := diff(base, cur, 0.5)
+	if len(regs) != 0 {
+		t.Fatalf("coverage change failed the diff: %v", regs)
+	}
+	joined := strings.Join(notes, "\n")
+	if !strings.Contains(joined, "only in baseline") || !strings.Contains(joined, "only in current") {
+		t.Errorf("coverage notes missing: %v", notes)
+	}
+}
+
+// The checked-in fixture pair must reproduce the synthetic regression:
+// base vs regress flags the II jump and the lost success; base vs base
+// is clean. CI's qor-gate drives the binary over the same files.
+func TestFixtures(t *testing.T) {
+	base, err := loadGroups("testdata/base.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := loadGroups("testdata/regress.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs, _ := diff(base, base, 0.5); len(regs) != 0 {
+		t.Fatalf("base vs base regressed: %v", regs)
+	}
+	regs, _ := diff(base, cur, 0.5)
+	kinds := map[string]bool{}
+	for _, r := range regs {
+		kinds[r.What] = true
+	}
+	if !kinds["best II"] || !kinds["success"] {
+		t.Fatalf("fixture pair misses expected regressions (best II + success): %v", regs)
+	}
+}

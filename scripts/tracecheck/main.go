@@ -1,10 +1,11 @@
 // Command tracecheck validates trace files emitted by the mapping
 // pipeline: Chrome trace_event documents (*.trace.json, the format
-// Perfetto and chrome://tracing load), structured JSONL traces and
-// progress-event logs (*.jsonl — told apart by their meta record's
-// format field: rewire-trace-v1 vs rewire-progress-v1). CI runs it
-// over a small traced mapping so a malformed exporter fails the build
-// rather than the first person opening a trace.
+// Perfetto and chrome://tracing load), and JSONL streams — structured
+// traces, progress-event logs and QoR ledgers, told apart by their
+// meta record's format field (rewire-trace-v1, rewire-progress-v1,
+// rewire-ledger-v1). CI runs it over a small traced mapping so a
+// malformed exporter fails the build rather than the first person
+// opening a trace.
 //
 // Usage:
 //
@@ -122,9 +123,67 @@ func checkJSONL(path string) error {
 		return checkTraceJSONL(path, sc)
 	case "rewire-progress-v1":
 		return checkProgressJSONL(path, sc, meta.Dropped)
+	case "rewire-ledger-v1":
+		return checkLedgerJSONL(path, sc)
 	default:
-		return fmt.Errorf("unknown JSONL format %q (want rewire-trace-v1 or rewire-progress-v1)", meta.Format)
+		return fmt.Errorf("unknown JSONL format %q (want rewire-trace-v1, rewire-progress-v1 or rewire-ledger-v1)", meta.Format)
 	}
+}
+
+// checkLedgerJSONL verifies a QoR ledger after its meta line: every
+// run entry parses, carries its identity (kernel, arch, mapper) and
+// the three content fingerprints, and timestamps never go backwards
+// (the ledger stamps them monotonically under its append lock, so a
+// violation means hand-edited or corrupted history).
+func checkLedgerJSONL(path string, sc *bufio.Scanner) error {
+	line, runs := 1, 0
+	var lastTS int64
+	for sc.Scan() {
+		line++
+		var e struct {
+			Type   string `json:"type"`
+			TSMS   int64  `json:"ts_ms"`
+			Source string `json:"source"`
+			Kernel string `json:"kernel"`
+			Arch   string `json:"arch"`
+			Mapper string `json:"mapper"`
+			MII    int    `json:"mii"`
+			DFGFP  string `json:"dfg_fp"`
+			ArchFP string `json:"arch_fp"`
+			OptsFP string `json:"opts_fp"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return fmt.Errorf("line %d: invalid JSON: %w", line, err)
+		}
+		if e.Type != "run" {
+			continue // future record types are allowed
+		}
+		if e.Kernel == "" || e.Arch == "" || e.Mapper == "" {
+			return fmt.Errorf("line %d: run without kernel/arch/mapper identity", line)
+		}
+		if e.Source == "" {
+			return fmt.Errorf("line %d: run without a source", line)
+		}
+		if e.DFGFP == "" || e.ArchFP == "" || e.OptsFP == "" {
+			return fmt.Errorf("line %d: run without content fingerprints", line)
+		}
+		if e.TSMS <= 0 {
+			return fmt.Errorf("line %d: run without a timestamp", line)
+		}
+		if e.TSMS < lastTS {
+			return fmt.Errorf("line %d: ts_ms %d goes backwards past %d", line, e.TSMS, lastTS)
+		}
+		lastTS = e.TSMS
+		runs++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if runs == 0 {
+		return fmt.Errorf("no run entries")
+	}
+	fmt.Printf("tracecheck: %s: %d ledger entries\n", path, runs)
+	return nil
 }
 
 // checkTraceJSONL verifies a structured trace after its meta line:
