@@ -1,38 +1,72 @@
 package core
 
-import "sort"
+import "slices"
 
 // cluster is the set of nodes U being amended together, with its mapped
 // anchors (Parents(U) and Children(U) in the paper's notation).
+// Membership is a DFG-node-indexed bitmap plus a count; the single live
+// cluster of an amendment is embedded in the amender's scratch and
+// recycled across attempts.
 type cluster struct {
-	nodes []int        // topological order within the DFG order
-	in    map[int]bool // membership
+	nodes []int  // topological order within the DFG order
+	in    []bool // membership bitmap, indexed by DFG node ID
+	size  int    // number of set bits in `in`
 }
 
-func (u *cluster) contains(v int) bool { return u.in[v] }
+func (u *cluster) contains(v int) bool { return v < len(u.in) && u.in[v] }
+
+// reset empties the cluster and sizes its bitmap for numNodes DFG nodes.
+func (u *cluster) reset(numNodes int) {
+	u.nodes = u.nodes[:0]
+	if len(u.in) < numNodes {
+		u.in = make([]bool, numNodes)
+	} else {
+		clear(u.in)
+	}
+	u.size = 0
+}
+
+// add puts v into the cluster (must not already be a member).
+func (u *cluster) add(v int) {
+	u.in[v] = true
+	u.size++
+}
 
 // buildCluster seeds a cluster from the ill-mapped set: a random ill node
 // plus its connected ill neighbours (BFS over the DFG treated as
 // undirected, restricted to ill nodes), capped at the initial size. The
 // selected nodes are ripped from the mapping so their resources free up.
+// The returned cluster lives in the amender's scratch.
 func (a *amender) buildCluster(ill []int) *cluster {
-	illSet := make(map[int]bool, len(ill))
+	scr := a.scratch()
+	epoch := scr.beginMark()
 	for _, v := range ill {
-		illSet[v] = true
+		scr.mark[v] = epoch
 	}
 	seed := ill[a.rng.Intn(len(ill))]
-	u := &cluster{in: map[int]bool{seed: true}}
-	queue := []int{seed}
-	for len(queue) > 0 && len(u.in) < a.opt.InitialClusterSize {
-		v := queue[0]
-		queue = queue[1:]
-		for _, w := range append(a.g.Parents(v), a.g.Children(v)...) {
-			if illSet[w] && !u.in[w] && len(u.in) < a.opt.InitialClusterSize {
-				u.in[w] = true
+	u := &scr.u
+	u.reset(len(a.g.Nodes))
+	u.add(seed)
+	queue := scr.queueBuf[:0]
+	queue = append(queue, seed)
+	for head := 0; head < len(queue) && u.size < a.opt.InitialClusterSize; head++ {
+		v := queue[head]
+		// Parents first, then children — the same neighbour order the old
+		// concatenated walk used, with the size cap checked per absorb.
+		for _, w := range a.g.Parents(v) {
+			if scr.mark[w] == epoch && !u.in[w] && u.size < a.opt.InitialClusterSize {
+				u.add(w)
+				queue = append(queue, w)
+			}
+		}
+		for _, w := range a.g.Children(v) {
+			if scr.mark[w] == epoch && !u.in[w] && u.size < a.opt.InitialClusterSize {
+				u.add(w)
 				queue = append(queue, w)
 			}
 		}
 	}
+	scr.queueBuf = queue
 	u.refreshOrder(a)
 	for _, v := range u.nodes {
 		a.sess.RipNode(v)
@@ -51,12 +85,14 @@ func (a *amender) growCluster(u *cluster) bool {
 			bestDist = dist[v]
 		}
 	}
-	var tied []int
+	scr := a.scratch()
+	tied := scr.tiedBuf[:0]
 	for v := range a.g.Nodes {
 		if !u.in[v] && dist[v] == bestDist {
 			tied = append(tied, v)
 		}
 	}
+	scr.tiedBuf = tied
 	if len(tied) == 0 {
 		return false
 	}
@@ -65,7 +101,7 @@ func (a *amender) growCluster(u *cluster) bool {
 	// neighbour frees its resources and gets re-placed with the cluster).
 	best := tied[a.rng.Intn(len(tied))]
 	a.sess.RipNode(best)
-	u.in[best] = true
+	u.add(best)
 	u.refreshOrder(a)
 	return true
 }
@@ -83,7 +119,7 @@ func (a *amender) growTowardsBlocker(u *cluster, cands map[int][]pcand, props ma
 		if p == nil {
 			return
 		}
-		n := len(p.arrive)
+		n := p.nArrivePEs
 		if n < bestTuples {
 			best, bestTuples = anchor, n
 		}
@@ -93,12 +129,12 @@ func (a *amender) growTowardsBlocker(u *cluster, cands map[int][]pcand, props ma
 			continue
 		}
 		for _, w := range a.g.Parents(v) {
-			if !u.in[w] && a.sess.M.Placed(w) {
+			if !u.contains(w) && a.sess.M.Placed(w) {
 				consider(w, true)
 			}
 		}
 		for _, w := range a.g.Children(v) {
-			if !u.in[w] && a.sess.M.Placed(w) {
+			if !u.contains(w) && a.sess.M.Placed(w) {
 				consider(w, false)
 			}
 		}
@@ -107,7 +143,7 @@ func (a *amender) growTowardsBlocker(u *cluster, cands map[int][]pcand, props ma
 		return false
 	}
 	a.sess.RipNode(best)
-	u.in[best] = true
+	u.add(best)
 	u.refreshOrder(a)
 	return true
 }
@@ -115,37 +151,34 @@ func (a *amender) growTowardsBlocker(u *cluster, cands map[int][]pcand, props ma
 // refreshOrder recomputes the cluster's topological node order (the order
 // Algorithm 2 assigns placements in).
 func (u *cluster) refreshOrder(a *amender) {
-	order, err := a.g.TopoOrder()
+	order, err := a.g.TopoOrderShared()
 	if err != nil {
 		// The DFG validated at load; an error here is unreachable, but
-		// fall back to ID order to stay total.
+		// fall back to ID order to stay total (the bitmap scan is already
+		// ascending, matching the old collect-and-sort).
 		u.nodes = u.nodes[:0]
-		for v := range u.in {
-			u.nodes = append(u.nodes, v)
+		for v, in := range u.in {
+			if in {
+				u.nodes = append(u.nodes, v)
+			}
 		}
-		sort.Ints(u.nodes)
 		return
 	}
 	u.nodes = u.nodes[:0]
 	for _, v := range order {
-		if u.in[v] {
+		if u.contains(v) {
 			u.nodes = append(u.nodes, v)
 		}
 	}
 }
 
-// parents returns Parents(U): mapped nodes with an edge into U; children
-// returns Children(U) likewise. Both are deduplicated and sorted.
-func (a *amender) parents(u *cluster) []int {
-	return a.anchors(u, true)
-}
-
-func (a *amender) children(u *cluster) []int {
-	return a.anchors(u, false)
-}
-
-func (a *amender) anchors(u *cluster, parents bool) []int {
-	set := map[int]bool{}
+// anchorsInto appends Parents(U) (parents=true) or Children(U) to out:
+// mapped nodes with an edge into / out of U, deduplicated via the scratch
+// mark set and sorted ascending — byte-identical to the old map-collect-
+// then-sort result.
+func (a *amender) anchorsInto(u *cluster, parents bool, out []int) []int {
+	scr := a.scratch()
+	epoch := scr.beginMark()
 	for _, v := range u.nodes {
 		var neigh []int
 		if parents {
@@ -154,15 +187,12 @@ func (a *amender) anchors(u *cluster, parents bool) []int {
 			neigh = a.g.Children(v)
 		}
 		for _, w := range neigh {
-			if !u.in[w] && a.sess.M.Placed(w) {
-				set[w] = true
+			if scr.mark[w] != epoch && !u.contains(w) && a.sess.M.Placed(w) {
+				scr.mark[w] = epoch
+				out = append(out, w)
 			}
 		}
 	}
-	out := make([]int, 0, len(set))
-	for v := range set {
-		out = append(out, v)
-	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }

@@ -328,7 +328,21 @@ type amender struct {
 	att *diag.IIAttempt
 	bus *diag.Bus
 
+	// scr is the pooled per-amendment working memory (see scratch.go),
+	// drawn lazily so tests can call the phase methods directly without
+	// running amend. Single-goroutine like the rest of the amender.
+	scr *amendScratch
+
 	amendRounds int // amendment rounds completed (for round progress events)
+}
+
+// scratch returns the amender's pooled working memory, acquiring it on
+// first use.
+func (a *amender) scratch() *amendScratch {
+	if a.scr == nil {
+		a.scr = getAmendScratch(len(a.g.Nodes))
+	}
+	return a.scr
 }
 
 // amend repairs the initial mapping cluster by cluster (Algorithm 1,
@@ -338,6 +352,8 @@ type amender struct {
 // nodes are now unplaced and a different random seed groups them with
 // different neighbours.
 func (a *amender) amend() bool {
+	a.scratch() // acquire the pooled working memory for the whole attempt
+	defer func() { putAmendScratch(a.scr); a.scr = nil }()
 	failures := 0
 	for !a.pace.ExpiredNow() {
 		ill := a.sess.IllMapped()

@@ -24,14 +24,23 @@ func (a *amender) generate(u *cluster, cands map[int][]pcand, props map[int]*pro
 			return false // some node has no candidate at all
 		}
 	}
-	gen := &generator{
+	scr := a.scratch()
+	chosen := scr.chosenBuf
+	if cap(chosen) < len(u.nodes) {
+		chosen = make([]pcand, len(u.nodes))
+	}
+	chosen = chosen[:len(u.nodes)]
+	scr.chosenBuf = chosen
+	gen := &scr.gen
+	*gen = generator{
 		a:      a,
 		u:      u,
 		cands:  cands,
 		props:  props,
-		chosen: make([]pcand, len(u.nodes)),
+		chosen: chosen,
 		budget: budget,
 		span:   gs,
+		scr:    scr,
 	}
 	ok := gen.assign(0)
 	gs.WithBool("ok", ok).End()
@@ -45,7 +54,8 @@ type generator struct {
 	props  map[int]*propagation
 	chosen []pcand
 	budget *int
-	span   *trace.Span // the placement_enum span; parent of verify spans
+	span   *trace.Span   // the placement_enum span; parent of verify spans
+	scr    *amendScratch // owns the per-depth routed-edge buffers
 }
 
 // assign recursively picks a candidate for the i-th cluster node (the
@@ -78,7 +88,7 @@ func (g *generator) assign(i int) bool {
 		g.a.ctr.verifyAttempts.Add(1)
 		vs := g.a.tr.StartSpan(g.span, "verify").
 			WithInt("node", int64(v)).WithInt("pe", int64(c.pe)).WithInt("t", int64(c.T))
-		routed, ok := g.routeNode(v)
+		routed, ok := g.routeNode(i, v)
 		vs.WithBool("ok", ok).End()
 		if ok {
 			g.a.res.VerifySuccesses++
@@ -162,24 +172,42 @@ func (g *generator) indexOf(v, limit int) (int, bool) {
 }
 
 // routeNode routes every edge of v whose other endpoint is placed,
-// returning the edges committed and whether all succeeded.
-func (g *generator) routeNode(v int) ([]int, bool) {
+// returning the edges committed and whether all succeeded. The returned
+// slice is the depth-i scratch buffer — one buffer per recursion depth,
+// because depth i's routed list must survive while assign(i+1) runs.
+func (g *generator) routeNode(i, v int) ([]int, bool) {
 	a := g.a
-	var done []int
-	seen := map[int]bool{}
-	for _, eid := range append(append([]int{}, a.g.InEdges(v)...), a.g.OutEdges(v)...) {
-		if seen[eid] {
-			continue
-		}
-		seen[eid] = true
+	for len(g.scr.routedBufs) <= i {
+		g.scr.routedBufs = append(g.scr.routedBufs, nil)
+	}
+	done := g.scr.routedBufs[i][:0]
+	defer func() { g.scr.routedBufs[i] = done }()
+	tryEdge := func(eid int) bool {
 		e := a.g.Edges[eid]
 		if !a.sess.M.Placed(e.From) || !a.sess.M.Placed(e.To) || a.sess.M.Routed(eid) {
-			continue
+			return true
 		}
 		if !g.routeOne(eid) {
-			return done, false
+			return false
 		}
 		done = append(done, eid)
+		return true
+	}
+	// In-edges first, then out-edges, skipping the one overlap (a self
+	// edge appears in both lists) — the same order the old concatenate-
+	// and-dedup walk produced.
+	for _, eid := range a.g.InEdges(v) {
+		if !tryEdge(eid) {
+			return done, false
+		}
+	}
+	for _, eid := range a.g.OutEdges(v) {
+		if e := a.g.Edges[eid]; e.From == v && e.To == v {
+			continue
+		}
+		if !tryEdge(eid) {
+			return done, false
+		}
 	}
 	return done, true
 }

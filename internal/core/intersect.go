@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"rewire/internal/placer"
 )
@@ -33,24 +33,41 @@ type srcConstraint struct {
 // tuple arriving there at the same implied execution cycle, and every
 // representative source can reach it no later (forward) / no earlier
 // (backward).
+//
+// The returned map and the candidate slices in it live in the amender's
+// scratch: they stay valid through placement generation of this cluster
+// iteration and are recycled by the next intersect call.
 func (a *amender) intersect(u *cluster, props map[int]*propagation) map[int][]pcand {
-	out := make(map[int][]pcand, len(u.nodes))
-	for _, v := range u.nodes {
-		out[v] = a.candidatesFor(v, u, props)
+	scr := a.scratch()
+	out := scr.cands
+	clear(out)
+	for len(scr.candBufs) < len(u.nodes) {
+		scr.candBufs = append(scr.candBufs, nil)
+	}
+	for i, v := range u.nodes {
+		scr.candBufs[i] = a.candidatesFor(v, u, props, scr.candBufs[i][:0])
+		out[v] = scr.candBufs[i]
 	}
 	return out
 }
 
-func (a *amender) candidatesFor(v int, u *cluster, props map[int]*propagation) []pcand {
+func (a *amender) candidatesFor(v int, u *cluster, props map[int]*propagation, cands []pcand) []pcand {
 	fwd, bwd := a.sourceConstraints(v, u, props)
 	numPEs := a.sess.M.Arch.NumPEs()
-	var cands []pcand
 
 	hasDirect := false
-	for _, c := range append(append([]srcConstraint{}, fwd...), bwd...) {
+	for _, c := range fwd {
 		if c.direct {
 			hasDirect = true
 			break
+		}
+	}
+	if !hasDirect {
+		for _, c := range bwd {
+			if c.direct {
+				hasDirect = true
+				break
+			}
 		}
 	}
 
@@ -73,18 +90,28 @@ func (a *amender) candidatesFor(v int, u *cluster, props map[int]*propagation) [
 		}
 	}
 	if len(fwd)+len(bwd) == 0 {
-		cands = a.fallbackCandidates(v)
+		cands = a.fallbackCandidates(v, cands[:0])
 	}
 	// Algorithm 2 line 3: sort candidates by available execution cycle.
 	// PEs within one cycle are shuffled so concurrently-placed cluster
 	// nodes spread over the fabric instead of all contending for the
-	// lowest-numbered PE.
-	perm := a.rng.Perm(a.sess.M.Arch.NumPEs())
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].T != cands[j].T {
-			return cands[i].T < cands[j].T
+	// lowest-numbered PE. The comparator is a strict total order over the
+	// unique (T, pe) pairs, so the (unstable) sort result is unique.
+	perm := a.scratch().perm(a.rng, numPEs)
+	slices.SortFunc(cands, func(x, y pcand) int {
+		if x.T != y.T {
+			if x.T < y.T {
+				return -1
+			}
+			return 1
 		}
-		return perm[cands[i].pe] < perm[cands[j].pe]
+		if perm[x.pe] != perm[y.pe] {
+			if perm[x.pe] < perm[y.pe] {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
 	if len(cands) > a.opt.MaxCandidatesPerNode {
 		cands = cands[:a.opt.MaxCandidatesPerNode]
@@ -95,8 +122,11 @@ func (a *amender) candidatesFor(v int, u *cluster, props map[int]*propagation) [
 // sourceConstraints gathers v's forward (parent-side) and backward
 // (child-side) constraints. Direct edges to mapped anchors give exact
 // constraints; edges to unmapped relatives are represented by the
-// anchors a DFS reaches through unmapped nodes.
+// anchors a DFS reaches through unmapped nodes. The returned slices are
+// scratch-backed and stay valid until the next call.
 func (a *amender) sourceConstraints(v int, u *cluster, props map[int]*propagation) (fwd, bwd []srcConstraint) {
+	scr := a.scratch()
+	fwd, bwd = scr.fwdBuf[:0], scr.bwdBuf[:0]
 	for _, eid := range a.g.InEdges(v) {
 		e := a.g.Edges[eid]
 		if e.From == v {
@@ -131,6 +161,7 @@ func (a *amender) sourceConstraints(v int, u *cluster, props map[int]*propagatio
 			}
 		}
 	}
+	scr.fwdBuf, scr.bwdBuf = fwd, bwd
 	return fwd, bwd
 }
 
@@ -138,10 +169,14 @@ func (a *amender) sourceConstraints(v int, u *cluster, props map[int]*propagatio
 // relative: a DFS through unmapped nodes towards ancestors (forward) or
 // descendants (backward), stopping at the first mapped node on each
 // branch. At most two anchors are kept to bound the constraint count.
+// The result is scratch-backed: consume it before the next call.
 func (a *amender) repAnchors(start int, towardsParents bool) []int {
-	var out []int
-	seen := map[int]bool{start: true}
-	stack := []int{start}
+	scr := a.scratch()
+	epoch := scr.beginMark()
+	out := scr.repOut[:0]
+	stack := scr.repStack[:0]
+	scr.mark[start] = epoch
+	stack = append(stack, start)
 	for len(stack) > 0 && len(out) < 2 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -152,10 +187,10 @@ func (a *amender) repAnchors(start int, towardsParents bool) []int {
 			neigh = a.g.Children(v)
 		}
 		for _, w := range neigh {
-			if seen[w] {
+			if scr.mark[w] == epoch {
 				continue
 			}
-			seen[w] = true
+			scr.mark[w] = epoch
 			if a.sess.M.Placed(w) {
 				out = append(out, w)
 				if len(out) >= 2 {
@@ -166,30 +201,66 @@ func (a *amender) repAnchors(start int, towardsParents bool) []int {
 			}
 		}
 	}
+	scr.repOut, scr.repStack = out, stack
 	return out
+}
+
+// appendImpliedTimes appends, in ascending order, the execution times a
+// direct constraint implies at pe. Tuple lists are sorted ascending by
+// cycles and cycle counts are distinct per (PE, constraint), so the
+// forward mapping T = srcTime + L - dist*II is strictly increasing and
+// the backward one strictly decreasing (hence the reverse walk): each
+// produced list is strictly ascending with no duplicates.
+func appendImpliedTimes(dst []int, c srcConstraint, pe, ii int) []int {
+	list := c.prop.cyclesAt(pe)
+	if c.prop.forward {
+		for _, ar := range list {
+			dst = append(dst, c.prop.srcTime+ar.cycles-c.dist*ii)
+		}
+	} else {
+		for i := len(list) - 1; i >= 0; i-- {
+			dst = append(dst, c.prop.srcTime-list[i].cycles+c.dist*ii)
+		}
+	}
+	return dst
 }
 
 // directTimes intersects the execution times implied by all direct
 // constraints at one PE, then filters by the loose representative
 // inequalities. The first direct constraint seeds the time set; each
-// further direct constraint intersects it.
+// further direct constraint intersects it. Because each constraint's
+// implied-time list is strictly ascending, the set intersection is a
+// two-pointer merge over scratch slices — same ascending result the
+// old map-then-sort produced, without the per-PE allocations. The
+// returned slice is scratch-backed and valid until the next call.
 func (a *amender) directTimes(pe int, fwd, bwd []srcConstraint) []int {
+	scr := a.scratch()
 	ii := a.sess.M.II
-	var times map[int]bool
+	times := scr.timesA[:0]
+	seeded := false
 	intersectWith := func(c srcConstraint) {
-		cur := map[int]bool{}
-		for _, ar := range c.prop.cyclesAt(pe) {
-			var T int
-			if c.prop.forward {
-				T = c.prop.srcTime + ar.cycles - c.dist*ii
-			} else {
-				T = c.prop.srcTime - ar.cycles + c.dist*ii
-			}
-			if times == nil || times[T] {
-				cur[T] = true
+		if !seeded {
+			times = appendImpliedTimes(times, c, pe, ii)
+			seeded = true
+			return
+		}
+		other := appendImpliedTimes(scr.timesB[:0], c, pe, ii)
+		scr.timesB = other
+		k, i, j := 0, 0, 0
+		for i < len(times) && j < len(other) {
+			switch {
+			case times[i] < other[j]:
+				i++
+			case times[i] > other[j]:
+				j++
+			default:
+				times[k] = times[i]
+				k++
+				i++
+				j++
 			}
 		}
-		times = cur
+		times = times[:k]
 	}
 	for _, c := range fwd {
 		if c.direct {
@@ -201,21 +272,21 @@ func (a *amender) directTimes(pe int, fwd, bwd []srcConstraint) []int {
 			intersectWith(c)
 		}
 	}
-	if len(times) == 0 {
-		return nil
-	}
-	var out []int
-	for T := range times {
+	k := 0
+	for _, T := range times {
 		if a.repsAdmit(pe, T, fwd, bwd) {
-			out = append(out, T)
+			times[k] = T
+			k++
 		}
 	}
-	sort.Ints(out)
-	return out
+	times = times[:k]
+	scr.timesA = times
+	return times
 }
 
 // repOnlyTimes derives candidate times when v has only representative
-// constraints: every time in the span the representatives admit.
+// constraints: every time in the span the representatives admit. The
+// returned slice is scratch-backed and valid until the next call.
 func (a *amender) repOnlyTimes(pe int, fwd, bwd []srcConstraint) []int {
 	lo, hi := a.repSpan(pe, fwd, bwd)
 	if lo > hi {
@@ -224,10 +295,12 @@ func (a *amender) repOnlyTimes(pe int, fwd, bwd []srcConstraint) []int {
 	if hi-lo > 3*a.sess.M.II {
 		hi = lo + 3*a.sess.M.II
 	}
-	var out []int
+	scr := a.scratch()
+	out := scr.timesA[:0]
 	for T := lo; T <= hi; T++ {
 		out = append(out, T)
 	}
+	scr.timesA = out
 	return out
 }
 
@@ -293,14 +366,13 @@ func (a *amender) repSpan(pe int, fwd, bwd []srcConstraint) (lo, hi int) {
 
 // fallbackCandidates handles nodes with no reachable anchors at all (an
 // entirely unmapped component): any free compatible slot in a default
-// schedule window.
-func (a *amender) fallbackCandidates(v int) []pcand {
+// schedule window, appended to out.
+func (a *amender) fallbackCandidates(v int, out []pcand) []pcand {
 	base := 0
 	if asap, err := a.g.ASAP(a.sess.M.II); err == nil {
 		base = asap[v]
 	}
 	w := placer.TimeWindow(a.sess, v, base, placer.DefaultSlack(a.sess.M.II))
-	var out []pcand
 	for _, pl := range placer.Candidates(a.sess, v, w) {
 		out = append(out, pcand{pe: pl.PE, T: pl.Time})
 	}

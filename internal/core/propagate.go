@@ -30,12 +30,42 @@ type propagation struct {
 	par     []int32 // state index -> predecessor state index (-1 = seed)
 	visited []bool
 	// arrive[pe] lists tuples sorted by cycles; endState points at the
-	// final resource of the probe path for extraction.
-	arrive map[int][]arrival
+	// final resource of the probe path for extraction. The table is
+	// epoch-stamped (the PR 1 router-scratch idiom): arrive[pe] is live
+	// only when arriveStamp[pe] == arriveEpoch, so a pooled propagation
+	// starts with an empty table in O(1) while the per-PE tuple lists
+	// keep their capacity across floods. nArrivePEs counts the PEs with
+	// at least one live tuple (what len(arrive) used to report).
+	arrive      [][]arrival
+	arriveStamp []int64
+	arriveEpoch int64
+	nArrivePEs  int
+	// frontA/frontB are the BFS frontier double-buffer.
+	frontA, frontB []mrrg.Node
 	// dedups counts tuples suppressed by the per-(PE, cycles) dedup rule;
 	// a plain int because each flood is single-goroutine, folded into the
 	// tracer's propagate.tuples_deduped counter afterwards.
 	dedups int
+}
+
+// propPool recycles propagation headers together with their arrival
+// tables and frontier buffers. Floods run on worker-pool goroutines, so
+// the pool is global rather than part of amendScratch.
+var propPool = sync.Pool{New: func() any { return new(propagation) }}
+
+// getProp draws a propagation with an empty arrival table covering
+// numPEs PEs.
+func getProp(numPEs int) *propagation {
+	p := propPool.Get().(*propagation)
+	if len(p.arrive) < numPEs {
+		p.arrive = make([][]arrival, numPEs)
+		p.arriveStamp = make([]int64, numPEs)
+		p.arriveEpoch = 0
+	}
+	p.arriveEpoch++
+	p.nArrivePEs = 0
+	p.dedups = 0
+	return p
 }
 
 type arrival struct {
@@ -52,12 +82,17 @@ func (p *propagation) stateNode(s int32) mrrg.Node {
 }
 
 // cyclesAt returns the tuple cycle counts present at PE q.
-func (p *propagation) cyclesAt(q int) []arrival { return p.arrive[q] }
+func (p *propagation) cyclesAt(q int) []arrival {
+	if q >= len(p.arriveStamp) || p.arriveStamp[q] != p.arriveEpoch {
+		return nil
+	}
+	return p.arrive[q]
+}
 
 // hasCycle reports whether a tuple with exactly the given cycle count
 // exists at q, returning its arrival for path extraction.
 func (p *propagation) hasCycle(q, cycles int) (arrival, bool) {
-	for _, ar := range p.arrive[q] {
+	for _, ar := range p.cyclesAt(q) {
 		if ar.cycles == cycles {
 			return ar, true
 		}
@@ -70,15 +105,27 @@ func (p *propagation) hasCycle(q, cycles int) (arrival, bool) {
 
 // minCycles returns the smallest tuple cycle count at q, or -1.
 func (p *propagation) minCycles(q int) int {
-	if len(p.arrive[q]) == 0 {
+	list := p.cyclesAt(q)
+	if len(list) == 0 {
 		return -1
 	}
-	return p.arrive[q][0].cycles
+	return list[0].cycles
+}
+
+// propTask names one probe flood of a propagateAll dispatch.
+type propTask struct {
+	key     int // props map key (backwardKey for dual-role anchors)
+	source  int
+	forward bool
 }
 
 // propagateAll floods probes from every anchor of U: forward from
 // Parents(U), backward from Children(U) (§IV-C). The returned map is
 // keyed by anchor node ID.
+//
+// The map and the propagations in it are owned by the amender's scratch:
+// they are invalidated by releaseProps and by the next propagateAll call
+// on the same amender.
 //
 // The floods are independent by construction — each reads only the
 // shared session (placements, occupancy, graph) and writes only its own
@@ -88,20 +135,15 @@ func (p *propagation) minCycles(q int) int {
 // each flood is a deterministic function of (anchor, direction, rounds),
 // and tasks land in pre-assigned slots regardless of completion order.
 func (a *amender) propagateAll(u *cluster) map[int]*propagation {
-	parents := a.parents(u)
-	children := a.children(u)
+	scr := a.scratch()
+	scr.parentsBuf = a.anchorsInto(u, true, scr.parentsBuf[:0])
+	scr.childrenBuf = a.anchorsInto(u, false, scr.childrenBuf[:0])
+	parents, children := scr.parentsBuf, scr.childrenBuf
 	rounds := a.rounds(u, parents, children)
 
-	type task struct {
-		key     int // props map key (backwardKey for dual-role anchors)
-		source  int
-		forward bool
-	}
-	tasks := make([]task, 0, len(parents)+len(children))
-	isParent := make(map[int]bool, len(parents))
+	scr.tasks = scr.tasks[:0]
 	for _, s := range parents {
-		isParent[s] = true
-		tasks = append(tasks, task{key: s, source: s, forward: true})
+		scr.tasks = append(scr.tasks, propTask{key: s, source: s, forward: true})
 	}
 	for _, s := range children {
 		// An anchor can be both parent and child of U; the backward
@@ -109,26 +151,32 @@ func (a *amender) propagateAll(u *cluster) map[int]*propagation {
 		// exists (forward constraints are the more selective ones), so
 		// keep both directions distinguishable via composite keys.
 		key := s
-		if isParent[s] {
+		if sortedContains(parents, s) {
 			key = backwardKey(s)
 		}
-		tasks = append(tasks, task{key: key, source: s, forward: false})
+		scr.tasks = append(scr.tasks, propTask{key: key, source: s, forward: false})
 	}
+	tasks := scr.tasks
 
-	results := make([]*propagation, len(tasks))
+	if cap(scr.results) < len(tasks) {
+		scr.results = make([]*propagation, len(tasks))
+	}
+	results := scr.results[:len(tasks)]
 	ps := a.tr.StartSpan(a.cur, "propagate").
 		WithInt("anchors", int64(len(tasks))).WithInt("rounds", int64(rounds))
 	// runTask floods one anchor under its own probe span. Span starts and
 	// counter adds are tracer-synchronised, so the instrumentation is
 	// worker-pool-safe; with tracing disabled every call is a nil check.
-	runTask := func(i int, t task) {
+	runTask := func(i int, t propTask) {
 		sp := a.tr.StartSpan(ps, "probe").
 			WithInt("anchor", int64(t.source)).WithBool("forward", t.forward)
 		p := a.propagate(t.source, t.forward, rounds)
 		if a.tr.Enabled() {
 			tuples := 0
-			for _, list := range p.arrive {
-				tuples += len(list)
+			for q := range p.arriveStamp {
+				if p.arriveStamp[q] == p.arriveEpoch {
+					tuples += len(p.arrive[q])
+				}
 			}
 			a.ctr.tuples.Add(int64(tuples))
 			a.ctr.tuplesDeduped.Add(int64(p.dedups))
@@ -166,7 +214,8 @@ func (a *amender) propagateAll(u *cluster) map[int]*propagation {
 	}
 	ps.End()
 
-	props := make(map[int]*propagation, len(tasks))
+	props := scr.props
+	clear(props)
 	for i, t := range tasks {
 		props[t.key] = results[i]
 	}
@@ -174,14 +223,21 @@ func (a *amender) propagateAll(u *cluster) map[int]*propagation {
 }
 
 // releaseProps returns the flood scratch of a propagation set to the
-// pools. The propagations must not be used afterwards (extractPath
-// would walk a recycled parent array).
+// pools and empties the map. The propagations must not be used
+// afterwards (extractPath would walk a recycled parent array); because
+// the entries are deleted here, releasing the same map twice is a no-op.
 func releaseProps(props map[int]*propagation) {
-	for _, p := range props {
+	for k, p := range props {
+		delete(props, k)
+		if p == nil {
+			continue
+		}
 		if p.par != nil {
 			putInt32Scratch(p.par)
 			p.par = nil
 		}
+		p.g = nil
+		propPool.Put(p)
 	}
 }
 
@@ -287,25 +343,24 @@ func (a *amender) rounds(u *cluster, parents, children []int) int {
 func (a *amender) propagate(s int, forward bool, rounds int) *propagation {
 	pl := a.sess.M.Place[s]
 	states := a.sess.Graph.NumNodes() * (rounds + 1)
-	p := &propagation{
-		source:  s,
-		forward: forward,
-		srcTime: pl.Time,
-		rounds:  rounds,
-		g:       a.sess.Graph,
-		par:     getInt32Scratch(states),
-		visited: getBoolScratch(states),
-		arrive:  make(map[int][]arrival),
-	}
+	p := getProp(a.sess.M.Arch.NumPEs())
+	p.source = s
+	p.forward = forward
+	p.srcTime = pl.Time
+	p.rounds = rounds
+	p.g = a.sess.Graph
+	p.par = getInt32Scratch(states)
+	p.visited = getBoolScratch(states)
 	seed := a.sess.Graph.FU(pl.PE, pl.Time)
 	si := p.stateIndex(seed, 0)
 	p.visited[si] = true
 	p.par[si] = -1
 	p.emit(seed, 0, si)
 
-	frontier := []mrrg.Node{seed}
+	frontier, next := p.frontA[:0], p.frontB[:0]
+	frontier = append(frontier, seed)
 	for e := 0; e < rounds && len(frontier) > 0; e++ {
-		var next []mrrg.Node
+		next = next[:0]
 		for _, n := range frontier {
 			cur := p.stateIndex(n, e)
 			var adj []mrrg.Node
@@ -328,8 +383,11 @@ func (a *amender) propagate(s int, forward bool, rounds int) *propagation {
 				next = append(next, nn)
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
+	// Hand the (possibly grown) frontier buffers back to the pooled
+	// propagation for the next flood.
+	p.frontA, p.frontB = frontier, next
 	// The visited set only guards the flood itself; the parent array
 	// stays live for extractPath until releaseProps.
 	putBoolScratch(p.visited)
@@ -363,7 +421,16 @@ func (p *propagation) emit(n mrrg.Node, e int, state int32) {
 		return
 	}
 	cycles := e + 1
-	list := p.arrive[q]
+	var list []arrival
+	if p.arriveStamp[q] == p.arriveEpoch {
+		list = p.arrive[q]
+	} else {
+		// First tuple at q this flood: claim the slot, reusing the old
+		// list's capacity.
+		p.arriveStamp[q] = p.arriveEpoch
+		list = p.arrive[q][:0]
+		p.nArrivePEs++
+	}
 	// Dedup per (PE, cycles): BFS visits states in increasing e, so the
 	// list stays sorted and the check is a tail comparison.
 	if len(list) > 0 && list[len(list)-1].cycles == cycles {

@@ -44,18 +44,23 @@ func TestPropagateAllParallelMatchesSerial(t *testing.T) {
 
 	tested := 0
 	for _, kernel := range []string{"atax", "fft", "gramsch"} {
-		am := illAmender(t, kernel, 7)
-		ill := am.sess.IllMapped()
+		// The props map is owned by the amender's scratch (a second
+		// propagateAll on one amender would recycle the first result), so
+		// run serial and parallel on two identically-seeded amenders: same
+		// initial mapping, same cluster rip-ups, same session state.
+		amS := illAmender(t, kernel, 7)
+		amP := illAmender(t, kernel, 7)
+		ill := amS.sess.IllMapped()
 		if len(ill) == 0 {
 			continue // this initial mapping needed no amendment
 		}
 		tested++
-		u := am.buildCluster(ill)
+		uS := amS.buildCluster(ill)
+		uP := amP.buildCluster(amP.sess.IllMapped())
 
-		am.opt.SerialPropagation = true
-		serial := am.propagateAll(u)
-		am.opt.SerialPropagation = false
-		parallel := am.propagateAll(u)
+		amS.opt.SerialPropagation = true
+		serial := amS.propagateAll(uS)
+		parallel := amP.propagateAll(uP)
 
 		if len(serial) != len(parallel) {
 			t.Fatalf("%s: anchor count differs: serial %d, parallel %d", kernel, len(serial), len(parallel))
@@ -78,13 +83,18 @@ func TestPropagateAllParallelMatchesSerial(t *testing.T) {
 func comparePropagations(t *testing.T, kernel string, key int, a, b *propagation) {
 	t.Helper()
 	if a.source != b.source || a.forward != b.forward || a.srcTime != b.srcTime || a.rounds != b.rounds {
-		t.Fatalf("%s anchor %d: header differs: %+v vs %+v", kernel, key, a, b)
+		t.Fatalf("%s anchor %d: header differs: (%d %v %d %d) vs (%d %v %d %d)", kernel, key,
+			a.source, a.forward, a.srcTime, a.rounds, b.source, b.forward, b.srcTime, b.rounds)
 	}
-	if len(a.arrive) != len(b.arrive) {
-		t.Fatalf("%s anchor %d: tuple PE sets differ: %d vs %d PEs", kernel, key, len(a.arrive), len(b.arrive))
+	if a.nArrivePEs != b.nArrivePEs {
+		t.Fatalf("%s anchor %d: tuple PE sets differ: %d vs %d PEs", kernel, key, a.nArrivePEs, b.nArrivePEs)
 	}
-	for pe, al := range a.arrive {
-		bl := b.arrive[pe]
+	numPEs := len(a.arrive)
+	if n := len(b.arrive); n > numPEs {
+		numPEs = n
+	}
+	for pe := 0; pe < numPEs; pe++ {
+		al, bl := a.cyclesAt(pe), b.cyclesAt(pe)
 		if len(al) != len(bl) {
 			t.Fatalf("%s anchor %d PE %d: %d vs %d tuples", kernel, key, pe, len(al), len(bl))
 		}
@@ -125,16 +135,24 @@ func TestReleasePropsRecycles(t *testing.T) {
 	if len(props) == 0 {
 		t.Fatal("no propagations to release")
 	}
+	plist := make([]*propagation, 0, len(props))
+	for _, p := range props {
+		plist = append(plist, p)
+	}
 	releaseProps(props)
-	for key, p := range props {
+	if len(props) != 0 {
+		t.Fatalf("releaseProps left %d entries in the map", len(props))
+	}
+	for _, p := range plist {
 		if p.par != nil {
-			t.Fatalf("anchor %d: parent array not released", key)
+			t.Fatal("parent array not released")
 		}
 		if p.visited != nil {
-			t.Fatalf("anchor %d: visited scratch retained past the flood", key)
+			t.Fatal("visited scratch retained past the flood")
 		}
 	}
-	// Double release must be a no-op, not a double pool put.
+	// Double release must be a no-op, not a double pool put: the map is
+	// already empty, so nothing can be returned to the pool twice.
 	releaseProps(props)
 }
 

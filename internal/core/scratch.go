@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// amendScratch is the pooled per-amendment working memory: every buffer
+// the cluster loop (propagate → intersect → generate → grow) needs,
+// recycled across rounds, attempts, and runs via a sync.Pool. One
+// scratch belongs to exactly one amender at a time and is only touched
+// from the amender's own goroutine (the propagation worker pool uses the
+// separate global flood pools), so nothing here is synchronised.
+//
+// Everything in the scratch is pure workspace: recycling a dirty scratch
+// from a failed or cancelled attempt must never change a mapping result.
+// The dirty-pool determinism tests in scratch_test.go enforce that, and
+// docs/PERFORMANCE.md ("Memory architecture") documents the contract.
+type amendScratch struct {
+	// mark is DFG-node-indexed epoch-stamped membership scratch shared by
+	// anchor collection, representative-anchor DFS, and cluster seeding;
+	// each user starts a fresh set with beginMark (O(1)).
+	mark  []int64
+	epoch int64
+
+	// u is the single live cluster of the amendment (amenders repair one
+	// cluster at a time).
+	u cluster
+
+	// anchor collection + propagation task dispatch (propagateAll).
+	parentsBuf  []int
+	childrenBuf []int
+	tasks       []propTask
+	results     []*propagation
+	props       map[int]*propagation
+
+	// representative-anchor DFS (repAnchors).
+	repOut   []int
+	repStack []int
+
+	// intersect: per-node candidate lists (candBufs[i] backs the i-th
+	// cluster node's pcands, all live simultaneously through generate),
+	// source-constraint buffers, sorted-time intersection buffers, and
+	// the candidate-spreading permutation.
+	cands    map[int][]pcand
+	candBufs [][]pcand
+	fwdBuf   []srcConstraint
+	bwdBuf   []srcConstraint
+	timesA   []int
+	timesB   []int
+	permBuf  []int
+
+	// cluster growth.
+	queueBuf []int
+	tiedBuf  []int
+
+	// placement enumeration: the generator itself, the chosen-candidate
+	// vector, and one routed-edge buffer per recursion depth (a depth's
+	// routed list stays live while deeper levels enumerate, so one shared
+	// buffer would corrupt the backtracking unwind).
+	gen        generator
+	chosenBuf  []pcand
+	routedBufs [][]int
+}
+
+var amendScratchPool = sync.Pool{New: func() any {
+	return &amendScratch{
+		props: map[int]*propagation{},
+		cands: map[int][]pcand{},
+	}
+}}
+
+// getAmendScratch draws a scratch sized for a DFG with numNodes nodes.
+func getAmendScratch(numNodes int) *amendScratch {
+	s := amendScratchPool.Get().(*amendScratch)
+	if len(s.mark) < numNodes {
+		s.mark = make([]int64, numNodes)
+		s.epoch = 0
+	}
+	return s
+}
+
+// putAmendScratch recycles a scratch, dropping references that would pin
+// per-run objects (propagations, candidate data) past the run.
+func putAmendScratch(s *amendScratch) {
+	clear(s.props)
+	clear(s.cands)
+	for i := range s.results {
+		s.results[i] = nil
+	}
+	s.gen = generator{}
+	amendScratchPool.Put(s)
+}
+
+// beginMark starts a fresh empty mark set in O(1) and returns its epoch:
+// node v is a member iff mark[v] == epoch.
+func (s *amendScratch) beginMark() int64 {
+	s.epoch++
+	return s.epoch
+}
+
+// perm fills the scratch permutation buffer exactly as rand.Perm(n)
+// would — the same Fisher-Yates loop consuming the same n Intn draws —
+// so replacing rng.Perm with this buffer reuse cannot shift any
+// downstream random draw or change the permutation.
+func (s *amendScratch) perm(rng *rand.Rand, n int) []int {
+	m := s.permBuf
+	if cap(m) < n {
+		m = make([]int, n)
+	}
+	m = m[:n]
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		m[i] = m[j]
+		m[j] = i
+	}
+	s.permBuf = m
+	return m
+}
+
+// sortedContains reports whether x occurs in ascending-sorted s.
+func sortedContains(s []int, x int) bool {
+	i := sort.SearchInts(s, x)
+	return i < len(s) && s[i] == x
+}

@@ -166,7 +166,7 @@ func (g *Graph) ALAP(ii, horizon int) ([]int, error) {
 // in nodes. It is the schedule length lower bound and is used by the
 // propagation-round heuristic when a cluster has no mapped neighbours.
 func (g *Graph) CriticalPathLen() int {
-	order, err := g.TopoOrder()
+	order, err := g.TopoOrderShared()
 	if err != nil {
 		return len(g.Nodes)
 	}
@@ -193,23 +193,31 @@ func (g *Graph) CriticalPathLen() int {
 }
 
 // LongestPathWithin returns the length (in edges) of the longest
-// distance-0 path that stays inside the node set `within`. Used by the
+// distance-0 path that stays inside the node set `within` (indexed by
+// node ID; IDs at or beyond len(within) are outside). Used by the
 // paper's propagation-round heuristic ("length of the longest path within
 // U multiplied by five").
-func (g *Graph) LongestPathWithin(within map[int]bool) int {
-	order, err := g.TopoOrder()
+func (g *Graph) LongestPathWithin(within []bool) int {
+	member := func(v int) bool { return v < len(within) && within[v] }
+	order, err := g.TopoOrderShared()
 	if err != nil {
-		return len(within)
+		n := 0
+		for _, m := range within {
+			if m {
+				n++
+			}
+		}
+		return n
 	}
-	depth := make(map[int]int, len(within))
+	depth := make(map[int]int)
 	best := 0
 	for _, v := range order {
-		if !within[v] {
+		if !member(v) {
 			continue
 		}
 		for _, eid := range g.outs[v] {
 			e := g.Edges[eid]
-			if e.Dist != 0 || !within[e.To] {
+			if e.Dist != 0 || !member(e.To) {
 				continue
 			}
 			if depth[v]+1 > depth[e.To] {
@@ -224,18 +232,19 @@ func (g *Graph) LongestPathWithin(within map[int]bool) int {
 }
 
 // UndirectedDistances returns, for every node, its BFS hop distance to the
-// nearest node in the seed set, treating every edge as undirected. Nodes
-// unreachable from the seeds get distance math.MaxInt32. Rewire uses this
-// to pick which connected node to append to a cluster.
-func (g *Graph) UndirectedDistances(seeds map[int]bool) []int {
+// nearest node in the seed set (indexed by node ID), treating every edge
+// as undirected. Nodes unreachable from the seeds get distance
+// math.MaxInt32. Rewire uses this to pick which connected node to append
+// to a cluster.
+func (g *Graph) UndirectedDistances(seeds []bool) []int {
 	const inf = math.MaxInt32
 	dist := make([]int, len(g.Nodes))
 	for i := range dist {
 		dist[i] = inf
 	}
 	var queue []int
-	for v := range seeds {
-		if v >= 0 && v < len(g.Nodes) {
+	for v, in := range seeds {
+		if in && v < len(g.Nodes) {
 			dist[v] = 0
 			queue = append(queue, v)
 		}

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // OpKind classifies the operation a DFG node performs. The mappers treat
@@ -112,6 +114,43 @@ type Graph struct {
 	nodeArena [][]Node
 	edgeArena [][]Edge
 	adjArena  []int // backing store for small outs/ins slices
+
+	// frozen caches the derived adjacency (distinct parents/children per
+	// node) and the topological order, both recomputed lazily whenever the
+	// node or edge count has changed since the snapshot. Mappers query
+	// Parents/Children/TopoOrder inside their hottest loops; once a graph
+	// stops growing (after Validate at load time) every call hits this
+	// snapshot. atomic.Pointer makes the cache safe under the concurrent
+	// II-sweep goroutines that share one DFG: racing builders store
+	// interchangeable snapshots.
+	frozen atomic.Pointer[frozenAdj]
+}
+
+// frozenAdj is an immutable derived-topology snapshot of a Graph at a
+// specific (node count, edge count).
+type frozenAdj struct {
+	numNodes, numEdges int
+	parents, children  [][]int
+	topo               []int
+	topoErr            error
+}
+
+// snapshot returns the current derived-topology snapshot, rebuilding it
+// if nodes or edges were added since the last one.
+func (g *Graph) snapshot() *frozenAdj {
+	if f := g.frozen.Load(); f != nil && f.numNodes == len(g.Nodes) && f.numEdges == len(g.Edges) {
+		return f
+	}
+	f := &frozenAdj{numNodes: len(g.Nodes), numEdges: len(g.Edges)}
+	f.parents = make([][]int, len(g.Nodes))
+	f.children = make([][]int, len(g.Nodes))
+	for v := range g.Nodes {
+		f.parents[v] = g.distinctEnds(g.ins[v], func(e *Edge) int { return e.From })
+		f.children[v] = g.distinctEnds(g.outs[v], func(e *Edge) int { return e.To })
+	}
+	f.topo, f.topoErr = g.topoOrder()
+	g.frozen.Store(f)
+	return f
 }
 
 // chunkSize is the node/edge arena granularity. Registry kernels run
@@ -124,6 +163,14 @@ func New(name string) *Graph { return &Graph{Name: name} }
 // AddNode appends a node and returns its ID.
 func (g *Graph) AddNode(name string, op OpKind) int {
 	id := len(g.Nodes)
+	if g.Nodes == nil {
+		// Pre-size the per-node slices to the arena granularity so the
+		// common (sub-chunkSize) graph pays one allocation per slice
+		// instead of a doubling-growth series.
+		g.Nodes = make([]*Node, 0, chunkSize)
+		g.outs = make([][]int, 0, chunkSize)
+		g.ins = make([][]int, 0, chunkSize)
+	}
 	last := len(g.nodeArena) - 1
 	if last < 0 || len(g.nodeArena[last]) == cap(g.nodeArena[last]) {
 		g.nodeArena = append(g.nodeArena, make([]Node, 0, chunkSize))
@@ -158,6 +205,9 @@ func (g *Graph) AddEdgeOp(from, to, dist, operand int) int {
 		panic(fmt.Sprintf("dfg: negative operand slot %d", operand))
 	}
 	id := len(g.Edges)
+	if g.Edges == nil {
+		g.Edges = make([]*Edge, 0, chunkSize)
+	}
 	last := len(g.edgeArena) - 1
 	if last < 0 || len(g.edgeArena[last]) == cap(g.edgeArena[last]) {
 		g.edgeArena = append(g.edgeArena, make([]Edge, 0, chunkSize))
@@ -207,15 +257,17 @@ func (g *Graph) OutEdges(v int) []int { return g.outs[v] }
 func (g *Graph) InEdges(v int) []int { return g.ins[v] }
 
 // Parents returns the distinct IDs of nodes with an edge into v, in
-// ascending order.
+// ascending order. The returned slice is owned by the graph's cached
+// topology snapshot and must not be mutated or appended to.
 func (g *Graph) Parents(v int) []int {
-	return g.distinctEnds(g.ins[v], func(e *Edge) int { return e.From })
+	return g.snapshot().parents[v]
 }
 
 // Children returns the distinct IDs of nodes with an edge from v, in
-// ascending order.
+// ascending order. The returned slice is owned by the graph's cached
+// topology snapshot and must not be mutated or appended to.
 func (g *Graph) Children(v int) []int {
-	return g.distinctEnds(g.outs[v], func(e *Edge) int { return e.To })
+	return g.snapshot().children[v]
 }
 
 func (g *Graph) distinctEnds(edgeIDs []int, end func(*Edge) int) []int {
@@ -246,8 +298,29 @@ func (g *Graph) MemOps() int {
 // TopoOrder returns the node IDs in a topological order of the
 // distance-0 subgraph. It returns an error if the distance-0 edges form a
 // cycle, which means the DFG is malformed (intra-iteration dependencies
-// must be acyclic).
+// must be acyclic). The result is a fresh copy the caller may keep;
+// hot paths that only iterate should use TopoOrderShared.
 func (g *Graph) TopoOrder() ([]int, error) {
+	order, err := g.TopoOrderShared()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(order))
+	copy(out, order)
+	return out, nil
+}
+
+// TopoOrderShared returns the cached topological order of the distance-0
+// subgraph. The slice is owned by the graph's topology snapshot and must
+// not be mutated.
+func (g *Graph) TopoOrderShared() ([]int, error) {
+	f := g.snapshot()
+	return f.topo, f.topoErr
+}
+
+// topoOrder computes the order from scratch (see TopoOrder); snapshot
+// caches its result.
+func (g *Graph) topoOrder() ([]int, error) {
 	indeg := make([]int, len(g.Nodes))
 	for _, e := range g.Edges {
 		if e.Dist == 0 {
@@ -300,8 +373,63 @@ func (g *Graph) Validate() error {
 			return fmt.Errorf("dfg %q: node %d has a distance-0 self loop", g.Name, e.From)
 		}
 	}
-	if _, err := g.TopoOrder(); err != nil {
-		return err
+	// Cycle detection only: use the uncached order so validating a graph
+	// mid-construction does not build (and then invalidate) the frozen
+	// adjacency snapshot.
+	return g.checkAcyclic()
+}
+
+// topoScratch recycles the working state of the acyclicity check across
+// Validate calls; lowering validates every graph it builds, so the check
+// runs once per kernel load.
+type topoScratch struct{ indeg, ready, order []int }
+
+var topoPool = sync.Pool{New: func() any { return new(topoScratch) }}
+
+// checkAcyclic is topoOrder with pooled scratch and no retained order —
+// the Validate hot path.
+func (g *Graph) checkAcyclic() error {
+	s := topoPool.Get().(*topoScratch)
+	defer topoPool.Put(s)
+	if cap(s.indeg) < len(g.Nodes) {
+		s.indeg = make([]int, len(g.Nodes))
+	}
+	indeg := s.indeg[:len(g.Nodes)]
+	clear(indeg)
+	for _, e := range g.Edges {
+		if e.Dist == 0 {
+			indeg[e.To]++
+		}
+	}
+	ready := s.ready[:0]
+	for v := range g.Nodes {
+		if indeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	// Index-walk instead of pop-front so the backing array survives for
+	// the next pooled use; sorting the unprocessed tail each round keeps
+	// the visit order identical to topoOrder.
+	head := 0
+	for head < len(ready) {
+		sort.Ints(ready[head:])
+		v := ready[head]
+		head++
+		for _, eid := range g.outs[v] {
+			e := g.Edges[eid]
+			if e.Dist != 0 {
+				continue
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				ready = append(ready, e.To)
+			}
+		}
+	}
+	s.ready = ready
+	if head != len(g.Nodes) {
+		return fmt.Errorf("dfg %q: distance-0 dependency cycle involving %d of %d nodes",
+			g.Name, len(g.Nodes)-head, len(g.Nodes))
 	}
 	return nil
 }

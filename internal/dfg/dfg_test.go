@@ -256,22 +256,22 @@ func TestCriticalPathLen(t *testing.T) {
 
 func TestLongestPathWithin(t *testing.T) {
 	g := diamond(t)
-	all := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	all := []bool{true, true, true, true}
 	if got := g.LongestPathWithin(all); got != 2 {
 		t.Fatalf("LongestPathWithin(all) = %d, want 2 edges", got)
 	}
-	sub := map[int]bool{1: true, 3: true}
+	sub := []bool{false, true, false, true}
 	if got := g.LongestPathWithin(sub); got != 1 {
 		t.Fatalf("LongestPathWithin({b,d}) = %d, want 1", got)
 	}
-	if got := g.LongestPathWithin(map[int]bool{0: true}); got != 0 {
+	if got := g.LongestPathWithin([]bool{true}); got != 0 {
 		t.Fatalf("singleton longest path = %d, want 0", got)
 	}
 }
 
 func TestUndirectedDistances(t *testing.T) {
 	g := diamond(t)
-	d := g.UndirectedDistances(map[int]bool{0: true})
+	d := g.UndirectedDistances([]bool{true})
 	want := []int{0, 1, 1, 2}
 	for i, w := range want {
 		if d[i] != w {

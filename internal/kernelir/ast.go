@@ -31,7 +31,6 @@ package kernelir
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 )
@@ -84,23 +83,36 @@ func (r Ref) String() string {
 	return b.String()
 }
 
+// Term is one variable of an affine subscript: Coeff*Var.
+type Term struct {
+	Var   string
+	Coeff int
+}
+
 // Index is a canonical affine subscript: a sum of integer-scaled variables
-// plus a constant, e.g. i+1 is {Terms:{"i":1}, Const:1}.
+// plus a constant, e.g. i+1 is {Terms:[{i,1}], Const:1}. Terms is kept
+// sorted by variable name and treated as immutable once built, which lets
+// index transforms that only move the constant (Shift) share the slice
+// instead of copying it.
 type Index struct {
-	Terms map[string]int
+	Terms []Term
 	Const int
 }
 
-// Shift returns a copy of the index with variable v substituted by v+by.
+// Coeff returns v's coefficient in the index (0 when v does not appear).
+func (ix Index) Coeff(v string) int {
+	for _, t := range ix.Terms {
+		if t.Var == v {
+			return t.Coeff
+		}
+	}
+	return 0
+}
+
+// Shift returns the index with variable v substituted by v+by. The
+// substitution only moves the constant, so the result shares Terms.
 func (ix Index) Shift(v string, by int) Index {
-	out := Index{Terms: make(map[string]int, len(ix.Terms)), Const: ix.Const}
-	for k, c := range ix.Terms {
-		out.Terms[k] = c
-	}
-	if c, ok := out.Terms[v]; ok {
-		out.Const += c * by
-	}
-	return out
+	return Index{Terms: ix.Terms, Const: ix.Const + ix.Coeff(v)*by}
 }
 
 // String renders the index canonically (sorted variables, then constant),
@@ -108,23 +120,15 @@ func (ix Index) Shift(v string, by int) Index {
 func (ix Index) String() string {
 	// Fast path for the dominant "a[i]" shape: one unit-coefficient
 	// variable and no constant renders as the variable name itself.
-	if len(ix.Terms) == 1 && ix.Const == 0 {
-		for k, c := range ix.Terms {
-			if c == 1 {
-				return k
-			}
-		}
+	if len(ix.Terms) == 1 && ix.Const == 0 && ix.Terms[0].Coeff == 1 {
+		return ix.Terms[0].Var
 	}
-	names := make([]string, 0, len(ix.Terms))
-	for k, c := range ix.Terms {
-		if c != 0 {
-			names = append(names, k)
-		}
-	}
-	sort.Strings(names)
 	var b strings.Builder
-	for _, k := range names {
-		c := ix.Terms[k]
+	for _, t := range ix.Terms {
+		k, c := t.Var, t.Coeff
+		if c == 0 {
+			continue
+		}
 		if b.Len() > 0 && c > 0 {
 			b.WriteByte('+')
 		}

@@ -7,14 +7,14 @@ func TestIndexStringCanonical(t *testing.T) {
 		ix   Index
 		want string
 	}{
-		{Index{Terms: map[string]int{"i": 1}}, "i"},
-		{Index{Terms: map[string]int{"i": 1}, Const: 2}, "i+2"},
-		{Index{Terms: map[string]int{"i": 1}, Const: -1}, "i-1"},
-		{Index{Terms: map[string]int{"i": -1}}, "-i"},
-		{Index{Terms: map[string]int{"i": 2}}, "2i"},
-		{Index{Terms: map[string]int{}}, "0"},
-		{Index{Terms: map[string]int{"i": 0}, Const: 3}, "3"},
-		{Index{Terms: map[string]int{"j": 1, "i": 1}}, "i+j"},
+		{Index{Terms: []Term{{"i", 1}}}, "i"},
+		{Index{Terms: []Term{{"i", 1}}, Const: 2}, "i+2"},
+		{Index{Terms: []Term{{"i", 1}}, Const: -1}, "i-1"},
+		{Index{Terms: []Term{{"i", -1}}}, "-i"},
+		{Index{Terms: []Term{{"i", 2}}}, "2i"},
+		{Index{Terms: []Term{}}, "0"},
+		{Index{Terms: []Term{{"i", 0}}, Const: 3}, "3"},
+		{Index{Terms: []Term{{"i", 1}, {"j", 1}}}, "i+j"},
 	}
 	for _, c := range cases {
 		if got := c.ix.String(); got != c.want {
@@ -29,8 +29,8 @@ func TestRefString(t *testing.T) {
 		t.Fatal("scalar ref wrong")
 	}
 	a := Ref{Name: "m", Index: []Index{
-		{Terms: map[string]int{"i": 1}},
-		{Terms: map[string]int{"j": 1}, Const: 1},
+		{Terms: []Term{{"i", 1}}},
+		{Terms: []Term{{"j", 1}}, Const: 1},
 	}}
 	if a.String() != "m[i][j+1]" || !a.IsArray() {
 		t.Fatalf("array ref = %q", a.String())
@@ -38,7 +38,7 @@ func TestRefString(t *testing.T) {
 }
 
 func TestExprStrings(t *testing.T) {
-	e := Bin{Op: "+", L: ArrayRead{Array: "a", Index: []Index{{Terms: map[string]int{"i": 1}}}},
+	e := Bin{Op: "+", L: ArrayRead{Array: "a", Index: []Index{{Terms: []Term{{"i", 1}}}}},
 		R: Scalar{Name: "t", Delay: 2}}
 	if e.String() != "(a[i] + t@2)" {
 		t.Fatalf("bin = %q", e.String())
@@ -50,12 +50,12 @@ func TestExprStrings(t *testing.T) {
 }
 
 func TestShiftOnlyAffectsVariable(t *testing.T) {
-	ix := Index{Terms: map[string]int{"i": 2, "j": 1}, Const: 1}
+	ix := Index{Terms: []Term{{"i", 2}, {"j", 1}}, Const: 1}
 	sh := ix.Shift("i", 3)
 	if sh.Const != 1+2*3 {
 		t.Fatalf("const = %d", sh.Const)
 	}
-	if sh.Terms["j"] != 1 || sh.Terms["i"] != 2 {
+	if sh.Coeff("j") != 1 || sh.Coeff("i") != 2 {
 		t.Fatal("coefficients changed")
 	}
 	none := ix.Shift("k", 5)
@@ -65,8 +65,8 @@ func TestShiftOnlyAffectsVariable(t *testing.T) {
 }
 
 func TestRefKeyDedup(t *testing.T) {
-	a := refKey("a", []Index{{Terms: map[string]int{"i": 1}, Const: 1}})
-	b := refKey("a", []Index{{Terms: map[string]int{"i": 1}, Const: 1}})
+	a := refKey("a", []Index{{Terms: []Term{{"i", 1}}, Const: 1}})
+	b := refKey("a", []Index{{Terms: []Term{{"i", 1}}, Const: 1}})
 	if a != b || a != "a[i+1]" {
 		t.Fatalf("keys %q vs %q", a, b)
 	}

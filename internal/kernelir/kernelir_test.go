@@ -402,7 +402,7 @@ func TestUnrollRejectsBadFactor(t *testing.T) {
 }
 
 func TestIndexShiftAndString(t *testing.T) {
-	ix := Index{Terms: map[string]int{"i": 1, "j": -1}, Const: 2}
+	ix := Index{Terms: []Term{{"i", 1}, {"j", -1}}, Const: 2}
 	if got := ix.String(); got != "i-j+2" {
 		t.Fatalf("String = %q", got)
 	}
@@ -413,7 +413,7 @@ func TestIndexShiftAndString(t *testing.T) {
 	if ix.Const != 2 {
 		t.Fatal("Shift mutated the receiver")
 	}
-	zero := Index{Terms: map[string]int{}}
+	zero := Index{Terms: []Term{}}
 	if zero.String() != "0" {
 		t.Fatalf("zero index = %q", zero.String())
 	}

@@ -275,4 +275,19 @@ func (lo *lowerer) call(c Call, line int) (operand, error) {
 	}
 }
 
-func autoName(id int) string { return "%" + strconv.Itoa(id) }
+// autoNames interns the generated names of the first IDs; registry
+// kernels (unrolled included) stay under this bound, so the hot path
+// never concatenates.
+var autoNames = func() (a [128]string) {
+	for i := range a {
+		a[i] = "%" + strconv.Itoa(i)
+	}
+	return a
+}()
+
+func autoName(id int) string {
+	if id >= 0 && id < len(autoNames) {
+		return autoNames[id]
+	}
+	return "%" + strconv.Itoa(id)
+}

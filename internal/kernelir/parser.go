@@ -190,9 +190,30 @@ func (p *parser) parseSubscripts() ([]Index, error) {
 }
 
 // parseIndex parses an affine subscript: a signed sum of identifiers and
-// integers, e.g. "i", "i+1", "j-2", "3".
+// integers, e.g. "i", "i+1", "j-2", "3". Terms come out sorted by
+// variable name (the canonical form Index.String relies on).
 func (p *parser) parseIndex() (Index, error) {
-	ix := Index{Terms: make(map[string]int)}
+	var ix Index
+	addTerm := func(name string, coeff int) {
+		for i := range ix.Terms {
+			if ix.Terms[i].Var == name {
+				ix.Terms[i].Coeff += coeff
+				return
+			}
+		}
+		// Insert keeping Terms sorted by Var; subscripts have 1-2 terms,
+		// so the linear insertion never matters.
+		at := len(ix.Terms)
+		for i, t := range ix.Terms {
+			if name < t.Var {
+				at = i
+				break
+			}
+		}
+		ix.Terms = append(ix.Terms, Term{})
+		copy(ix.Terms[at+1:], ix.Terms[at:])
+		ix.Terms[at] = Term{Var: name, Coeff: coeff}
+	}
 	sign := 1
 	if p.peek().kind == tokOp && p.peek().text == "-" {
 		sign = -1
@@ -202,7 +223,7 @@ func (p *parser) parseIndex() (Index, error) {
 		switch t := p.peek(); t.kind {
 		case tokIdent:
 			p.next()
-			ix.Terms[t.text] += sign
+			addTerm(t.text, sign)
 		case tokNumber:
 			p.next()
 			v, err := strconv.Atoi(t.text)
@@ -226,6 +247,15 @@ func (p *parser) parseIndex() (Index, error) {
 		return ix, nil
 	}
 }
+
+// smallNums pre-boxes the common small literals so parsePrimary returns
+// a shared Expr instead of allocating a fresh interface box per literal.
+var smallNums = func() (a [65]Expr) {
+	for i := range a {
+		a[i] = Num{Val: i}
+	}
+	return a
+}()
 
 // Operator precedence (low to high): | ^ & ; + - ; * / << >>.
 var precedence = map[string]int{
@@ -269,6 +299,9 @@ func (p *parser) parsePrimary() (Expr, error) {
 		v, err := strconv.Atoi(t.text)
 		if err != nil {
 			return nil, p.errf("bad number %q", t.text)
+		}
+		if v >= 0 && v < len(smallNums) {
+			return smallNums[v], nil
 		}
 		return Num{Val: v}, nil
 	case tokLParen:

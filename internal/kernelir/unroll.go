@@ -1,6 +1,9 @@
 package kernelir
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Unroll returns a new Program whose loop body is the original body
 // replicated `factor` times, with the induction variable shifted by the
@@ -21,10 +24,19 @@ func Unroll(prog *Program, factor int) (*Program, error) {
 	if factor == 1 {
 		return prog, nil
 	}
+	u := unrollerPool.Get().(*unroller)
+	u.prog, u.factor = prog, factor
+	defer func() {
+		u.prog = nil
+		clear(u.accCount)
+		clear(u.accSeq)
+		clear(u.curAcc)
+		unrollerPool.Put(u)
+	}()
 	// Pre-scan: which scalars are accumulators, and how many accumulator
 	// statements each has per body copy (their per-copy final alias is the
 	// last one).
-	accCount := make(map[string]int)
+	accCount := u.accCount
 	for _, s := range prog.Stmts {
 		if s.Acc {
 			accCount[s.LHS.Name]++
@@ -34,11 +46,11 @@ func Unroll(prog *Program, factor int) (*Program, error) {
 		Name:      prog.Name + "_u" + fmt.Sprint(factor),
 		Induction: prog.Induction,
 		Params:    prog.Params,
+		Stmts:     make([]Stmt, 0, factor*len(prog.Stmts)),
 	}
-	u := &unroller{prog: prog, factor: factor, accCount: accCount, curAcc: make(map[string]Expr)}
 	for copyNo := 0; copyNo < factor; copyNo++ {
 		u.copyNo = copyNo
-		u.accSeq = make(map[string]int)
+		clear(u.accSeq)
 		// Before any accumulator statement of this copy runs, an
 		// accumulator read refers to the previous copy's final alias (or,
 		// for copy 0, the last copy's final alias one iteration back).
@@ -77,6 +89,16 @@ type unroller struct {
 	accSeq   map[string]int // accumulator -> += statements seen in this copy
 	curAcc   map[string]Expr
 }
+
+// unrollerPool recycles the per-call scratch of Unroll (the three
+// accumulator-tracking maps) across calls, mirroring lowererPool.
+var unrollerPool = sync.Pool{New: func() any {
+	return &unroller{
+		accCount: map[string]int{},
+		accSeq:   map[string]int{},
+		curAcc:   map[string]Expr{},
+	}
+}}
 
 // accAlias names the k-th accumulator definition of scalar `name` in body
 // copy `copyNo`. '$' cannot appear in source identifiers, so aliases never

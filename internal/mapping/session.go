@@ -17,6 +17,12 @@ type Session struct {
 	M     *Mapping
 	Graph *mrrg.Graph
 	State *mrrg.State
+
+	// illMark is lazily-allocated per-DFG-node scratch for IllMapped,
+	// reused across amendment rounds so the ill-set computation does not
+	// churn a map per round. Sessions are single-goroutine (see
+	// docs/CONCURRENCY.md), so unsynchronised scratch is safe.
+	illMark []bool
 }
 
 // NewSession builds an empty mapping session for m.DFG on m.Arch at m.II.
@@ -105,7 +111,12 @@ func (s *Session) UnplaceNode(v int) {
 	if !s.M.Placed(v) {
 		return
 	}
-	for _, eid := range append(append([]int{}, s.M.DFG.InEdges(v)...), s.M.DFG.OutEdges(v)...) {
+	for _, eid := range s.M.DFG.InEdges(v) {
+		if s.M.Routed(eid) {
+			panic(fmt.Sprintf("mapping: unplacing node %d with routed edge %d", v, eid))
+		}
+	}
+	for _, eid := range s.M.DFG.OutEdges(v) {
 		if s.M.Routed(eid) {
 			panic(fmt.Sprintf("mapping: unplacing node %d with routed edge %d", v, eid))
 		}
@@ -180,12 +191,15 @@ func (s *Session) CheckPath(e int, path []mrrg.Node) error {
 		return fmt.Errorf("mapping: edge %d route length %d, want latency-1 = %d", e, len(path), lat-1)
 	}
 	cur := s.Graph.FU(s.M.Place[ed.From].PE, s.M.Place[ed.From].Time)
-	seen := map[mrrg.Node]bool{}
+	// Revisit detection uses the State's pooled epoch-stamped mark set;
+	// CheckPath runs on every route attempt, so a map here would dominate
+	// the routing allocation profile.
+	s.State.MarkBegin()
 	for i, n := range path {
-		if seen[n] {
+		if s.State.Marked(n) {
 			return fmt.Errorf("mapping: edge %d route revisits %s (iteration collision)", e, s.Graph.String(n))
 		}
-		seen[n] = true
+		s.State.Mark(n)
 		if !adjacent(s.Graph, cur, n) {
 			return fmt.Errorf("mapping: edge %d route hop %d: %s not adjacent to %s",
 				e, i, s.Graph.String(n), s.Graph.String(cur))
@@ -193,7 +207,7 @@ func (s *Session) CheckPath(e int, path []mrrg.Node) error {
 		cur = n
 	}
 	dst := s.Graph.FU(s.M.Place[ed.To].PE, s.M.Place[ed.To].Time)
-	if seen[dst] {
+	if s.State.Marked(dst) {
 		return fmt.Errorf("mapping: edge %d route passes through its own consumer FU", e)
 	}
 	if !adjacent(s.Graph, cur, dst) {
@@ -216,10 +230,17 @@ func adjacent(g *mrrg.Graph, from, to mrrg.Node) bool {
 // between placed endpoints that is unrouted — the nodes Rewire treats as
 // needing amendment.
 func (s *Session) IllMapped() []int {
-	bad := make(map[int]bool)
+	if len(s.illMark) < len(s.M.Place) {
+		s.illMark = make([]bool, len(s.M.Place))
+	} else {
+		clear(s.illMark)
+	}
+	bad := s.illMark
+	n := 0
 	for v := range s.M.Place {
 		if !s.M.Placed(v) {
 			bad[v] = true
+			n++
 		}
 	}
 	for e, route := range s.M.Routes {
@@ -228,15 +249,24 @@ func (s *Session) IllMapped() []int {
 		}
 		ed := s.M.DFG.Edges[e]
 		if s.M.Placed(ed.From) && s.M.Placed(ed.To) {
-			bad[ed.From] = true
-			bad[ed.To] = true
+			if !bad[ed.From] {
+				bad[ed.From] = true
+				n++
+			}
+			if !bad[ed.To] {
+				bad[ed.To] = true
+				n++
+			}
 		}
 	}
-	out := make([]int, 0, len(bad))
-	for v := range bad {
-		out = append(out, v)
+	// Emitting in ascending node order keeps the result identical to the
+	// previous map-then-sort implementation.
+	out := make([]int, 0, n)
+	for v, b := range bad {
+		if b {
+			out = append(out, v)
+		}
 	}
-	sortInts(out)
 	return out
 }
 

@@ -37,16 +37,21 @@ import (
 // Type discriminates metric families.
 type Type uint8
 
-// Metric family types.
+// Metric family types. TypeFloatCounter is a counter whose value is a
+// float64 (e.g. cumulative GC pause seconds); it renders as "counter"
+// in the exposition, where Prometheus counters are floats anyway — the
+// split only exists internally because integer counters get a cheaper
+// atomic add.
 const (
 	TypeCounter Type = iota
 	TypeGauge
 	TypeHistogram
+	TypeFloatCounter
 )
 
 func (t Type) String() string {
 	switch t {
-	case TypeCounter:
+	case TypeCounter, TypeFloatCounter:
 		return "counter"
 	case TypeGauge:
 		return "gauge"
@@ -94,10 +99,11 @@ func CheckName(name string, typ Type) error {
 		}
 	}
 	isTotal := strings.HasSuffix(name, "_total")
-	if typ == TypeCounter && !isTotal {
+	isCounter := typ == TypeCounter || typ == TypeFloatCounter
+	if isCounter && !isTotal {
 		return fmt.Errorf("metrics: counter %q must end in _total", name)
 	}
-	if typ != TypeCounter && isTotal {
+	if !isCounter && isTotal {
 		return fmt.Errorf("metrics: %s %q must not end in _total", typ, name)
 	}
 	return nil
@@ -229,6 +235,34 @@ func (c *Counter) Value() int64 {
 	return int64(c.c.num.Load())
 }
 
+// FloatCounter is a monotonically increasing metric with a float64
+// value, for cumulative quantities that are not integers (GC pause
+// seconds). A nil *FloatCounter ignores every method.
+type FloatCounter struct{ c *child }
+
+// Add increments the counter by d (negative and NaN deltas are dropped —
+// counters only go up).
+func (c *FloatCounter) Add(d float64) {
+	if c == nil || !(d > 0) {
+		return
+	}
+	for {
+		old := c.c.num.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if c.c.num.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current total.
+func (c *FloatCounter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.c.num.Load())
+}
+
 // Gauge is a metric that can go up and down. A nil *Gauge ignores
 // every method.
 type Gauge struct{ c *child }
@@ -349,6 +383,14 @@ func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVe
 		return nil
 	}
 	return &CounterVec{f: r.register(name, help, TypeCounter, nil, labels)}
+}
+
+// NewFloatCounter registers (or fetches) an unlabelled float counter.
+func (r *Registry) NewFloatCounter(name, help string) *FloatCounter {
+	if r == nil {
+		return nil
+	}
+	return &FloatCounter{c: r.register(name, help, TypeFloatCounter, nil, nil).get(nil)}
 }
 
 // NewGauge registers (or fetches) an unlabelled gauge.

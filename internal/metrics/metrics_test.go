@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -99,13 +100,15 @@ func TestNilRegistryAndCollectors(t *testing.T) {
 	g := r.NewGauge("rewire_x_y_units", "x")
 	h := r.NewHistogram("rewire_x_y_seconds", "x", nil)
 	cv := r.NewCounterVec("rewire_x_z_total", "x", "l")
+	fc := r.NewFloatCounter("rewire_x_w_total", "x")
 	c.Inc()
 	c.Add(5)
 	g.Set(1)
 	g.Add(1)
 	h.Observe(3)
 	cv.With("v").Inc()
-	if c.Value() != 0 || g.Value() != 0 {
+	fc.Add(0.25)
+	if c.Value() != 0 || g.Value() != 0 || fc.Value() != 0 {
 		t.Fatal("nil collectors hold values")
 	}
 	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
@@ -120,14 +123,52 @@ func TestDisabledMetricsZeroAlloc(t *testing.T) {
 	c := r.NewCounter("rewire_x_y_total", "x")
 	g := r.NewGauge("rewire_x_y_units", "x")
 	h := r.NewHistogram("rewire_x_y_seconds", "x", nil)
+	fc := r.NewFloatCounter("rewire_x_w_total", "x")
 	n := testing.AllocsPerRun(1000, func() {
 		c.Inc()
 		g.Set(2)
 		h.Observe(0.5)
+		fc.Add(0.5)
 	})
 	if n != 0 {
 		t.Fatalf("disabled metrics allocate %v allocs/op, want 0", n)
 	}
+}
+
+// FloatCounter semantics: monotonic float accumulation, negative and
+// NaN deltas dropped, rendered as a counter with a float value.
+func TestFloatCounter(t *testing.T) {
+	r := NewRegistry()
+	fc := r.NewFloatCounter("rewire_gc_pause_seconds_total", "x")
+	fc.Add(0.5)
+	fc.Add(0.25)
+	fc.Add(-1)         // dropped: counters only go up
+	fc.Add(math.NaN()) // dropped
+	fc.Add(0)          // no-op
+	if got := fc.Value(); got != 0.75 {
+		t.Fatalf("value = %v, want 0.75", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	if !strings.Contains(body, "# TYPE rewire_gc_pause_seconds_total counter") {
+		t.Errorf("float counter not typed as counter:\n%s", body)
+	}
+	if !strings.Contains(body, "rewire_gc_pause_seconds_total 0.75") {
+		t.Errorf("float counter value missing:\n%s", body)
+	}
+	// The counter naming rule applies: a float counter without _total
+	// must be rejected at registration.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("float counter without _total accepted")
+			}
+		}()
+		r.NewFloatCounter("rewire_gc_pause_seconds", "x")
+	}()
 }
 
 func BenchmarkMetricsDisabled(b *testing.B) {

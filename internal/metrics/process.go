@@ -3,17 +3,25 @@ package metrics
 import (
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"rewire/internal/buildinfo"
 )
 
-// ProcessCollector owns the process-health gauges every rewire daemon
-// exports — uptime, live goroutines, allocated heap — plus the
-// rewire_build_info identity gauge. Registering once and calling
-// Refresh from the scrape handler keeps the gauges current without a
-// background goroutine; the build-info gauge is constant (value 1, the
-// identity lives in its labels) and needs no refresh.
+// ProcessCollector owns the process-health metrics every rewire daemon
+// exports — uptime, live goroutines, allocated heap, and the garbage
+// collector's pause/cycle/pacing telemetry — plus the rewire_build_info
+// identity gauge. Registering once and calling Refresh from the scrape
+// handler keeps the values current without a background goroutine; the
+// build-info gauge is constant (value 1, the identity lives in its
+// labels) and needs no refresh.
+//
+// The GC metrics matter to this repo specifically because the mapping
+// hot paths are pool-backed (docs/PERFORMANCE.md, "Memory
+// architecture"): a regression that un-pools a hot buffer shows up in
+// production as rising rewire_process_gc_pause_seconds_total and
+// gc_cycles rates long before anyone reruns the benchmarks.
 //
 // A nil *ProcessCollector (from registering on a nil registry) is the
 // disabled collector: Refresh is a no-op.
@@ -22,6 +30,14 @@ type ProcessCollector struct {
 	uptime *Gauge
 	goros  *Gauge
 	heap   *Gauge
+
+	gcPause  *FloatCounter
+	gcCycles *Gauge
+	nextGC   *Gauge
+	// lastPauseNs tracks the previously exported PauseTotalNs so each
+	// Refresh adds only the delta to the monotonic pause counter; CAS
+	// keeps concurrent scrapes from double-counting a delta.
+	lastPauseNs atomic.Uint64
 }
 
 // RegisterProcess registers the process gauges on reg and returns the
@@ -44,6 +60,12 @@ func RegisterProcess(reg *Registry) *ProcessCollector {
 			"Live goroutines."),
 		heap: reg.NewGauge("rewire_process_heap_alloc_bytes",
 			"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc)."),
+		gcPause: reg.NewFloatCounter("rewire_process_gc_pause_seconds_total",
+			"Cumulative stop-the-world GC pause time (runtime.MemStats.PauseTotalNs)."),
+		gcCycles: reg.NewGauge("rewire_process_gc_cycles_units",
+			"Completed GC cycles since process start (runtime.MemStats.NumGC)."),
+		nextGC: reg.NewGauge("rewire_process_next_gc_bytes",
+			"Heap size at which the next GC cycle triggers (runtime.MemStats.NextGC)."),
 	}
 }
 
@@ -58,4 +80,16 @@ func (p *ProcessCollector) Refresh() {
 	p.uptime.Set(time.Since(p.start).Seconds())
 	p.goros.Set(float64(runtime.NumGoroutine()))
 	p.heap.Set(float64(ms.HeapAlloc))
+	for {
+		old := p.lastPauseNs.Load()
+		if ms.PauseTotalNs <= old {
+			break
+		}
+		if p.lastPauseNs.CompareAndSwap(old, ms.PauseTotalNs) {
+			p.gcPause.Add(float64(ms.PauseTotalNs-old) / 1e9)
+			break
+		}
+	}
+	p.gcCycles.Set(float64(ms.NumGC))
+	p.nextGC.Set(float64(ms.NextGC))
 }

@@ -3,6 +3,7 @@ package metrics
 import (
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -24,10 +25,16 @@ func TestProcessCollectorExposition(t *testing.T) {
 		"rewire_process_uptime_seconds",
 		"rewire_process_goroutines_units",
 		"rewire_process_heap_alloc_bytes",
+		"rewire_process_gc_pause_seconds_total",
+		"rewire_process_gc_cycles_units",
+		"rewire_process_next_gc_bytes",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("exposition misses %s:\n%s", want, body)
 		}
+	}
+	if !strings.Contains(body, "# TYPE rewire_process_gc_pause_seconds_total counter") {
+		t.Errorf("gc pause total not typed as a counter:\n%s", body)
 	}
 	// The info gauge's value is pinned to 1 and its labels carry the
 	// identity.
@@ -69,4 +76,36 @@ func TestProcessCollectorNil(t *testing.T) {
 	var reg *Registry
 	pc := RegisterProcess(reg)
 	pc.Refresh() // must not panic
+}
+
+// The GC metrics must carry real runtime values: forcing a collection
+// bumps the cycle count, accrues (or at least never decreases) pause
+// time, and leaves a positive next-GC target.
+func TestProcessCollectorGCMetrics(t *testing.T) {
+	reg := NewRegistry()
+	pc := RegisterProcess(reg)
+	pc.Refresh()
+	cyclesBefore := pc.gcCycles.Value()
+	pauseBefore := pc.gcPause.Value()
+
+	runtime.GC()
+	runtime.GC()
+	pc.Refresh()
+
+	if got := pc.gcCycles.Value(); got < cyclesBefore+2 {
+		t.Errorf("gc cycles = %v after two forced GCs (was %v)", got, cyclesBefore)
+	}
+	if got := pc.gcPause.Value(); got < pauseBefore {
+		t.Errorf("gc pause total went backwards: %v -> %v", pauseBefore, got)
+	}
+	if got := pc.nextGC.Value(); got <= 0 {
+		t.Errorf("next GC target = %v, want > 0", got)
+	}
+	// Refresh with no new pauses must not inflate the counter.
+	stable := pc.gcPause.Value()
+	pc.Refresh()
+	pc.Refresh()
+	if got := pc.gcPause.Value(); got != stable && got < stable {
+		t.Errorf("pause counter unstable across idle refreshes: %v -> %v", stable, got)
+	}
 }

@@ -84,7 +84,7 @@ func (f *family) write(w *bufio.Writer) {
 			w.WriteByte(' ')
 			w.WriteString(strconv.FormatInt(int64(c.num.Load()), 10))
 			w.WriteByte('\n')
-		case TypeGauge:
+		case TypeGauge, TypeFloatCounter:
 			w.WriteString(f.name)
 			writeLabels(w, f.labels, c.values, "", 0)
 			w.WriteByte(' ')

@@ -1,9 +1,7 @@
 package mrrg
 
 import (
-	"fmt"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -50,9 +48,13 @@ func CacheStats() (hits, misses int64) {
 // it at most once per (architecture fingerprint, II) and sharing the
 // immutable result across callers. Safe for concurrent use.
 func Shared(cgra *arch.CGRA, ii int) *Graph {
-	key := archFingerprint(cgra, ii)
+	// The key is built into a stack buffer and looked up via the
+	// no-copy map[string]([]byte) form, so the hit path allocates
+	// nothing; the string is materialised only when storing a miss.
+	var buf [512]byte
+	kb := appendArchKey(buf[:0], cgra, ii)
 	shared.mu.Lock()
-	if g, ok := shared.m[key]; ok {
+	if g, ok := shared.m[string(kb)]; ok {
 		shared.mu.Unlock()
 		shared.hits.Add(1)
 		return g
@@ -61,6 +63,7 @@ func Shared(cgra *arch.CGRA, ii int) *Graph {
 	// Build outside the lock: construction is the expensive part and two
 	// racing builders of the same key produce interchangeable graphs.
 	g := New(cgra, ii)
+	key := string(kb)
 	shared.mu.Lock()
 	defer shared.mu.Unlock()
 	if cached, ok := shared.m[key]; ok {
@@ -88,25 +91,48 @@ func Shared(cgra *arch.CGRA, ii int) *Graph {
 // (internal/resultcache) keys on the exact same notion of architecture
 // identity as the substrate caches.
 func ArchFingerprint(c *arch.CGRA) string {
-	var b strings.Builder
-	b.Grow(64 + len(c.MemPE) + 4*len(c.PECaps))
-	fmt.Fprintf(&b, "%s|%dx%d|r%d|b%d|t%v|m", c.Name, c.Rows, c.Cols, c.Regs, c.Banks, c.Torus)
+	return string(appendArchFingerprint(nil, c))
+}
+
+// appendArchFingerprint appends ArchFingerprint(c) to dst byte-for-byte.
+// It exists so Shared can build its lookup key into a stack buffer and
+// probe the cache without allocating on the hit path.
+func appendArchFingerprint(dst []byte, c *arch.CGRA) []byte {
+	dst = append(dst, c.Name...)
+	dst = append(dst, '|')
+	dst = strconv.AppendInt(dst, int64(c.Rows), 10)
+	dst = append(dst, 'x')
+	dst = strconv.AppendInt(dst, int64(c.Cols), 10)
+	dst = append(dst, "|r"...)
+	dst = strconv.AppendInt(dst, int64(c.Regs), 10)
+	dst = append(dst, "|b"...)
+	dst = strconv.AppendInt(dst, int64(c.Banks), 10)
+	dst = append(dst, "|t"...)
+	dst = strconv.AppendBool(dst, c.Torus)
+	dst = append(dst, "|m"...)
 	for _, m := range c.MemPE {
 		if m {
-			b.WriteByte('1')
+			dst = append(dst, '1')
 		} else {
-			b.WriteByte('0')
+			dst = append(dst, '0')
 		}
 	}
-	b.WriteString("|c")
+	dst = append(dst, "|c"...)
 	for _, m := range c.PECaps {
-		fmt.Fprintf(&b, "%x,", uint64(m))
+		dst = strconv.AppendUint(dst, uint64(m), 16)
+		dst = append(dst, ',')
 	}
-	return b.String()
+	return dst
 }
 
 // archFingerprint is the Shared cache key: the architecture identity
 // plus the II the graph is time-extended to.
 func archFingerprint(c *arch.CGRA, ii int) string {
-	return ArchFingerprint(c) + "|ii" + strconv.Itoa(ii)
+	return string(appendArchKey(nil, c, ii))
+}
+
+func appendArchKey(dst []byte, c *arch.CGRA, ii int) []byte {
+	dst = appendArchFingerprint(dst, c)
+	dst = append(dst, "|ii"...)
+	return strconv.AppendInt(dst, int64(ii), 10)
 }

@@ -80,8 +80,15 @@ type Graph struct {
 	pe     []int32 // owning PE, -1 for banks
 	valid  []bool  // false for boundary links
 	feedPE []int32 // PE whose FU can consume this resource's value next cycle
-	succ   [][]Node
-	pred   [][]Node
+
+	// Adjacency is stored CSR-style: one flat arena of edge endpoints per
+	// direction plus per-node offsets, built in two passes (count, then
+	// fill) so construction does a handful of allocations instead of one
+	// per node. Succs(n) and Preds(n) are subslices of these arenas.
+	succData []Node
+	succOff  []int32 // len numNodes+1; node n's successors at [off[n], off[n+1])
+	predData []Node
+	predOff  []int32
 
 	// statePool recycles State scratch buffers (sized to this graph) so
 	// the many short-lived sessions of an II sweep or eval run reuse
@@ -100,11 +107,10 @@ func New(cgra *arch.CGRA, ii int) *Graph {
 	g.numNodes = g.numSlots * ii
 
 	g.kind = make([]Kind, g.numNodes)
-	g.pe = make([]int32, g.numNodes)
 	g.valid = make([]bool, g.numNodes)
-	g.feedPE = make([]int32, g.numNodes)
-	g.succ = make([][]Node, g.numNodes)
-	g.pred = make([][]Node, g.numNodes)
+	peBack := make([]int32, 2*g.numNodes)
+	g.pe = peBack[:g.numNodes:g.numNodes]
+	g.feedPE = peBack[g.numNodes:]
 
 	g.classify()
 	g.connect()
@@ -169,11 +175,12 @@ func (g *Graph) Valid(n Node) bool { return g.valid[n] }
 func (g *Graph) FeedsPE(n Node) int { return int(g.feedPE[n]) }
 
 // Succs returns the resources reachable from n one cycle later. The
-// slice is owned by the graph.
-func (g *Graph) Succs(n Node) []Node { return g.succ[n] }
+// slice is owned by the graph and must not be mutated or appended to.
+func (g *Graph) Succs(n Node) []Node { return g.succData[g.succOff[n]:g.succOff[n+1]] }
 
 // Preds returns the resources that can reach n from one cycle earlier.
-func (g *Graph) Preds(n Node) []Node { return g.pred[n] }
+// The slice is owned by the graph and must not be mutated or appended to.
+func (g *Graph) Preds(n Node) []Node { return g.predData[g.predOff[n]:g.predOff[n+1]] }
 
 // LinkDir returns the mesh direction of a link resource; it panics on
 // other kinds.
@@ -263,16 +270,58 @@ func (g *Graph) classify() {
 	}
 }
 
-// connect wires the time-step adjacency. All edges go from time t to
-// time (t+1) mod II.
+// connect wires the time-step adjacency into the CSR arenas. All edges
+// go from time t to time (t+1) mod II. The edge set is enumerated twice
+// by forEachEdge — once to count per-node degrees, once to fill the
+// arenas — so per-node successor and predecessor order is exactly the
+// enumeration order, which routing determinism depends on.
 func (g *Graph) connect() {
+	// Counting pass. offs doubles as both offset tables: after the prefix
+	// sum, succOff[n] is the start of node n's successor run (likewise
+	// predOff for predecessors).
+	offs := make([]int32, 2*(g.numNodes+1))
+	succOff := offs[: g.numNodes+1 : g.numNodes+1]
+	predOff := offs[g.numNodes+1:]
+	edges := 0
+	g.forEachEdge(func(from, to Node) {
+		succOff[from+1]++
+		predOff[to+1]++
+		edges++
+	})
+	for i := 0; i < g.numNodes; i++ {
+		succOff[i+1] += succOff[i]
+		predOff[i+1] += predOff[i]
+	}
+	g.succOff = succOff
+	g.predOff = predOff
+
+	// Fill pass, with a cursor per node starting at its offset.
+	data := make([]Node, 2*edges)
+	g.succData = data[:edges:edges]
+	g.predData = data[edges:]
+	curs := make([]int32, 2*g.numNodes)
+	succCur := curs[:g.numNodes:g.numNodes]
+	predCur := curs[g.numNodes:]
+	copy(succCur, succOff[:g.numNodes])
+	copy(predCur, predOff[:g.numNodes])
+	g.forEachEdge(func(from, to Node) {
+		g.succData[succCur[from]] = to
+		succCur[from]++
+		g.predData[predCur[to]] = from
+		predCur[to]++
+	})
+}
+
+// forEachEdge enumerates every valid MRRG edge in a fixed, deterministic
+// order, invoking add(from, to) for each. connect runs it twice (count
+// and fill); the order must be identical across both passes.
+func (g *Graph) forEachEdge(add func(from, to Node)) {
 	a := g.Arch
 	addEdgeAllowSelf := func(from, to Node) {
 		if !g.valid[from] || !g.valid[to] {
 			return
 		}
-		g.succ[from] = append(g.succ[from], to)
-		g.pred[to] = append(g.pred[to], from)
+		add(from, to)
 	}
 	addEdge := func(from, to Node) {
 		// At II=1 a dwell edge (reg r -> reg r) or a link/reg self edge

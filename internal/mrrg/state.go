@@ -28,6 +28,15 @@ type State struct {
 	occ   []Net
 	phase []int32
 	ref   []int32
+
+	// mark is an epoch-stamped per-node scratch set that rides the pooled
+	// State so hot loops (route-path validity checks, flood dedup) can
+	// test-and-set node membership without allocating a map per call. A
+	// node is in the current set iff mark[n] == markEpoch; MarkBegin
+	// starts a fresh empty set in O(1). Not copied by Clone and never
+	// observable in mapping results.
+	mark      []int32
+	markEpoch int32
 }
 
 // blankState returns a State with right-sized (but uninitialised)
@@ -36,11 +45,13 @@ func (g *Graph) blankState() *State {
 	if v := g.statePool.Get(); v != nil {
 		return v.(*State)
 	}
+	back := make([]int32, 3*g.numNodes)
 	return &State{
 		G:     g,
 		occ:   make([]Net, g.numNodes),
-		phase: make([]int32, g.numNodes),
-		ref:   make([]int32, g.numNodes),
+		phase: back[:g.numNodes:g.numNodes],
+		ref:   back[g.numNodes : 2*g.numNodes : 2*g.numNodes],
+		mark:  back[2*g.numNodes:],
 	}
 }
 
@@ -79,6 +90,23 @@ func (s *State) Recycle() {
 	}
 	s.G.statePool.Put(s)
 }
+
+// MarkBegin empties the State's node-mark scratch set in O(1) by
+// advancing the epoch. The set survives until the next MarkBegin (or
+// epoch wrap, after which it is explicitly cleared).
+func (s *State) MarkBegin() {
+	s.markEpoch++
+	if s.markEpoch == 0 { // wrapped: stale stamps could alias, clear them
+		clear(s.mark)
+		s.markEpoch = 1
+	}
+}
+
+// Mark adds n to the current mark set.
+func (s *State) Mark(n Node) { s.mark[n] = s.markEpoch }
+
+// Marked reports whether n is in the current mark set.
+func (s *State) Marked(n Node) bool { return s.mark[n] == s.markEpoch }
 
 // Occupant returns the net holding n (NoNet if free) and its phase.
 func (s *State) Occupant(n Node) (Net, int) { return s.occ[n], int(s.phase[n]) }

@@ -14,7 +14,11 @@
 //   - allocs/op worse than a non-zero baseline by more than -threshold —
 //     allocation counts are deterministic per op, so a jump past the
 //     threshold is a real regression (a lost pool, a new per-op copy),
-//     not runner noise.
+//     not runner noise, or
+//   - B/op worse than a non-zero baseline by more than -threshold (or any
+//     increase from a zero baseline) — bytes per op are as deterministic
+//     as the allocation count, and catch the case where each allocation
+//     quietly gets bigger while the count stays flat.
 //
 // Benchmarks present in only one file are reported but never fail the
 // diff: renames and additions are routine between PRs.
@@ -70,8 +74,8 @@ type regression struct {
 }
 
 func (r regression) String() string {
-	if r.Metric == "allocs/op" && r.Base == 0 {
-		return fmt.Sprintf("%s: allocs/op %g -> %g (zero-alloc pin broken)", r.Name, r.Base, r.Cur)
+	if (r.Metric == "allocs/op" || r.Metric == "B/op") && r.Base == 0 {
+		return fmt.Sprintf("%s: %s %g -> %g (zero-alloc pin broken)", r.Name, r.Metric, r.Base, r.Cur)
 	}
 	return fmt.Sprintf("%s: %s %.0f -> %.0f (%+.1f%%)", r.Name, r.Metric, r.Base, r.Cur, 100*(r.Cur-r.Base)/r.Base)
 }
@@ -112,6 +116,24 @@ func diff(base, cur Output, threshold float64) (regs []regression, notes []strin
 				notes = append(notes, fmt.Sprintf("%-44s allocs/op %10.0f -> %10.0f  %+6.1f%%", b.Name, bAllocs, cAllocs, 100*delta))
 				if delta > threshold {
 					regs = append(regs, regression{b.Name, "allocs/op", bAllocs, cAllocs})
+				}
+			}
+		}
+		// B/op is as deterministic as allocs/op (bytes requested, not
+		// heap growth), so gate it with the same threshold: a count of
+		// allocations can stay flat while each one gets bigger.
+		if bBytes, ok := b.Metrics["B/op"]; ok {
+			cBytes := c.Metrics["B/op"]
+			switch {
+			case bBytes == 0:
+				if cBytes > 0 {
+					regs = append(regs, regression{b.Name, "B/op", bBytes, cBytes})
+				}
+			case cBytes > 0:
+				delta := (cBytes - bBytes) / bBytes
+				notes = append(notes, fmt.Sprintf("%-44s B/op %15.0f -> %15.0f  %+6.1f%%", b.Name, bBytes, cBytes, 100*delta))
+				if delta > threshold {
+					regs = append(regs, regression{b.Name, "B/op", bBytes, cBytes})
 				}
 			}
 		}

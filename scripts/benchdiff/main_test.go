@@ -100,6 +100,43 @@ func recM(name string, metrics map[string]float64) Record {
 	return Record{Name: name, Iterations: 1, Metrics: metrics}
 }
 
+func TestBytesPerOpGated(t *testing.T) {
+	// B/op regressions past the threshold fail even when allocs/op is
+	// flat: the same number of allocations, each one bigger.
+	base := out(recM("BenchmarkSubLower", map[string]float64{"ns/op": 1000, "allocs/op": 100, "B/op": 10000}))
+	cur := out(recM("BenchmarkSubLower", map[string]float64{"ns/op": 1000, "allocs/op": 100, "B/op": 20000}))
+	regs, notes := diff(base, cur, 0.15)
+	if len(regs) != 1 || regs[0].Metric != "B/op" {
+		t.Fatalf("regs = %v, want one B/op regression (+100%%)", regs)
+	}
+	if !strings.Contains(strings.Join(notes, "\n"), "B/op") {
+		t.Fatalf("notes missing the B/op delta:\n%s", strings.Join(notes, "\n"))
+	}
+	// Inside the threshold: noted, not failed.
+	cur = out(recM("BenchmarkSubLower", map[string]float64{"ns/op": 1000, "allocs/op": 100, "B/op": 11000}))
+	if regs, _ := diff(base, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("+10%% B/op must pass, got %v", regs)
+	}
+	// Improvements are never failed.
+	cur = out(recM("BenchmarkSubLower", map[string]float64{"ns/op": 1000, "allocs/op": 100, "B/op": 4000}))
+	if regs, _ := diff(base, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("a B/op improvement must pass, got %v", regs)
+	}
+}
+
+func TestZeroBytesPin(t *testing.T) {
+	// A zero-B/op baseline is a pin like zero allocs: any growth fails.
+	base := out(recM("BenchmarkTracerDisabled", map[string]float64{"ns/op": 2, "allocs/op": 0, "B/op": 0}))
+	cur := out(recM("BenchmarkTracerDisabled", map[string]float64{"ns/op": 2, "allocs/op": 0, "B/op": 16}))
+	regs, _ := diff(base, cur, 0.15)
+	if len(regs) != 1 || regs[0].Metric != "B/op" {
+		t.Fatalf("regs = %v, want the zero-B/op pin to fail", regs)
+	}
+	if s := regs[0].String(); !strings.Contains(s, "pin broken") {
+		t.Fatalf("pin break not labelled: %s", s)
+	}
+}
+
 func TestCustomPerOpMetricGated(t *testing.T) {
 	base := out(recM("BenchmarkSubRouter", map[string]float64{"ns/op": 1000, "expansions/op": 200}))
 	cur := out(recM("BenchmarkSubRouter", map[string]float64{"ns/op": 1000, "expansions/op": 300}))
