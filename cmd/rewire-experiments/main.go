@@ -28,6 +28,7 @@ import (
 	"rewire/internal/eval"
 	"rewire/internal/ledger"
 	"rewire/internal/obs"
+	"rewire/internal/portfolio"
 	"rewire/internal/resultcache"
 )
 
@@ -46,6 +47,9 @@ func main() {
 		budget   = flag.Duration("time-per-ii", 2*time.Second, "per-II wall-clock budget per mapper")
 		jobs     = flag.Int("j", runtime.NumCPU(), "concurrent mapper runs (1 = serial)")
 		sweepJ   = flag.Int("sweep-j", 1, "speculative II-sweep window per run (1 = serial; IIs and mappings are bit-identical at any width)")
+		mapperF  = flag.String("mapper", "", "comma-separated mapper filter: rewire, pathfinder, sa, portfolio (default: the paper's three)")
+		pfolioB  = flag.String("portfolio-backends", "", "backend subset raced by portfolio runs (default: every registered backend)")
+		pfolioJ  = flag.Int("portfolio-j", 0, "portfolio lane window (0 = one lane per backend, 1 = serial priority order; committed results are width-independent)")
 		cacheCap = flag.Int("result-cache", 0, "result-cache capacity in finished mappings (0 disables; overlapping combos across studies are served from cache, results unchanged)")
 		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
 		version  = flag.Bool("version", false, "print the build identity and exit")
@@ -89,16 +93,28 @@ func main() {
 	}
 	defer writeMemProfile(*memProfile)
 
+	mappers, merr := parseMappers(*mapperF)
+	if merr != nil {
+		log.Error("bad -mapper filter", "err", merr)
+		os.Exit(2)
+	}
 	cfg := eval.Config{
-		Seed:             *seed,
-		TimePerII:        *budget,
-		Jobs:             *jobs,
-		SweepParallelism: *sweepJ,
-		Verbose:          !*quiet,
-		Out:              os.Stdout,
-		TraceDir:         *traceDir,
-		ReportDir:        *reportDir,
-		Logger:           log,
+		Seed:                 *seed,
+		TimePerII:            *budget,
+		Jobs:                 *jobs,
+		SweepParallelism:     *sweepJ,
+		Mappers:              mappers,
+		PortfolioBackends:    splitCSV(*pfolioB),
+		PortfolioParallelism: *pfolioJ,
+		Verbose:              !*quiet,
+		Out:                  os.Stdout,
+		TraceDir:             *traceDir,
+		ReportDir:            *reportDir,
+		Logger:               log,
+	}
+	if _, err := portfolio.Canonical(cfg.PortfolioBackends); err != nil {
+		log.Error("bad -portfolio-backends", "err", err)
+		os.Exit(2)
 	}
 	if *cacheCap > 0 {
 		cfg.Cache = resultcache.New(*cacheCap)
@@ -126,8 +142,12 @@ func main() {
 	if *jobs > 1 {
 		workers = fmt.Sprintf(", %d workers", *jobs)
 	}
+	nMappers := len(eval.Mappers)
+	if len(mappers) > 0 {
+		nMappers = len(mappers)
+	}
 	fmt.Printf("running %d combos x %d mappers (budget %s per II, seed %d%s)...\n\n",
-		len(combos), len(eval.Mappers), *budget, *seed, workers)
+		len(combos), nMappers, *budget, *seed, workers)
 	results := eval.RunCombos(cfg, combos)
 	fmt.Println()
 
@@ -158,6 +178,38 @@ func main() {
 	if !specific || *summary {
 		results.Summary(os.Stdout)
 	}
+}
+
+// parseMappers resolves the -mapper CSV to eval display names, accepting
+// any alias the result cache canonicalises ("pf" → "PF*"). Empty means
+// the default set (the paper's three).
+func parseMappers(csv string) ([]string, error) {
+	display := map[string]string{
+		"rewire": "Rewire", "pathfinder": "PF*", "sa": "SA", "portfolio": "Portfolio",
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, f := range splitCSV(csv) {
+		canon, ok := resultcache.CanonicalMapper(f)
+		if !ok {
+			return nil, fmt.Errorf("unknown mapper %q (want rewire, pathfinder, sa or portfolio)", f)
+		}
+		if name := display[canon]; !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	return out, nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // filterCombos keeps the combos whose kernel / arch name appear in the

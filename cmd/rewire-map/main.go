@@ -33,11 +33,13 @@ func main() {
 		kernel   = flag.String("kernel", "fft", "benchmark kernel name (see -list)")
 		archStr  = flag.String("arch", "4x4r4", "architecture: 4x4rN, 8x8rN, or RxCrN")
 		archFile = flag.String("arch-file", "", "path to an ADL architecture spec (overrides -arch)")
-		mapper   = flag.String("mapper", "rewire", "mapper: rewire, pathfinder, or sa")
+		mapper   = flag.String("mapper", "rewire", "mapper: rewire, pathfinder, sa, or portfolio (races the backends, lowest II wins)")
 		seed     = flag.Int64("seed", 1, "random seed (runs are reproducible per seed)")
 		budget   = flag.Duration("time-per-ii", 5*time.Second, "wall-clock budget per attempted II")
 		maxII    = flag.Int("max-ii", 32, "largest II to attempt")
 		sweepJ   = flag.Int("sweep-j", 1, "speculative II-sweep window: II attempts run concurrently (1 = serial; results are bit-identical at any width)")
+		pfolioB  = flag.String("portfolio-backends", "", "comma-separated backend subset for -mapper portfolio (default: every registered backend, rewire,pathfinder,sa)")
+		pfolioJ  = flag.Int("portfolio-j", 0, "portfolio lane window: racing lanes run concurrently (0 = one lane per backend, 1 = serial priority order; the committed result is bit-identical at any width)")
 		cacheCap = flag.Int("result-cache", 0, "result-cache capacity in finished mappings (0 disables; a warm hit skips the compile entirely)")
 		routes   = flag.Bool("routes", false, "also print the per-edge route table")
 		energy   = flag.Bool("energy", false, "also print the activity/energy estimate")
@@ -128,16 +130,18 @@ func main() {
 		bus = rewire.NewProgressBus(0)
 	}
 	m, res, err := rewire.Map(g, cgra, rewire.Options{
-		Mapper:           rewire.MapperName(*mapper),
-		Seed:             *seed,
-		TimePerII:        *budget,
-		MaxII:            *maxII,
-		SweepParallelism: *sweepJ,
-		Tracer:           tr,
-		Logger:           log,
-		Cache:            cache,
-		Diag:             diag,
-		Progress:         bus,
+		Mapper:               rewire.MapperName(*mapper),
+		Seed:                 *seed,
+		TimePerII:            *budget,
+		MaxII:                *maxII,
+		SweepParallelism:     *sweepJ,
+		PortfolioBackends:    splitCSV(*pfolioB),
+		PortfolioParallelism: *pfolioJ,
+		Tracer:               tr,
+		Logger:               log,
+		Cache:                cache,
+		Diag:                 diag,
+		Progress:             bus,
 	})
 	// Profiles and traces are written before the success check: a failed
 	// mapping run is exactly the one worth profiling.
@@ -158,6 +162,12 @@ func main() {
 	writeTrace(tr, *traceOut, *traceJSONL)
 	writeReport(diag, bus, *reportDir)
 	fmt.Println(res)
+	if res.Portfolio != nil {
+		for _, b := range res.Portfolio.PerBackend {
+			fmt.Printf("  lane %-10s launched=%d won=%d cancelled=%d wasted=%dms\n",
+				b.Backend, b.Launched, b.Won, b.Cancelled, b.WastedMS)
+		}
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -201,6 +211,20 @@ func main() {
 		}
 		fmt.Printf("\nmapping bundle written to %s\n", *saveTo)
 	}
+}
+
+// splitCSV parses a comma-separated flag into its non-empty fields.
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // parseArch accepts "4x4r4"-style names: ROWSxCOLSrREGS. The presets use

@@ -20,6 +20,7 @@ import (
 	"rewire/internal/metrics"
 	"rewire/internal/mrrg"
 	"rewire/internal/obs"
+	"rewire/internal/portfolio"
 	"rewire/internal/resultcache"
 	"rewire/internal/trace"
 	"rewire/internal/viz"
@@ -120,6 +121,12 @@ type server struct {
 	mBatchDeduped *metrics.Counter    // rewire_serve_batch_deduped_total
 	mJobs         *metrics.CounterVec // rewire_serve_async_jobs_total{state}
 
+	// Portfolio lane accounting, labelled by backend.
+	mPfLanes     *metrics.CounterVec // rewire_portfolio_lanes_total{backend}
+	mPfWins      *metrics.CounterVec // rewire_portfolio_lane_wins_total{backend}
+	mPfCancelled *metrics.CounterVec // rewire_portfolio_cancelled_total{backend}
+	mPfWastedMS  *metrics.CounterVec // rewire_portfolio_wasted_ms_total{backend}
+
 	// Diagnostics surface.
 	mDiagReports  *metrics.CounterVec // rewire_diag_reports_total{outcome}
 	mDiagContest  *metrics.Histogram  // rewire_diag_contested_resources_units
@@ -191,6 +198,14 @@ func newServer(cfg serverConfig, lg *obs.Logger) *server {
 			"Batch entries served by copying a same-fingerprint entry's result within the batch."),
 		mJobs: reg.NewCounterVec("rewire_serve_async_jobs_total",
 			"Async mapping jobs by lifecycle event (submitted, completed, rejected).", "state"),
+		mPfLanes: reg.NewCounterVec("rewire_portfolio_lanes_total",
+			"Portfolio lanes launched, by backend.", "backend"),
+		mPfWins: reg.NewCounterVec("rewire_portfolio_lane_wins_total",
+			"Portfolio runs committed from this backend's lane (the race winner).", "backend"),
+		mPfCancelled: reg.NewCounterVec("rewire_portfolio_cancelled_total",
+			"Portfolio lanes cancelled after a higher-priority or lower-II lane won.", "backend"),
+		mPfWastedMS: reg.NewCounterVec("rewire_portfolio_wasted_ms_total",
+			"Wall-clock milliseconds spent on portfolio lanes whose outcome was discarded.", "backend"),
 		mDiagReports: reg.NewCounterVec("rewire_diag_reports_total",
 			"Mapping post-mortem reports collected, by run outcome (ok, failed).", "outcome"),
 		mDiagContest: reg.NewHistogram("rewire_diag_contested_resources_units",
@@ -248,10 +263,18 @@ type mapRequest struct {
 	Unroll    int    `json:"unroll,omitempty"`
 	Arch      string `json:"arch,omitempty"`
 	ArchADL   string `json:"arch_adl,omitempty"`
-	Mapper    string `json:"mapper,omitempty"` // rewire (default), pathfinder, sa
+	Mapper    string `json:"mapper,omitempty"` // rewire (default), pathfinder, sa, portfolio
 	Seed      int64  `json:"seed,omitempty"`
 	MaxII     int    `json:"max_ii,omitempty"`
 	TimePerII int    `json:"time_per_ii_ms,omitempty"`
+	// PortfolioBackends restricts a "portfolio" run to a comma-separated
+	// backend subset (default: every registered backend). Part of the
+	// result fingerprint — a subset may commit a different mapping.
+	PortfolioBackends string `json:"portfolio_backends,omitempty"`
+	// PortfolioParallelism is the portfolio lane window (0 = one lane per
+	// backend, 1 = serial priority order). Clamped like
+	// SweepParallelism; the committed result is width-independent.
+	PortfolioParallelism int `json:"portfolio_parallelism,omitempty"`
 	// SweepParallelism asks for a speculative II-sweep window (see
 	// docs/CONCURRENCY.md, "Layer 3"). The server clamps it so that
 	// Workers x window never oversubscribes GOMAXPROCS; the committed
@@ -292,6 +315,10 @@ type mapResponse struct {
 	// without a second request.
 	ReportURL string              `json:"report_url,omitempty"`
 	Report    *rewire.DiagSummary `json:"report,omitempty"`
+	// WinnerBackend names the backend whose lane a successful portfolio
+	// run committed ("rewire", "pathfinder", "sa"); empty for
+	// single-mapper runs.
+	WinnerBackend string `json:"winner_backend,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx answer.
@@ -318,8 +345,21 @@ func (s *server) parseMapRequest(req *mapRequest) (*rewire.DFG, *rewire.CGRA, re
 		mapper = rewire.MapperPathFinder
 	case "sa":
 		mapper = rewire.MapperSA
+	case "portfolio":
+		mapper = rewire.MapperPortfolio
 	default:
-		return nil, nil, "", fmt.Errorf("unknown mapper %q (want rewire, pathfinder or sa)", req.Mapper)
+		return nil, nil, "", fmt.Errorf("unknown mapper %q (want rewire, pathfinder, sa or portfolio)", req.Mapper)
+	}
+	if mapper != rewire.MapperPortfolio && (req.PortfolioBackends != "" || req.PortfolioParallelism != 0) {
+		return nil, nil, "", fmt.Errorf("portfolio_backends/portfolio_parallelism require mapper \"portfolio\", not %q", req.Mapper)
+	}
+	if req.PortfolioParallelism < 0 {
+		return nil, nil, "", fmt.Errorf("portfolio_parallelism %d must be >= 0", req.PortfolioParallelism)
+	}
+	if mapper == rewire.MapperPortfolio {
+		if _, err := portfolio.Canonical(portfolio.ParseBackends(req.PortfolioBackends)); err != nil {
+			return nil, nil, "", err
+		}
 	}
 	if req.MaxII < 0 || req.MaxII > s.cfg.MaxII {
 		return nil, nil, "", fmt.Errorf("max_ii %d out of range (server cap %d)", req.MaxII, s.cfg.MaxII)
@@ -528,7 +568,7 @@ func boolOutcome(ok bool) string {
 // synchronous runs: nothing subscribes before the answer, so there is
 // nothing to stream to).
 func (s *server) buildOpts(req *mapRequest, mapper rewire.MapperName, lg *obs.Logger, bus *rewire.ProgressBus) rewire.Options {
-	return rewire.Options{
+	opts := rewire.Options{
 		Mapper:           mapper,
 		Seed:             req.Seed,
 		TimePerII:        effectiveTPI(req),
@@ -540,6 +580,22 @@ func (s *server) buildOpts(req *mapRequest, mapper rewire.MapperName, lg *obs.Lo
 		Diag:             rewire.NewDiagCollector(),
 		Progress:         bus,
 	}
+	if mapper == rewire.MapperPortfolio {
+		opts.PortfolioBackends = portfolio.ParseBackends(req.PortfolioBackends)
+		// A zero width races one lane per backend; resolve it here so the
+		// same oversubscription clamp as the sweep window applies. The
+		// committed result is width-independent, so clamping only affects
+		// wall-clock.
+		want := req.PortfolioParallelism
+		if want == 0 {
+			want = len(opts.PortfolioBackends)
+			if want == 0 {
+				want = len(portfolio.Order())
+			}
+		}
+		opts.PortfolioParallelism = s.clampSweep(want)
+	}
+	return opts
 }
 
 // effectiveTPI resolves a request's per-II budget to what the engine
@@ -585,6 +641,9 @@ func buildMapResponse(runID string, opts rewire.Options, m *rewire.Mapping, res 
 	if mapErr != nil {
 		resp.Error = mapErr.Error()
 	}
+	if res.Portfolio != nil {
+		resp.WinnerBackend = res.Portfolio.WinnerBackend
+	}
 	if !res.Success {
 		resp.Report = rec.report.Summary()
 	}
@@ -613,6 +672,14 @@ func (s *server) recordRun(lg *obs.Logger, runID string, req *mapRequest,
 		s.mSlack.With(mapper).Observe(float64(res.II - res.MII))
 	}
 	s.mAmend.With(mapper).Observe(float64(res.ClusterAmendments))
+	if res.Portfolio != nil {
+		for _, b := range res.Portfolio.PerBackend {
+			s.mPfLanes.With(b.Backend).Add(int64(b.Launched))
+			s.mPfWins.With(b.Backend).Add(int64(b.Won))
+			s.mPfCancelled.With(b.Backend).Add(int64(b.Cancelled))
+			s.mPfWastedMS.With(b.Backend).Add(b.WastedMS)
+		}
+	}
 	metrics.FoldTracer(s.reg, opts.Tracer)
 	report := opts.Diag.Report()
 	if report != nil {
@@ -635,6 +702,9 @@ func (s *server) recordRun(lg *obs.Logger, runID string, req *mapRequest,
 		tracer:     opts.Tracer,
 		report:     report,
 	}
+	if res.Portfolio != nil {
+		rec.WinnerBackend = res.Portfolio.WinnerBackend
+	}
 	s.flight.add(rec)
 
 	e := ledger.Entry{
@@ -642,12 +712,18 @@ func (s *server) recordRun(lg *obs.Logger, runID string, req *mapRequest,
 		Kernel: res.Kernel, Arch: res.Arch, Mapper: mapper, Seed: req.Seed,
 		Success: res.Success, Cached: cout.Hit || cout.Shared,
 		II: res.II, MII: res.MII,
-		CompileMS: float64(res.Duration.Microseconds()) / 1000,
+		CompileMS:     float64(res.Duration.Microseconds()) / 1000,
+		WinnerBackend: rec.WinnerBackend,
 	}
 	if g != nil && cgra != nil {
-		e.DFGFP, e.ArchFP, e.OptsFP = ledger.Fingerprints(g, cgra, resultcache.Request{
+		fpReq := resultcache.Request{
 			Mapper: mapper, Seed: req.Seed, TimePerII: opts.TimePerII, MaxII: req.MaxII,
-		})
+		}
+		if opts.Mapper == rewire.MapperPortfolio {
+			// Canonical already validated in parseMapRequest.
+			fpReq.Backends, _ = portfolio.Canonical(opts.PortfolioBackends)
+		}
+		e.DFGFP, e.ArchFP, e.OptsFP = ledger.Fingerprints(g, cgra, fpReq)
 	}
 	e.AttachReport(report)
 	if err := s.led.Append(e); err != nil {
@@ -834,6 +910,9 @@ type runRecord struct {
 	MII        int              `json:"mii"`
 	DurationMS float64          `json:"duration_ms"`
 	Counters   map[string]int64 `json:"counters,omitempty"`
+	// WinnerBackend names the backend whose lane a portfolio run
+	// committed; empty for single-mapper runs.
+	WinnerBackend string `json:"winner_backend,omitempty"`
 
 	tracer *trace.Tracer
 	report *rewire.DiagReport

@@ -141,6 +141,68 @@ func TestMapEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPortfolioMapEndToEnd drives a portfolio request through POST /map
+// and checks the racing surface: the answer names the winning backend,
+// the lane counters move, and the run's post-mortem report carries the
+// winner.
+func TestPortfolioMapEndToEnd(t *testing.T) {
+	ts := testServer(t, serverConfig{Workers: 2, FlightSize: 8})
+	out, code := postMap(t, ts,
+		`{"kernel":"mvt","arch":"4x4r4","mapper":"portfolio","seed":7,"time_per_ii_ms":2000}`)
+	if code != http.StatusOK {
+		t.Fatalf("POST /map = %d", code)
+	}
+	if !out.Success {
+		t.Fatalf("portfolio mapping failed: %+v", out)
+	}
+	if out.WinnerBackend == "" {
+		t.Fatalf("successful portfolio run names no winner: %+v", out)
+	}
+
+	// The flight recorder entry carries the winner too.
+	runsBody, code := get(t, ts.URL+"/runs")
+	if code != http.StatusOK {
+		t.Fatalf("GET /runs = %d", code)
+	}
+	var runs []runRecord
+	if err := json.Unmarshal([]byte(runsBody), &runs); err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].WinnerBackend != out.WinnerBackend {
+		t.Fatalf("flight recorder winner = %+v, want %q", runs, out.WinnerBackend)
+	}
+
+	// The post-mortem report names the winner.
+	reportBody, code := get(t, ts.URL+out.ReportURL)
+	if code != http.StatusOK {
+		t.Fatalf("GET %s = %d", out.ReportURL, code)
+	}
+	var report struct {
+		WinnerBackend string `json:"winner_backend"`
+	}
+	if err := json.Unmarshal([]byte(reportBody), &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.WinnerBackend != out.WinnerBackend {
+		t.Fatalf("report winner %q != response winner %q", report.WinnerBackend, out.WinnerBackend)
+	}
+
+	// The lane counters must have moved: exactly one win for the winner,
+	// one launched lane per backend per raced II at minimum.
+	mBody, code := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	wantWin := fmt.Sprintf(`rewire_portfolio_lane_wins_total{backend=%q} 1`, out.WinnerBackend)
+	if !strings.Contains(mBody, wantWin) {
+		t.Errorf("/metrics missing %q", wantWin)
+	}
+	wantLane := fmt.Sprintf(`rewire_portfolio_lanes_total{backend=%q}`, out.WinnerBackend)
+	if !strings.Contains(mBody, wantLane) {
+		t.Errorf("/metrics missing %q", wantLane)
+	}
+}
+
 // TestConcurrentMapRequests hammers POST /map from several goroutines;
 // under -race this is the daemon's interleaving test (CI runs it).
 func TestConcurrentMapRequests(t *testing.T) {
@@ -435,6 +497,9 @@ func TestMapValidation(t *testing.T) {
 		{"bad mapper", `{"kernel":"mvt","arch":"4x4r4","mapper":"ilp"}`},
 		{"over max_ii cap", `{"kernel":"mvt","arch":"4x4r4","max_ii":99}`},
 		{"over time cap", `{"kernel":"mvt","arch":"4x4r4","time_per_ii_ms":60000}`},
+		{"unknown backend", `{"kernel":"mvt","arch":"4x4r4","mapper":"portfolio","portfolio_backends":"rewire,ilp"}`},
+		{"backends without portfolio", `{"kernel":"mvt","arch":"4x4r4","mapper":"rewire","portfolio_backends":"sa"}`},
+		{"negative portfolio window", `{"kernel":"mvt","arch":"4x4r4","mapper":"portfolio","portfolio_parallelism":-1}`},
 	}
 	for _, tc := range cases {
 		if _, code := postMap(t, ts, tc.body); code != http.StatusBadRequest {

@@ -114,6 +114,10 @@ type Options struct {
 	// amendment-round boundaries) for live streaming. nil disables
 	// publishing at one pointer check per site.
 	Progress *diag.Bus
+	// Lane tags this run's diag attempts and progress events with a
+	// portfolio lane label (see internal/portfolio); empty outside
+	// portfolio runs.
+	Lane string
 }
 
 func (o Options) withDefaults() Options {
@@ -195,71 +199,9 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 	opt.Progress.Publish(diag.Event{Type: "run_start", Mapper: "rewire",
 		Kernel: g.Name, Arch: a.Name, MII: res.MII})
 
+	runner := &iiRunner{g: g, a: a, opt: opt, tr: tr, ctr: ctr, root: root, lg: lg}
 	attemptII := func(actx context.Context, ii int) (iiOut, bool) {
-		var out iiOut
-		iiSeed := sweep.SeedForII(opt.Seed, ii)
-		rng := rand.New(rand.NewSource(iiSeed))
-		pace := sweep.NewPacer(actx, time.Now().Add(opt.TimePerII), paceEvery)
-		iiSpan := tr.StartSpan(root, "ii").WithInt("ii", int64(ii))
-		// Rewire amends whatever initial mapping it is given; initial
-		// mappings vary a lot in amendability, so each II retries with a
-		// few fresh PF* initial seeds (bounded by AttemptsPerII and the
-		// time budget).
-		for attempt := int64(0); attempt < int64(opt.AttemptsPerII) && (attempt == 0 || !pace.ExpiredNow()); attempt++ {
-			aSpan := tr.StartSpan(iiSpan, "attempt").WithInt("attempt", attempt)
-			m := mapping.New(g, a, ii)
-			sess, router := pathfinder.BuildInitialTraced(actx, m, iiSeed^(attempt<<16), &out.st, tr, aSpan)
-			att := opt.Diag.StartII(ii, int(attempt))
-			opt.Progress.Publish(diag.Event{Type: "attempt_start", II: ii, Attempt: int(attempt)})
-			am := &amender{
-				g:      g,
-				sess:   sess,
-				router: router,
-				rng:    rng,
-				res:    &out.st,
-				opt:    opt,
-				pace:   pace,
-				tr:     tr,
-				ctr:    ctr,
-				span:   aSpan,
-				att:    att,
-				bus:    opt.Progress,
-			}
-			ok := am.amend()
-			// Router work is accumulated per attempt — failed attempts
-			// spend real routing effort too, and each attempt owns a fresh
-			// router, so a final-attempt snapshot would drop the rest.
-			out.st.RouterExpansions += router.Expansions
-			ctr.routerExpansions.Add(router.Expansions)
-			aSpan.WithBool("ok", ok).End()
-			if !ok {
-				// Post-mortem: name what the leftover ill-mapped edges are
-				// fighting over (diagnostic-only, nil-safe).
-				route.AttributeFailures(att, am.sess, am.router)
-			}
-			att.Finish(ok, am.sess)
-			if actx.Err() != nil {
-				att.Cancelled()
-			}
-			opt.Progress.Publish(diag.Event{Type: "attempt_end", II: ii, Attempt: int(attempt),
-				Outcome: outcomeWord(ok, actx.Err() != nil)})
-			if !ok {
-				am.sess.Close()
-				continue
-			}
-			if err := mapping.Validate(am.sess.M); err != nil {
-				panic("rewire: produced invalid mapping: " + err.Error())
-			}
-			iiSpan.WithBool("ok", true).End()
-			out.m = am.sess.M
-			am.sess.Close()
-			return out, true
-		}
-		iiSpan.WithBool("ok", false).End()
-		if lg.On() {
-			lg.Debug("ii exhausted", "ii", ii)
-		}
-		return out, false
+		return runner.attemptII(actx, ii, sweep.SeedForII(opt.Seed, ii))
 	}
 
 	win, winII, below, ok := sweep.Run(ctx, res.MII, opt.MaxII, attemptII, sweep.Options{
@@ -286,6 +228,112 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 	lg.Warn("mapping failed", "mii", res.MII, "max_ii", opt.MaxII,
 		"duration_ms", res.Duration.Milliseconds())
 	return nil, res
+}
+
+// iiRunner carries the run-scoped state one II attempt needs: the
+// immutable inputs plus the run's instrumentation handles. MapCtx
+// builds one per run; AttemptII builds a root-less one per lane.
+type iiRunner struct {
+	g    *dfg.Graph
+	a    *arch.CGRA
+	opt  Options
+	tr   *trace.Tracer
+	ctr  counters
+	root *trace.Span
+	lg   *obs.Logger
+}
+
+// attemptII runs one II attempt with the given seed: draw up to
+// AttemptsPerII fresh PF* initial mappings and amend each cluster by
+// cluster until one validates or the II's time budget expires.
+func (r *iiRunner) attemptII(actx context.Context, ii int, iiSeed int64) (iiOut, bool) {
+	g, a, opt, tr, lg := r.g, r.a, r.opt, r.tr, r.lg
+	var out iiOut
+	rng := rand.New(rand.NewSource(iiSeed))
+	pace := sweep.NewPacer(actx, time.Now().Add(opt.TimePerII), paceEvery)
+	iiSpan := tr.StartSpan(r.root, "ii").WithInt("ii", int64(ii))
+	// Rewire amends whatever initial mapping it is given; initial
+	// mappings vary a lot in amendability, so each II retries with a
+	// few fresh PF* initial seeds (bounded by AttemptsPerII and the
+	// time budget).
+	for attempt := int64(0); attempt < int64(opt.AttemptsPerII) && (attempt == 0 || !pace.ExpiredNow()); attempt++ {
+		aSpan := tr.StartSpan(iiSpan, "attempt").WithInt("attempt", attempt)
+		m := mapping.New(g, a, ii)
+		sess, router := pathfinder.BuildInitialTraced(actx, m, iiSeed^(attempt<<16), &out.st, tr, aSpan)
+		att := opt.Diag.StartLane(ii, int(attempt), opt.Lane)
+		opt.Progress.Publish(diag.Event{Type: "attempt_start", II: ii, Attempt: int(attempt), Lane: opt.Lane})
+		am := &amender{
+			g:      g,
+			sess:   sess,
+			router: router,
+			rng:    rng,
+			res:    &out.st,
+			opt:    opt,
+			pace:   pace,
+			tr:     tr,
+			ctr:    r.ctr,
+			span:   aSpan,
+			att:    att,
+			bus:    opt.Progress,
+		}
+		ok := am.amend()
+		// Router work is accumulated per attempt — failed attempts
+		// spend real routing effort too, and each attempt owns a fresh
+		// router, so a final-attempt snapshot would drop the rest.
+		out.st.RouterExpansions += router.Expansions
+		r.ctr.routerExpansions.Add(router.Expansions)
+		aSpan.WithBool("ok", ok).End()
+		if !ok {
+			// Post-mortem: name what the leftover ill-mapped edges are
+			// fighting over (diagnostic-only, nil-safe).
+			route.AttributeFailures(att, am.sess, am.router)
+		}
+		att.Finish(ok, am.sess)
+		if actx.Err() != nil {
+			att.Cancelled()
+		}
+		opt.Progress.Publish(diag.Event{Type: "attempt_end", II: ii, Attempt: int(attempt),
+			Outcome: outcomeWord(ok, actx.Err() != nil), Lane: opt.Lane})
+		if !ok {
+			am.sess.Close()
+			continue
+		}
+		if err := mapping.Validate(am.sess.M); err != nil {
+			panic("rewire: produced invalid mapping: " + err.Error())
+		}
+		iiSpan.WithBool("ok", true).End()
+		out.m = am.sess.M
+		am.sess.Close()
+		return out, true
+	}
+	iiSpan.WithBool("ok", false).End()
+	if lg.On() {
+		lg.Debug("ii exhausted", "ii", ii)
+	}
+	return out, false
+}
+
+// AttemptII runs exactly one Rewire II attempt with an externally
+// derived seed and returns the mapping (nil on failure), the attempt's
+// private effort counters, and whether the II is feasible. It is the
+// portfolio lane entry point (see internal/portfolio): the caller owns
+// the run lifecycle — diag Begin/Commit, run_start/run_end events, MII
+// — while AttemptII emits only per-attempt instrumentation, tagged
+// with opt.Lane when set. Determinism matches MapCtx: the outcome is a
+// pure function of (g, a, ii, seed, opt).
+func AttemptII(ctx context.Context, g *dfg.Graph, a *arch.CGRA, ii int, seed int64, opt Options) (*mapping.Mapping, stats.Result, bool) {
+	opt = opt.withDefaults()
+	tr := opt.Tracer
+	r := &iiRunner{
+		g: g, a: a, opt: opt, tr: tr, ctr: newCounters(tr),
+		lg: opt.Logger.With("mapper", "rewire", "kernel", g.Name, "arch", a.Name),
+	}
+	out, ok := r.attemptII(ctx, ii, seed)
+	st := out.st
+	st.Mapper = "Rewire"
+	st.Kernel = g.Name
+	st.Arch = a.Name
+	return out.m, st, ok
 }
 
 // outcomeWord is the progress-event outcome label for one attempt.

@@ -34,6 +34,9 @@ type Event struct {
 	Round   int    `json:"round,omitempty"`
 	Ill     int    `json:"ill,omitempty"`
 	Outcome string `json:"outcome,omitempty"` // ok, failed, cancelled
+	// Lane names the portfolio lane (backend) an event belongs to.
+	// Empty outside portfolio runs.
+	Lane string `json:"lane,omitempty"`
 }
 
 // Bus is a bounded, drop-oldest progress-event bus. Producers (the

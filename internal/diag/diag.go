@@ -60,6 +60,7 @@ type Collector struct {
 	success  bool
 	cached   bool
 	ii       int
+	winner   string
 	started  time.Time
 }
 
@@ -110,14 +111,33 @@ func (c *Collector) MarkCached() {
 // while recording. Safe on nil (returns a nil handle, whose methods are
 // all no-ops).
 func (c *Collector) StartII(ii, attempt int) *IIAttempt {
+	return c.StartLane(ii, attempt, "")
+}
+
+// StartLane is StartII with a portfolio lane tag: the attempt's row in
+// the report timeline carries the backend label, so racing lanes at the
+// same II stay distinguishable. An empty lane is a plain StartII. Safe
+// on nil.
+func (c *Collector) StartLane(ii, attempt int, lane string) *IIAttempt {
 	if c == nil {
 		return nil
 	}
-	a := &IIAttempt{ii: ii, attempt: attempt, started: time.Now(), c: c}
+	a := &IIAttempt{ii: ii, attempt: attempt, lane: lane, started: time.Now(), c: c}
 	c.mu.Lock()
 	c.attempts = append(c.attempts, a)
 	c.mu.Unlock()
 	return a
+}
+
+// SetWinner records which portfolio backend produced the committed
+// mapping; single-mapper runs never call it. Safe on nil.
+func (c *Collector) SetWinner(backend string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.winner = backend
+	c.mu.Unlock()
 }
 
 // resStat is one contested resource's running tally.
@@ -131,6 +151,7 @@ type resStat struct {
 type IIAttempt struct {
 	ii      int
 	attempt int
+	lane    string
 	started time.Time
 	c       *Collector
 
@@ -283,6 +304,9 @@ type Report struct {
 	Cached  bool   `json:"cached,omitempty"`
 	II      int    `json:"ii,omitempty"`
 	MII     int    `json:"mii"`
+	// WinnerBackend names the portfolio backend whose lane produced the
+	// committed mapping; empty for single-mapper runs.
+	WinnerBackend string `json:"winner_backend,omitempty"`
 
 	// Attempts is the per-II timeline in (II, attempt) order.
 	Attempts []AttemptReport `json:"attempts"`
@@ -296,10 +320,13 @@ type Report struct {
 
 // AttemptReport is one II attempt in the timeline.
 type AttemptReport struct {
-	II      int     `json:"ii"`
-	Attempt int     `json:"attempt"`
-	Outcome string  `json:"outcome"` // mapped, failed, cancelled, running
-	DurMS   float64 `json:"dur_ms"`
+	II      int    `json:"ii"`
+	Attempt int    `json:"attempt"`
+	Outcome string `json:"outcome"` // mapped, failed, cancelled, running
+	// Lane is the portfolio backend this attempt ran under; empty for
+	// single-mapper runs.
+	Lane  string  `json:"lane,omitempty"`
+	DurMS float64 `json:"dur_ms"`
 	// Rounds counts negotiation rounds; Convergence is the ill-mapped
 	// node count after each round (capped, earliest rounds first).
 	Rounds      int   `json:"rounds"`
@@ -344,7 +371,7 @@ func (c *Collector) ReportTopK(k int) *Report {
 		Schema: SchemaID, Kernel: c.kernel, Arch: c.archName,
 		Rows: c.rows, Cols: c.cols,
 		Mapper: c.mapper, Success: c.success, Cached: c.cached,
-		II: c.ii, MII: c.mii,
+		II: c.ii, MII: c.mii, WinnerBackend: c.winner,
 		// Empty-but-present arrays: JSON consumers get [] rather than
 		// null (a cached hit legitimately has zero attempts).
 		Attempts:  []AttemptReport{},
@@ -355,13 +382,16 @@ func (c *Collector) ReportTopK(k int) *Report {
 		if attempts[i].ii != attempts[j].ii {
 			return attempts[i].ii < attempts[j].ii
 		}
+		if attempts[i].lane != attempts[j].lane {
+			return attempts[i].lane < attempts[j].lane
+		}
 		return attempts[i].attempt < attempts[j].attempt
 	})
 	merged := map[string]*ResourceReport{}
 	seenEdge := map[int]bool{}
 	for _, a := range attempts {
 		ar := AttemptReport{
-			II: a.ii, Attempt: a.attempt, Outcome: a.outcome, DurMS: a.durMS,
+			II: a.ii, Attempt: a.attempt, Outcome: a.outcome, Lane: a.lane, DurMS: a.durMS,
 			Rounds: a.rounds, Convergence: a.convergence, Contested: len(a.contested),
 		}
 		if !a.done {

@@ -29,6 +29,7 @@ import (
 	"rewire/internal/mapping"
 	"rewire/internal/obs"
 	"rewire/internal/pathfinder"
+	"rewire/internal/portfolio"
 	"rewire/internal/resultcache"
 	"rewire/internal/sa"
 	"rewire/internal/stats"
@@ -104,6 +105,21 @@ type Config struct {
 	// collector is used as-is and its summary is cumulative. nil
 	// disables recording at the cost of one pointer check.
 	Ledger *ledger.Ledger
+	// Mappers, when non-empty, restricts RunCombos to the listed mappers
+	// (display names, e.g. "Rewire" or "Portfolio"). Empty runs the
+	// paper's three. Reports render missing runs as "-".
+	Mappers []string
+	// PortfolioBackends selects the backends raced by "Portfolio" runs
+	// (canonicalised — priority order, aliases folded). Empty races the
+	// full registry. Part of the result fingerprint: a subset explores a
+	// different schedule and may commit a different mapping.
+	PortfolioBackends []string
+	// PortfolioParallelism is the lane width of "Portfolio" runs (0 races
+	// one lane per backend; 1 is the priority-ordered serial schedule).
+	// Wall-clock only — the committed result is width-independent — so
+	// it is exempt from the fingerprint. See docs/CONCURRENCY.md,
+	// "Layer 4".
+	PortfolioParallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -161,8 +177,36 @@ func Combos() []Combo {
 	return out
 }
 
-// Mappers in the order the paper reports them.
+// Mappers in the order the paper reports them. The "Portfolio" racer is
+// not part of the paper's comparison and runs only when selected via
+// Config.Mappers.
 var Mappers = []string{"Rewire", "PF*", "SA"}
+
+// mappers resolves the Config.Mappers filter against the default set.
+func (c Config) mappers() []string {
+	if len(c.Mappers) > 0 {
+		return c.Mappers
+	}
+	return Mappers
+}
+
+// cacheRequest builds the fingerprint request for one run. Portfolio
+// runs additionally key on the canonical backend subset, matching the
+// public rewire.CacheKey, so eval-populated caches and ledgers are
+// interoperable with API and serve traffic.
+func cacheRequest(mapper string, cfg Config) resultcache.Request {
+	req := resultcache.Request{
+		Mapper: mapper, Seed: cfg.Seed, TimePerII: cfg.TimePerII, MaxII: cfg.MaxII,
+	}
+	if mapper == "Portfolio" {
+		csv, err := portfolio.Canonical(cfg.PortfolioBackends)
+		if err != nil {
+			panic("eval: " + err.Error())
+		}
+		req.Backends = csv
+	}
+	return req
+}
 
 // Run maps one combo with one mapper under the config's budgets.
 func Run(mapper string, cb Combo, cfg Config) (*mapping.Mapping, stats.Result) {
@@ -191,9 +235,7 @@ func RunDFG(mapper string, g *dfg.Graph, a *arch.CGRA, cfg Config) (*mapping.Map
 		cached bool
 	)
 	if cfg.Cache != nil {
-		key := resultcache.KeyFor(g, a, resultcache.Request{
-			Mapper: mapper, Seed: cfg.Seed, TimePerII: cfg.TimePerII, MaxII: cfg.MaxII,
-		})
+		key := resultcache.KeyFor(g, a, cacheRequest(mapper, cfg))
 		var out resultcache.Outcome
 		m, res, out, _ = cfg.Cache.Do(context.Background(), key, func() (*mapping.Mapping, stats.Result) {
 			return runDFGUncached(mapper, g, a, cfg)
@@ -213,9 +255,7 @@ func appendLedger(cfg Config, g *dfg.Graph, a *arch.CGRA, mapper string, res sta
 	if cfg.Ledger == nil {
 		return
 	}
-	dfgFP, archFP, optsFP := ledger.Fingerprints(g, a, resultcache.Request{
-		Mapper: mapper, Seed: cfg.Seed, TimePerII: cfg.TimePerII, MaxII: cfg.MaxII,
-	})
+	dfgFP, archFP, optsFP := ledger.Fingerprints(g, a, cacheRequest(mapper, cfg))
 	kernel := res.Kernel
 	if kernel == "" {
 		kernel = g.Name
@@ -226,6 +266,9 @@ func appendLedger(cfg Config, g *dfg.Graph, a *arch.CGRA, mapper string, res sta
 		Success: res.Success, Cached: cached, II: res.II, MII: res.MII,
 		CompileMS: float64(res.Duration) / float64(time.Millisecond),
 		DFGFP:     dfgFP, ArchFP: archFP, OptsFP: optsFP,
+	}
+	if res.Portfolio != nil {
+		e.WinnerBackend = res.Portfolio.WinnerBackend
 	}
 	e.AttachReport(cfg.Diag.Report())
 	if err := cfg.Ledger.Append(e); err != nil {
@@ -257,6 +300,12 @@ func runDFGUncached(mapper string, g *dfg.Graph, a *arch.CGRA, cfg Config) (*map
 			Seed: cfg.Seed, MaxII: cfg.MaxII, TimePerII: cfg.TimePerII,
 			SweepParallelism: cfg.SweepParallelism,
 			Tracer:           cfg.Tracer, Logger: cfg.Logger, Diag: cfg.Diag,
+		})
+	case "Portfolio":
+		return portfolio.Map(g, a, portfolio.Options{
+			Seed: cfg.Seed, MaxII: cfg.MaxII, TimePerII: cfg.TimePerII,
+			Backends: cfg.PortfolioBackends, Parallelism: cfg.PortfolioParallelism,
+			Tracer: cfg.Tracer, Logger: cfg.Logger, Diag: cfg.Diag,
 		})
 	default:
 		panic("eval: unknown mapper " + mapper)
@@ -296,16 +345,17 @@ func RunAll(cfg Config) *Results {
 // byte-stable apart from measured durations.
 func RunCombos(cfg Config, combos []Combo) *Results {
 	cfg = cfg.withDefaults()
-	out := &Results{Combos: combos, ByRun: make(map[string]stats.Result, len(combos)*len(Mappers))}
+	mappers := cfg.mappers()
+	out := &Results{Combos: combos, ByRun: make(map[string]stats.Result, len(combos)*len(mappers))}
 	start := time.Now()
 
 	type task struct {
 		mapper string
 		cb     Combo
 	}
-	tasks := make([]task, 0, len(combos)*len(Mappers))
+	tasks := make([]task, 0, len(combos)*len(mappers))
 	for _, cb := range combos {
-		for _, mapper := range Mappers {
+		for _, mapper := range mappers {
 			tasks = append(tasks, task{mapper: mapper, cb: cb})
 		}
 	}

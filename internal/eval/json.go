@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 
@@ -35,12 +36,15 @@ type runJSON struct {
 }
 
 // WriteJSON serialises the full result set — combos, elapsed wall-clock,
-// every recorded run — as indented JSON.
+// every recorded run — as indented JSON. Runs from mappers outside the
+// paper's three (e.g. "Portfolio") are serialised after them, so a
+// filtered evaluation round-trips losslessly.
 func (r *Results) WriteJSON(w io.Writer) error {
 	out := resultsJSON{Elapsed: int64(r.Elapsed)}
+	mappers := r.mapperOrder()
 	for _, cb := range r.Combos {
 		out.Combos = append(out.Combos, comboJSON{Kernel: cb.Kernel, Arch: cb.Arch.Name})
-		for _, mapper := range Mappers {
+		for _, mapper := range mappers {
 			if res, ok := r.Get(mapper, cb); ok {
 				out.Runs = append(out.Runs, runJSON{
 					Mapper: mapper, Kernel: cb.Kernel, Arch: cb.Arch.Name, Result: res,
@@ -51,6 +55,29 @@ func (r *Results) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// mapperOrder lists every mapper with at least one recorded run: the
+// paper's three in report order first, then any extras (sorted) such as
+// "Portfolio".
+func (r *Results) mapperOrder() []string {
+	known := make(map[string]bool, len(Mappers))
+	var out []string
+	for _, m := range Mappers {
+		known[m] = true
+		out = append(out, m)
+	}
+	var extra []string
+	seen := map[string]bool{}
+	for key := range r.ByRun {
+		m := key[:strings.Index(key, "|")]
+		if !known[m] && !seen[m] {
+			seen[m] = true
+			extra = append(extra, m)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
 }
 
 // ResultsFromJSON decodes a WriteJSON document back into a Results,

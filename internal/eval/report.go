@@ -72,6 +72,9 @@ func (r *Results) Table1(w io.Writer) {
 	fmt.Fprintln(w, "== Table I: single-node remapping iterations (and Rewire cluster amendments) ==")
 	for _, name := range []string{"4x4r1", "4x4r4"} {
 		a := r.archByName(name)
+		if a == nil {
+			continue // filtered out of this evaluation
+		}
 		fmt.Fprintf(w, "\n-- %s --\n", a.Name)
 		fmt.Fprintf(w, "%-12s %6s %6s %14s\n", "benchmark", "PF*", "SA", "Rewire(amend)")
 		for _, cb := range r.combosOn(a) {
@@ -88,13 +91,15 @@ func (r *Results) Table1(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
+// archByName finds an architecture in the result set, nil when the
+// evaluation was filtered to combos that never touch it.
 func (r *Results) archByName(name string) *arch.CGRA {
 	for _, a := range r.archOrder() {
 		if a.Name == name {
 			return a
 		}
 	}
-	panic("eval: architecture " + name + " not in results")
+	return nil
 }
 
 // inTable1Set filters the 4x4r4 rows to the paper's Table I benchmarks

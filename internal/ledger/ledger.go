@@ -86,6 +86,11 @@ type Entry struct {
 	II        int     `json:"ii,omitempty"`
 	MII       int     `json:"mii"`
 	CompileMS float64 `json:"compile_ms"`
+	// WinnerBackend names the portfolio backend whose lane produced the
+	// committed mapping; empty for single-mapper runs (and for failed
+	// portfolio runs). Absent in pre-portfolio snapshots, which older
+	// and newer readers alike treat as empty.
+	WinnerBackend string `json:"winner_backend,omitempty"`
 
 	// DFGFP/ArchFP/OptsFP are sha256-short (16 hex chars) digests of the
 	// result cache's canonical fingerprint components. The full
@@ -379,6 +384,9 @@ type Group struct {
 	// CompileMS lists non-cached runs' compile times in time order.
 	CompileMS []float64
 	LastTSMS  int64
+	// WinnerCounts tallies portfolio wins per backend name; empty for
+	// single-mapper groups (their entries carry no winner).
+	WinnerCounts map[string]int
 }
 
 // SuccessRate is Successes/Runs, 0 for an empty group.
@@ -387,6 +395,24 @@ func (g Group) SuccessRate() float64 {
 		return 0
 	}
 	return float64(g.Successes) / float64(g.Runs)
+}
+
+// TopWinner returns the portfolio backend that won most often in this
+// group and its share of the recorded wins; ("", 0) when the group has
+// no winner records (every single-mapper group). Ties break
+// alphabetically so rendering is deterministic.
+func (g Group) TopWinner() (backend string, share float64) {
+	total := 0
+	for name, n := range g.WinnerCounts {
+		total += n
+		if n > g.WinnerCounts[backend] || (n == g.WinnerCounts[backend] && (backend == "" || name < backend)) {
+			backend = name
+		}
+	}
+	if total == 0 {
+		return "", 0
+	}
+	return backend, float64(g.WinnerCounts[backend]) / float64(total)
 }
 
 // Aggregate groups entries by (kernel, arch, mapper) and returns the
@@ -417,6 +443,12 @@ func Aggregate(entries []Entry) []Group {
 		}
 		if !e.Cached {
 			g.CompileMS = append(g.CompileMS, e.CompileMS)
+		}
+		if e.WinnerBackend != "" {
+			if g.WinnerCounts == nil {
+				g.WinnerCounts = map[string]int{}
+			}
+			g.WinnerCounts[e.WinnerBackend]++
 		}
 		if e.TSMS > g.LastTSMS {
 			g.LastTSMS = e.TSMS

@@ -74,6 +74,10 @@ type Options struct {
 	// remap-round boundaries) for live streaming. nil disables
 	// publishing at one pointer check per site.
 	Progress *diag.Bus
+	// Lane tags this run's diag attempts and progress events with a
+	// portfolio lane label (see internal/portfolio); empty outside
+	// portfolio runs.
+	Lane string
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -125,44 +129,9 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 	opt.Progress.Publish(diag.Event{Type: "run_start", Mapper: "pathfinder",
 		Kernel: g.Name, Arch: a.Name, MII: res.MII})
 
+	runner := &iiRunner{g: g, a: a, opt: opt, tr: tr, root: root, lg: lg}
 	attempt := func(actx context.Context, ii int) (iiOutcome, bool) {
-		var out iiOutcome
-		rng := rand.New(rand.NewSource(sweep.SeedForII(opt.Seed, ii)))
-		iiSpan := tr.StartSpan(root, "ii").WithInt("ii", int64(ii))
-		ms := tr.StartSpan(iiSpan, "mrrg_build")
-		p := newPerII(g, a, ii, rng, &out.st)
-		ms.End()
-		p.beam = opt.CandidateBeam
-		p.instrument(tr, iiSpan)
-		p.att = opt.Diag.StartII(ii, 0)
-		p.bus = opt.Progress
-		p.bus.Publish(diag.Event{Type: "attempt_start", II: ii})
-		ok := p.run(actx, opt)
-		out.remaps = p.remaps
-		// Each II owns a fresh router; accumulate its work win or lose so
-		// RouterExpansions reflects the whole sweep, not the last II.
-		out.st.RouterExpansions += p.router.Expansions
-		p.ctr.routerExpansions.Add(p.router.Expansions)
-		iiSpan.WithBool("ok", ok).WithInt("remaps", int64(p.remaps)).End()
-		if ok {
-			finalize(p.sess.M, &out.st)
-			out.m = p.sess.M
-		} else {
-			// Post-mortem: name the resources the unroutable edges are
-			// fighting over (diagnostic-only, nil-safe).
-			route.AttributeFailures(p.att, p.sess, p.router)
-		}
-		p.att.Finish(ok, p.sess)
-		if actx.Err() != nil {
-			p.att.Cancelled()
-		}
-		p.bus.Publish(diag.Event{Type: "attempt_end", II: ii, Round: p.remaps,
-			Outcome: outcomeWord(ok, actx.Err() != nil)})
-		p.sess.Close()
-		if !ok && lg.On() {
-			lg.Debug("ii exhausted", "ii", ii, "remaps", p.remaps)
-		}
-		return out, ok
+		return runner.attemptII(actx, ii, sweep.SeedForII(opt.Seed, ii))
 	}
 
 	win, winII, below, ok := sweep.Run(ctx, res.MII, opt.MaxII, attempt, sweep.Options{
@@ -200,6 +169,87 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 	lg.Warn("mapping failed", "mii", res.MII, "max_ii", opt.MaxII,
 		"duration_ms", res.Duration.Milliseconds())
 	return nil, res
+}
+
+// iiRunner carries the run-scoped state one II attempt needs: the
+// immutable inputs plus the run's instrumentation handles. MapCtx
+// builds one per run; AttemptII builds a root-less one per lane.
+type iiRunner struct {
+	g    *dfg.Graph
+	a    *arch.CGRA
+	opt  Options
+	tr   *trace.Tracer
+	root *trace.Span
+	lg   *obs.Logger
+}
+
+// attemptII runs one II attempt with the given seed: initial placement
+// followed by the rip-up/history negotiation loop until the mapping
+// validates or the II's remap/time budgets expire.
+func (r *iiRunner) attemptII(actx context.Context, ii int, iiSeed int64) (iiOutcome, bool) {
+	g, a, opt, tr, lg := r.g, r.a, r.opt, r.tr, r.lg
+	var out iiOutcome
+	rng := rand.New(rand.NewSource(iiSeed))
+	iiSpan := tr.StartSpan(r.root, "ii").WithInt("ii", int64(ii))
+	ms := tr.StartSpan(iiSpan, "mrrg_build")
+	p := newPerII(g, a, ii, rng, &out.st)
+	ms.End()
+	p.beam = opt.CandidateBeam
+	p.instrument(tr, iiSpan)
+	p.att = opt.Diag.StartLane(ii, 0, opt.Lane)
+	p.bus = opt.Progress
+	p.bus.Publish(diag.Event{Type: "attempt_start", II: ii, Lane: opt.Lane})
+	ok := p.run(actx, opt)
+	out.remaps = p.remaps
+	// Each II owns a fresh router; accumulate its work win or lose so
+	// RouterExpansions reflects the whole sweep, not the last II.
+	out.st.RouterExpansions += p.router.Expansions
+	p.ctr.routerExpansions.Add(p.router.Expansions)
+	iiSpan.WithBool("ok", ok).WithInt("remaps", int64(p.remaps)).End()
+	if ok {
+		finalize(p.sess.M, &out.st)
+		out.m = p.sess.M
+	} else {
+		// Post-mortem: name the resources the unroutable edges are
+		// fighting over (diagnostic-only, nil-safe).
+		route.AttributeFailures(p.att, p.sess, p.router)
+	}
+	p.att.Finish(ok, p.sess)
+	if actx.Err() != nil {
+		p.att.Cancelled()
+	}
+	p.bus.Publish(diag.Event{Type: "attempt_end", II: ii, Round: p.remaps,
+		Outcome: outcomeWord(ok, actx.Err() != nil), Lane: opt.Lane})
+	p.sess.Close()
+	if !ok && lg.On() {
+		lg.Debug("ii exhausted", "ii", ii, "remaps", p.remaps)
+	}
+	return out, ok
+}
+
+// AttemptII runs exactly one PF* II attempt with an externally derived
+// seed and returns the mapping (nil on failure), the attempt's private
+// effort counters (RemapIterations holds this attempt's remap count),
+// and whether the II is feasible. It is the portfolio lane entry point
+// (see internal/portfolio): the caller owns the run lifecycle — diag
+// Begin/Commit, run_start/run_end events, MII — while AttemptII emits
+// only per-attempt instrumentation, tagged with opt.Lane when set.
+// Determinism matches MapCtx: the outcome is a pure function of
+// (g, a, ii, seed, opt).
+func AttemptII(ctx context.Context, g *dfg.Graph, a *arch.CGRA, ii int, seed int64, opt Options) (*mapping.Mapping, stats.Result, bool) {
+	opt = opt.withDefaults(g.NumNodes())
+	tr := opt.Tracer
+	r := &iiRunner{
+		g: g, a: a, opt: opt, tr: tr,
+		lg: opt.Logger.With("mapper", "pathfinder", "kernel", g.Name, "arch", a.Name),
+	}
+	out, ok := r.attemptII(ctx, ii, seed)
+	st := out.st
+	st.Mapper = "PF*"
+	st.Kernel = g.Name
+	st.Arch = a.Name
+	st.RemapIterations = out.remaps
+	return out.m, st, ok
 }
 
 // outcomeWord is the progress-event outcome label for one attempt.

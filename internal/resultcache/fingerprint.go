@@ -18,7 +18,7 @@ import (
 // observers never feed back into the search. See docs/CACHING.md.
 type Request struct {
 	// Mapper is the algorithm name; aliases are canonicalised by
-	// NormalizeMapper so "PF*", "pf" and "pathfinder" share a key.
+	// CanonicalMapper so "PF*", "pf" and "pathfinder" share a key.
 	Mapper string
 	// Seed drives all randomness; equal seeds reproduce runs exactly.
 	Seed int64
@@ -28,6 +28,13 @@ type Request struct {
 	TimePerII time.Duration
 	// MaxII caps the II sweep, same reasoning as TimePerII.
 	MaxII int
+	// Backends is the canonical comma-joined backend subset of a
+	// portfolio request (see internal/portfolio); empty for single
+	// mappers. Different subsets can commit different mappings (a
+	// higher-priority backend may win a tie), so subsets never share an
+	// entry. Must already be canonical (portfolio.Canonical) — the
+	// fingerprint keys it verbatim.
+	Backends string
 }
 
 // Key is the canonical fingerprint triple identifying one compile:
@@ -56,22 +63,37 @@ func KeyFor(g *dfg.Graph, a *arch.CGRA, req Request) Key {
 	}
 }
 
-// NormalizeMapper canonicalises mapper-name aliases: the public API,
-// the serve daemon and the eval harness spell the same three algorithms
-// differently ("rewire"/"Rewire", "pathfinder"/"pf"/"PF*", "sa"/"SA"),
-// and an alias must never cause a spurious cache miss. Unknown names
-// are lower-cased and kept distinct.
-func NormalizeMapper(name string) string {
+// CanonicalMapper canonicalises mapper-name aliases and is the single
+// authority on which mapper names exist: the public API, the serve
+// daemon and the eval harness spell the same algorithms differently
+// ("rewire"/"Rewire", "pathfinder"/"pf"/"PF*", "sa"/"SA",
+// "portfolio"/"Portfolio"), and an alias must never cause a spurious
+// cache miss. Unknown names report ok=false so callers reject them at
+// the boundary instead of silently fingerprinting a name no mapper
+// answers to.
+func CanonicalMapper(name string) (canonical string, ok bool) {
 	switch s := strings.ToLower(name); s {
 	case "", "rewire":
-		return "rewire"
+		return "rewire", true
 	case "pf", "pf*", "pathfinder":
-		return "pathfinder"
+		return "pathfinder", true
 	case "sa":
-		return "sa"
+		return "sa", true
+	case "portfolio":
+		return "portfolio", true
 	default:
-		return s
+		return s, false
 	}
+}
+
+// NormalizeMapper is CanonicalMapper for trust-the-input callers:
+// ledger ingestion reads mapper names from arbitrary on-disk records
+// and must group them somehow, so unknown names are lower-cased and
+// kept distinct rather than rejected. Fingerprinting paths must use
+// CanonicalMapper (and reject !ok) instead.
+func NormalizeMapper(name string) string {
+	s, _ := CanonicalMapper(name)
+	return s
 }
 
 // DFGFingerprint canonically serialises every DFG field a mapper (or a
@@ -109,17 +131,30 @@ func DFGFingerprint(g *dfg.Graph) string {
 }
 
 // OptionsFingerprint canonically serialises the fingerprint-relevant
-// options.
+// options. The mapper name must be one CanonicalMapper accepts —
+// fingerprinting a name no mapper answers to would cache-key garbage,
+// so an unknown name panics (callers validate at their boundary, same
+// as eval's unknown-mapper panic). The backend-subset component is
+// appended only for portfolio requests, keeping every pre-portfolio
+// fingerprint byte-identical to what it was.
 func OptionsFingerprint(req Request) string {
+	m, ok := CanonicalMapper(req.Mapper)
+	if !ok {
+		panic("resultcache: unknown mapper name " + strconv.Quote(req.Mapper))
+	}
 	var b strings.Builder
 	b.Grow(48)
 	b.WriteString("m=")
-	b.WriteString(NormalizeMapper(req.Mapper))
+	b.WriteString(m)
 	b.WriteString("|s=")
 	b.WriteString(strconv.FormatInt(req.Seed, 10))
 	b.WriteString("|t=")
 	b.WriteString(strconv.FormatInt(int64(req.TimePerII), 10))
 	b.WriteString("|ii=")
 	b.WriteString(strconv.Itoa(req.MaxII))
+	if req.Backends != "" {
+		b.WriteString("|b=")
+		b.WriteString(req.Backends)
+	}
 	return b.String()
 }

@@ -74,6 +74,10 @@ type Options struct {
 	// routing-attempt boundaries) for live streaming. nil disables
 	// publishing at one pointer check per site.
 	Progress *diag.Bus
+	// Lane tags this run's diag attempts and progress events with a
+	// portfolio lane label (see internal/portfolio); empty outside
+	// portfolio runs.
+	Lane string
 }
 
 func (o Options) withDefaults() Options {
@@ -142,54 +146,9 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 	opt.Progress.Publish(diag.Event{Type: "run_start", Mapper: "sa",
 		Kernel: g.Name, Arch: a.Name, MII: res.MII})
 
+	runner := &iiRunner{g: g, a: a, opt: opt, tr: tr, ctr: ctr, root: root, lg: lg}
 	attempt := func(actx context.Context, ii int) (iiOut, bool) {
-		var out iiOut
-		// One rng per II attempt, shared by its restarts in sequence:
-		// the attempt's random stream depends only on (Seed, II).
-		rng := rand.New(rand.NewSource(sweep.SeedForII(opt.Seed, ii)))
-		pace := sweep.NewPacer(actx, time.Now().Add(opt.TimePerII), paceEvery)
-		iiSpan := tr.StartSpan(root, "ii").WithInt("ii", int64(ii))
-		for restart := 0; restart < opt.Restarts && !pace.ExpiredNow(); restart++ {
-			rSpan := tr.StartSpan(iiSpan, "anneal").WithInt("restart", int64(restart))
-			ms := tr.StartSpan(rSpan, "mrrg_build")
-			an := newAnnealer(g, a, ii, rng, &out.st)
-			ms.End()
-			an.tr, an.span, an.ctr = tr, rSpan, ctr
-			an.att = opt.Diag.StartII(ii, restart)
-			an.bus = opt.Progress
-			an.bus.Publish(diag.Event{Type: "attempt_start", II: ii, Attempt: restart})
-			an.router.Instrument(tr)
-			ok := an.run(opt, pace)
-			out.moves += an.moves
-			ctr.moves.Add(int64(an.moves))
-			// Each restart owns a fresh router; fold its work in win or
-			// lose so RouterExpansions covers the whole search.
-			out.st.RouterExpansions += an.router.Expansions
-			ctr.routerExpansions.Add(an.router.Expansions)
-			rSpan.WithBool("ok", ok).WithInt("moves", int64(an.moves)).End()
-			an.att.Finish(ok, an.sess)
-			if actx.Err() != nil {
-				an.att.Cancelled()
-			}
-			an.bus.Publish(diag.Event{Type: "attempt_end", II: ii, Attempt: restart,
-				Round: an.moves, Outcome: outcomeWord(ok, actx.Err() != nil)})
-			if !ok {
-				an.sess.Close()
-				continue
-			}
-			if err := mapping.Validate(an.sess.M); err != nil {
-				panic("sa: produced invalid mapping: " + err.Error())
-			}
-			iiSpan.WithBool("ok", true).End()
-			out.m = an.sess.M
-			an.sess.Close()
-			return out, true
-		}
-		iiSpan.WithBool("ok", false).End()
-		if lg.On() {
-			lg.Debug("ii exhausted", "ii", ii)
-		}
-		return out, false
+		return runner.attemptII(actx, ii, sweep.SeedForII(opt.Seed, ii))
 	}
 
 	win, winII, below, ok := sweep.Run(ctx, res.MII, opt.MaxII, attempt, sweep.Options{
@@ -227,6 +186,98 @@ func MapCtx(ctx context.Context, g *dfg.Graph, a *arch.CGRA, opt Options) (*mapp
 	lg.Warn("mapping failed", "mii", res.MII, "max_ii", opt.MaxII,
 		"duration_ms", res.Duration.Milliseconds())
 	return nil, res
+}
+
+// iiRunner carries the run-scoped state one II attempt needs: the
+// immutable inputs plus the run's instrumentation handles. MapCtx
+// builds one per run; AttemptII builds a root-less one per lane.
+type iiRunner struct {
+	g    *dfg.Graph
+	a    *arch.CGRA
+	opt  Options
+	tr   *trace.Tracer
+	ctr  saCounters
+	root *trace.Span
+	lg   *obs.Logger
+}
+
+// attemptII runs one II attempt with the given seed: up to Restarts
+// annealing rounds, each from a fresh random initial placement, until
+// one validates or the II's time budget expires.
+func (r *iiRunner) attemptII(actx context.Context, ii int, iiSeed int64) (iiOut, bool) {
+	g, a, opt, tr, lg := r.g, r.a, r.opt, r.tr, r.lg
+	var out iiOut
+	// One rng per II attempt, shared by its restarts in sequence:
+	// the attempt's random stream depends only on the attempt seed.
+	rng := rand.New(rand.NewSource(iiSeed))
+	pace := sweep.NewPacer(actx, time.Now().Add(opt.TimePerII), paceEvery)
+	iiSpan := tr.StartSpan(r.root, "ii").WithInt("ii", int64(ii))
+	for restart := 0; restart < opt.Restarts && !pace.ExpiredNow(); restart++ {
+		rSpan := tr.StartSpan(iiSpan, "anneal").WithInt("restart", int64(restart))
+		ms := tr.StartSpan(rSpan, "mrrg_build")
+		an := newAnnealer(g, a, ii, rng, &out.st)
+		ms.End()
+		an.tr, an.span, an.ctr = tr, rSpan, r.ctr
+		an.att = opt.Diag.StartLane(ii, restart, opt.Lane)
+		an.bus = opt.Progress
+		an.bus.Publish(diag.Event{Type: "attempt_start", II: ii, Attempt: restart, Lane: opt.Lane})
+		an.router.Instrument(tr)
+		ok := an.run(opt, pace)
+		out.moves += an.moves
+		r.ctr.moves.Add(int64(an.moves))
+		// Each restart owns a fresh router; fold its work in win or
+		// lose so RouterExpansions covers the whole search.
+		out.st.RouterExpansions += an.router.Expansions
+		r.ctr.routerExpansions.Add(an.router.Expansions)
+		rSpan.WithBool("ok", ok).WithInt("moves", int64(an.moves)).End()
+		an.att.Finish(ok, an.sess)
+		if actx.Err() != nil {
+			an.att.Cancelled()
+		}
+		an.bus.Publish(diag.Event{Type: "attempt_end", II: ii, Attempt: restart,
+			Round: an.moves, Outcome: outcomeWord(ok, actx.Err() != nil), Lane: opt.Lane})
+		if !ok {
+			an.sess.Close()
+			continue
+		}
+		if err := mapping.Validate(an.sess.M); err != nil {
+			panic("sa: produced invalid mapping: " + err.Error())
+		}
+		iiSpan.WithBool("ok", true).End()
+		out.m = an.sess.M
+		an.sess.Close()
+		return out, true
+	}
+	iiSpan.WithBool("ok", false).End()
+	if lg.On() {
+		lg.Debug("ii exhausted", "ii", ii)
+	}
+	return out, false
+}
+
+// AttemptII runs exactly one SA II attempt with an externally derived
+// seed and returns the mapping (nil on failure), the attempt's private
+// effort counters (RemapIterations holds this attempt's move count),
+// and whether the II is feasible. It is the portfolio lane entry point
+// (see internal/portfolio): the caller owns the run lifecycle — diag
+// Begin/Commit, run_start/run_end events, MII — while AttemptII emits
+// only per-attempt instrumentation, tagged with opt.Lane when set.
+// Determinism matches MapCtx: the outcome is a pure function of
+// (g, a, ii, seed, opt).
+func AttemptII(ctx context.Context, g *dfg.Graph, a *arch.CGRA, ii int, seed int64, opt Options) (*mapping.Mapping, stats.Result, bool) {
+	opt = opt.withDefaults()
+	tr := opt.Tracer
+	r := &iiRunner{
+		g: g, a: a, opt: opt, tr: tr, ctr: newCounters(tr),
+		lg: opt.Logger.With("mapper", "sa", "kernel", g.Name, "arch", a.Name),
+	}
+	out, ok := r.attemptII(ctx, ii, seed)
+	st := out.st
+	st.Mapper = "SA"
+	st.Kernel = g.Name
+	st.Arch = a.Name
+	st.RemapIterations = out.moves
+	return out.m, st, ok
 }
 
 // outcomeWord is the progress-event outcome label for one attempt.

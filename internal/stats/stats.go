@@ -44,6 +44,36 @@ type Result struct {
 
 	// Duration is the mapping wall-clock time.
 	Duration time.Duration
+
+	// Portfolio is the per-backend lane accounting of a portfolio run;
+	// nil for single-mapper runs.
+	Portfolio *PortfolioStats
+}
+
+// PortfolioStats describes one portfolio run: which backend's lane won
+// and what every backend's lanes cost. WinnerBackend is deterministic
+// (a pure function of seed, backends, and kernel); the lane tallies are
+// wall-clock accounting and vary with parallelism width, like Duration.
+type PortfolioStats struct {
+	// WinnerBackend is the canonical name of the backend whose lane
+	// produced the committed mapping; empty when the portfolio failed.
+	WinnerBackend string
+	// PerBackend holds one entry per racing backend in priority order.
+	PerBackend []BackendLanes
+}
+
+// BackendLanes is one backend's lane accounting across a portfolio run.
+type BackendLanes struct {
+	// Backend is the canonical backend name ("rewire", "pathfinder", "sa").
+	Backend string
+	// Launched counts lanes started; Won is 1 for the winning backend;
+	// Cancelled counts lanes torn down early because a better lane
+	// committed first.
+	Launched  int
+	Won       int
+	Cancelled int
+	// WastedMS is the wall-clock spent on this backend's discarded lanes.
+	WastedMS int64
 }
 
 // Optimal reports whether the mapping achieved the theoretical MII.
@@ -68,7 +98,11 @@ func (r Result) String() string {
 	if !r.Success {
 		status = fmt.Sprintf("FAILED (MII=%d)", r.MII)
 	}
-	return fmt.Sprintf("%-8s %-12s %-8s %s  %8.1fms  remaps=%d amendments=%d",
+	s := fmt.Sprintf("%-8s %-12s %-8s %s  %8.1fms  remaps=%d amendments=%d",
 		r.Mapper, r.Kernel, r.Arch, status,
 		float64(r.Duration.Microseconds())/1000, r.RemapIterations, r.ClusterAmendments)
+	if r.Portfolio != nil && r.Portfolio.WinnerBackend != "" {
+		s += " winner=" + r.Portfolio.WinnerBackend
+	}
+	return s
 }

@@ -18,3 +18,19 @@ func SeedForII(seed int64, ii int) int64 {
 	z ^= z >> 31
 	return int64(z)
 }
+
+// SeedForBackend extends SeedForII to portfolio lanes: the seed of one
+// (backend, II) lane is a pure function of (run seed, backend name, II),
+// independent of lane scheduling order or parallelism width. The backend
+// name is folded into the run seed with FNV-1a before the splitmix64 II
+// mix, so a backend racing inside the portfolio draws the same stream it
+// would draw running alone under seed^hash(backend) — distinct backends
+// at the same II never share randomness.
+func SeedForBackend(seed int64, backend string, ii int) int64 {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(backend); i++ {
+		h ^= uint64(backend[i])
+		h *= 1099511628211 // FNV-1a prime
+	}
+	return SeedForII(seed^int64(h), ii)
+}

@@ -54,6 +54,13 @@ type Options struct {
 	// the live progress stream (see internal/diag). nil disables
 	// publishing at one pointer check per boundary.
 	Progress *diag.Bus
+	// Lane maps an attempt index onto the (II, lane label) it stands
+	// for. The engine sweeps a contiguous index range and by default an
+	// index is its own II with an empty lane label; portfolio racing
+	// flattens (II, backend) pairs onto indices and installs Lane so
+	// spans and progress events report the real II and the backend
+	// label instead of the raw index. nil is the identity.
+	Lane func(i int) (ii int, lane string)
 }
 
 // slot is one in-flight or finished attempt.
@@ -93,6 +100,12 @@ func Run[R any](ctx context.Context, lo, hi int, attempt Attempt[R], opt Options
 	sweepSpan := tr.StartSpan(opt.Parent, "sweep").
 		WithInt("lo", int64(lo)).WithInt("hi", int64(hi)).WithInt("window", int64(w))
 	lg := opt.Logger
+	laneOf := func(i int) (int, string) {
+		if opt.Lane != nil {
+			return opt.Lane(i)
+		}
+		return i, ""
+	}
 
 	results := make(chan *slot[R])
 	pending := map[int]*slot[R]{} // launched, result not yet received
@@ -106,13 +119,17 @@ func Run[R any](ctx context.Context, lo, hi int, attempt Attempt[R], opt Options
 		s := &slot[R]{ii: ii, cancel: cancel}
 		pending[ii] = s
 		launchedCtr.Add(1)
-		opt.Progress.Publish(diag.Event{Type: "ii_start", II: ii})
+		eventII, lane := laneOf(ii)
+		opt.Progress.Publish(diag.Event{Type: "ii_start", II: eventII, Lane: lane})
 		if ii > resolve {
 			specCtr.Add(1)
 		}
 		go func() {
 			t0 := time.Now()
-			asp := tr.StartSpan(sweepSpan, "sweep.attempt").WithInt("ii", int64(ii))
+			asp := tr.StartSpan(sweepSpan, "sweep.attempt").WithInt("ii", int64(eventII))
+			if lane != "" {
+				asp.WithStr("lane", lane)
+			}
 			s.val, s.ok = attempt(actx, ii)
 			s.elapsed = time.Since(t0)
 			asp.WithBool("ok", s.ok).WithBool("cancelled", actx.Err() != nil).End()
@@ -136,7 +153,8 @@ func Run[R any](ctx context.Context, lo, hi int, attempt Attempt[R], opt Options
 		for len(pending) > 0 {
 			s := <-results
 			delete(pending, s.ii)
-			opt.Progress.Publish(diag.Event{Type: "ii_end", II: s.ii, Outcome: "cancelled"})
+			eventII, lane := laneOf(s.ii)
+			opt.Progress.Publish(diag.Event{Type: "ii_end", II: eventII, Lane: lane, Outcome: "cancelled"})
 			wastedCtr.Add(s.elapsed.Milliseconds())
 		}
 		for _, s := range done {
@@ -154,9 +172,14 @@ func Run[R any](ctx context.Context, lo, hi int, attempt Attempt[R], opt Options
 			if s.ok {
 				cancelAbove(s.ii)
 				drainWasted()
-				sweepSpan.WithInt("committed_ii", int64(s.ii)).WithBool("ok", true).End()
+				committedII, committedLane := laneOf(s.ii)
+				sweepSpan.WithInt("committed_ii", int64(committedII)).WithBool("ok", true)
+				if committedLane != "" {
+					sweepSpan.WithStr("lane", committedLane)
+				}
+				sweepSpan.End()
 				if lg.On() {
-					lg.Debug("sweep committed", "ii", s.ii, "failed_below", len(below))
+					lg.Debug("sweep committed", "ii", committedII, "failed_below", len(below))
 				}
 				return s.val, s.ii, below, true
 			}
@@ -191,13 +214,14 @@ func Run[R any](ctx context.Context, lo, hi int, attempt Attempt[R], opt Options
 		s := <-results
 		delete(pending, s.ii)
 		done[s.ii] = s
+		eventII, lane := laneOf(s.ii)
 		switch {
 		case s.ok:
-			opt.Progress.Publish(diag.Event{Type: "ii_end", II: s.ii, Outcome: "ok"})
+			opt.Progress.Publish(diag.Event{Type: "ii_end", II: eventII, Lane: lane, Outcome: "ok"})
 		case s.cancelSent:
-			opt.Progress.Publish(diag.Event{Type: "ii_end", II: s.ii, Outcome: "cancelled"})
+			opt.Progress.Publish(diag.Event{Type: "ii_end", II: eventII, Lane: lane, Outcome: "cancelled"})
 		default:
-			opt.Progress.Publish(diag.Event{Type: "ii_end", II: s.ii, Outcome: "failed"})
+			opt.Progress.Publish(diag.Event{Type: "ii_end", II: eventII, Lane: lane, Outcome: "failed"})
 		}
 		if s.ok && s.ii < lowestOK {
 			lowestOK = s.ii

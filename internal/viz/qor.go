@@ -27,16 +27,16 @@ func RenderQoR(entries []ledger.Entry) string {
 	}
 
 	b.WriteString("\nmapping quality (per kernel@arch and mapper):\n")
-	fmt.Fprintf(&b, "  %-22s %-10s %5s %5s %6s %4s  %s\n",
-		"combo", "mapper", "runs", "ok%", "bestII", "MII", "II over time")
+	fmt.Fprintf(&b, "  %-22s %-10s %5s %5s %6s %4s %-15s %s\n",
+		"combo", "mapper", "runs", "ok%", "bestII", "MII", "winner", "II over time")
 	for _, g := range groups {
 		best := "-"
 		if g.BestII > 0 {
 			best = fmt.Sprintf("%d", g.BestII)
 		}
-		fmt.Fprintf(&b, "  %-22s %-10s %5d %4.0f%% %6s %4d  %s\n",
+		fmt.Fprintf(&b, "  %-22s %-10s %5d %4.0f%% %6s %4d %-15s %s\n",
 			g.Kernel+"@"+g.Arch, g.Mapper, g.Runs, 100*g.SuccessRate(), best, g.MII,
-			Sparkline(g.IIs))
+			winnerCell(g), Sparkline(g.IIs))
 	}
 
 	b.WriteString("\ncompile-time trend (non-cached runs):\n")
@@ -93,7 +93,7 @@ table{border-collapse:collapse} td,th{border:1px solid #ccc;padding:.3em .6em;te
 	}
 
 	b.WriteString("<h2>mapping quality</h2>\n<table><tr><th>combo</th><th>mapper</th>" +
-		"<th>runs</th><th>success</th><th>best II</th><th>MII</th><th>II over time</th></tr>\n")
+		"<th>runs</th><th>success</th><th>best II</th><th>MII</th><th>winner</th><th>II over time</th></tr>\n")
 	for _, g := range groups {
 		best := "-"
 		if g.BestII > 0 {
@@ -101,9 +101,9 @@ table{border-collapse:collapse} td,th{border:1px solid #ccc;padding:.3em .6em;te
 		}
 		fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td class=\"num\">%d</td>"+
 			"<td class=\"num\">%.0f%%</td><td class=\"num\">%s</td><td class=\"num\">%d</td>"+
-			"<td class=\"spark\">%s</td></tr>\n",
+			"<td>%s</td><td class=\"spark\">%s</td></tr>\n",
 			esc(g.Kernel+"@"+g.Arch), esc(g.Mapper), g.Runs, 100*g.SuccessRate(),
-			best, g.MII, Sparkline(g.IIs))
+			best, g.MII, esc(winnerCell(g)), Sparkline(g.IIs))
 	}
 	b.WriteString("</table>\n")
 
@@ -139,6 +139,17 @@ table{border-collapse:collapse} td,th{border:1px solid #ccc;padding:.3em .6em;te
 	}
 	b.WriteString("</body></html>\n")
 	return b.String()
+}
+
+// winnerCell renders a group's portfolio win-rate: the backend whose
+// lane won most often and its share of wins ("rewire 80%"), "-" for
+// single-mapper groups whose entries carry no winner.
+func winnerCell(g ledger.Group) string {
+	backend, share := g.TopWinner()
+	if backend == "" {
+		return "-"
+	}
+	return fmt.Sprintf("%s %.0f%%", backend, 100*share)
 }
 
 // msSeries quantises a compile-time series to whole milliseconds for

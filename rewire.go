@@ -37,6 +37,7 @@ import (
 	"rewire/internal/mapping"
 	"rewire/internal/obs"
 	"rewire/internal/pathfinder"
+	"rewire/internal/portfolio"
 	"rewire/internal/power"
 	"rewire/internal/resultcache"
 	"rewire/internal/sa"
@@ -143,6 +144,12 @@ const (
 	MapperRewire     MapperName = "rewire"
 	MapperPathFinder MapperName = "pathfinder"
 	MapperSA         MapperName = "sa"
+	// MapperPortfolio races the registered backends (Rewire, PF*, SA)
+	// per II under one shared budget and commits the result of the
+	// highest-priority backend that succeeds at the lowest feasible II
+	// — deterministic at every parallelism width. See
+	// internal/portfolio and docs/CONCURRENCY.md, "Layer 4".
+	MapperPortfolio MapperName = "portfolio"
 )
 
 // Options tunes Map. The zero value maps with Rewire under default
@@ -161,6 +168,20 @@ type Options struct {
 	// committed mapping and II are bit-identical at every width — only
 	// wall-clock changes. See docs/CONCURRENCY.md, "Layer 3".
 	SweepParallelism int
+	// PortfolioBackends selects which backends MapperPortfolio races
+	// (by canonical name or alias: "rewire", "pathfinder"/"pf"/"pf*",
+	// "sa"). Empty races every registered backend. The subset can
+	// change the committed mapping (a higher-priority backend may win a
+	// tie), so it participates in the cache fingerprint; the order
+	// given here never matters — priority is fixed by the registry.
+	// Ignored by the single mappers.
+	PortfolioBackends []string
+	// PortfolioParallelism is the portfolio lane window: how many
+	// (backend, II) lanes race concurrently. 0 defaults to the backend
+	// count; 1 is the serial schedule. Like SweepParallelism it changes
+	// wall-clock only, never the committed mapping. Ignored by the
+	// single mappers.
+	PortfolioParallelism int
 	// Tracer, when non-nil, records phase spans and counters for the run
 	// (see NewTracer). Nil — the default — costs one pointer check per
 	// instrumentation point.
@@ -201,16 +222,18 @@ type Options struct {
 // added without a classification here, keeping the fingerprint honest
 // by construction.
 var optionFingerprintClass = map[string]bool{
-	"Mapper":           true,
-	"Seed":             true,
-	"TimePerII":        true,
-	"MaxII":            true,
-	"SweepParallelism": false,
-	"Tracer":           false,
-	"Logger":           false,
-	"Cache":            false,
-	"Diag":             false,
-	"Progress":         false,
+	"Mapper":               true,
+	"Seed":                 true,
+	"TimePerII":            true,
+	"MaxII":                true,
+	"SweepParallelism":     false,
+	"PortfolioBackends":    true,
+	"PortfolioParallelism": false,
+	"Tracer":               false,
+	"Logger":               false,
+	"Cache":                false,
+	"Diag":                 false,
+	"Progress":             false,
 }
 
 // CacheKey returns the canonical content-address of one mapping
@@ -223,12 +246,23 @@ func CacheKey(g *DFG, cgra *CGRA, opt Options) string {
 }
 
 func cacheKeyFor(g *DFG, cgra *CGRA, opt Options) resultcache.Key {
-	return resultcache.KeyFor(g, cgra, resultcache.Request{
+	req := resultcache.Request{
 		Mapper:    string(opt.Mapper),
 		Seed:      opt.Seed,
 		TimePerII: opt.TimePerII,
 		MaxII:     opt.MaxII,
-	})
+	}
+	if opt.Mapper == MapperPortfolio {
+		// The backend subset is part of what the portfolio computes;
+		// Canonical folds aliases and ordering so equivalent subsets
+		// share a key. Invalid subsets were rejected by validMapper.
+		csv, err := portfolio.Canonical(opt.PortfolioBackends)
+		if err != nil {
+			panic(err.Error())
+		}
+		req.Backends = csv
+	}
+	return resultcache.KeyFor(g, cgra, req)
 }
 
 // New4x4 builds the paper's 4x4 CGRA preset with the given register-file
@@ -298,7 +332,7 @@ func MapCtx(ctx context.Context, g *DFG, cgra *CGRA, opt Options) (*Mapping, Res
 // cached: failure can be budget-dependent, so only successes are
 // content-addressable. See docs/CACHING.md.
 func MapCached(ctx context.Context, g *DFG, cgra *CGRA, opt Options) (*Mapping, Result, CacheOutcome, error) {
-	if err := validMapper(opt.Mapper); err != nil {
+	if err := validMapper(opt); err != nil {
 		return nil, Result{}, CacheOutcome{}, err
 	}
 	if opt.Cache == nil {
@@ -325,6 +359,13 @@ func MapCached(ctx context.Context, g *DFG, cgra *CGRA, opt Options) (*Mapping, 
 // validated.
 func mapUncached(ctx context.Context, g *DFG, cgra *CGRA, opt Options) (*Mapping, Result) {
 	switch opt.Mapper {
+	case MapperPortfolio:
+		return portfolio.MapCtx(ctx, g, cgra, portfolio.Options{
+			Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
+			Backends: opt.PortfolioBackends, Parallelism: opt.PortfolioParallelism,
+			Tracer: opt.Tracer, Logger: opt.Logger,
+			Diag: opt.Diag, Progress: opt.Progress,
+		})
 	case MapperPathFinder:
 		return pathfinder.MapCtx(ctx, g, cgra, pathfinder.Options{
 			Seed: opt.Seed, TimePerII: opt.TimePerII, MaxII: opt.MaxII,
@@ -349,12 +390,17 @@ func mapUncached(ctx context.Context, g *DFG, cgra *CGRA, opt Options) (*Mapping
 	}
 }
 
-func validMapper(m MapperName) error {
-	switch m {
+func validMapper(opt Options) error {
+	switch opt.Mapper {
 	case MapperRewire, MapperPathFinder, MapperSA, "":
 		return nil
+	case MapperPortfolio:
+		if _, err := portfolio.Canonical(opt.PortfolioBackends); err != nil {
+			return fmt.Errorf("rewire: %w", err)
+		}
+		return nil
 	default:
-		return fmt.Errorf("rewire: unknown mapper %q", m)
+		return fmt.Errorf("rewire: unknown mapper %q", opt.Mapper)
 	}
 }
 

@@ -55,8 +55,11 @@ func TestOptionsFingerprintHonesty(t *testing.T) {
 	for field, relevant := range optionFingerprintClass {
 		opt, ok := variants[field]
 		if !ok {
-			if field == "Logger" {
+			switch field {
+			case "Logger":
 				continue // needs a writer; observer-exemption is covered by Tracer
+			case "PortfolioBackends", "PortfolioParallelism":
+				continue // only meaningful under MapperPortfolio; checked below
 			}
 			t.Errorf("no variant exercises Options.%s; add one", field)
 			continue
@@ -68,6 +71,29 @@ func TestOptionsFingerprintHonesty(t *testing.T) {
 		if !relevant && moved {
 			t.Errorf("Options.%s is classified exempt but changes CacheKey", field)
 		}
+	}
+
+	// The portfolio fields key against a portfolio base: the backend
+	// subset exists only under MapperPortfolio.
+	pbase := Options{Mapper: MapperPortfolio, Seed: 1, TimePerII: time.Second, MaxII: 16}
+	pbaseKey := CacheKey(g, cgra, pbase)
+	if pbaseKey == baseKey {
+		t.Error("portfolio requests must not share keys with single-mapper requests")
+	}
+	psub := pbase
+	psub.PortfolioBackends = []string{"rewire", "sa"}
+	if CacheKey(g, cgra, psub) == pbaseKey {
+		t.Error("Options.PortfolioBackends is classified fingerprint-relevant but does not change CacheKey")
+	}
+	palias := pbase
+	palias.PortfolioBackends = []string{"sa", "PF*", "Rewire"} // the full set, spelled badly
+	if CacheKey(g, cgra, palias) != pbaseKey {
+		t.Error("equivalent PortfolioBackends spellings must share a cache key")
+	}
+	pj := pbase
+	pj.PortfolioParallelism = 8
+	if CacheKey(g, cgra, pj) != pbaseKey {
+		t.Error("Options.PortfolioParallelism is classified exempt but changes CacheKey")
 	}
 }
 

@@ -51,6 +51,20 @@ if [[ -n "${serial_ns:-}" && -n "${spec_ns:-}" ]]; then
 	}' >&2
 fi
 
+# Portfolio racing overhead: BenchmarkFig6Portfolio races all three
+# backends per kernel and commits each kernel's best II, so the
+# quality-matched baseline is Rewire (the highest-priority lane — SA is
+# faster in wall-clock only because it settles for worse IIs). Racing
+# must cost barely more than running Rewire alone: the target is
+# <= 1.1x its ns/op on the same 4x4r2 kernel set.
+pf_ns=$(awk '$1 ~ /^BenchmarkFig6Portfolio(-[0-9]+)?$/ {print $3; exit}' "$raw")
+rw_ns=$(awk '$1 ~ /^BenchmarkFig6_4x4r2_Rewire(-[0-9]+)?$/ {print $3; exit}' "$raw")
+if [[ -n "${pf_ns:-}" && -n "${rw_ns:-}" ]]; then
+	awk -v p="$pf_ns" -v r="$rw_ns" 'BEGIN {
+		printf "portfolio racing (4x4r2): %.2fx Rewire alone (target <= 1.1x), %.1fs Rewire -> %.1fs portfolio, same-or-better IIs\n", p/r, r/1e9, p/1e9
+	}' >&2
+fi
+
 # Result-cache hit vs cold compile: BenchmarkResultCacheHit reports the
 # warm-hit ns/op plus a one-off cold_ns metric (the compile that
 # populated the cache), so the ratio is the work a hit skips.

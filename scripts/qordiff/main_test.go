@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -95,6 +97,38 @@ func TestDiffCoverageChangesAreNotes(t *testing.T) {
 	joined := strings.Join(notes, "\n")
 	if !strings.Contains(joined, "only in baseline") || !strings.Contains(joined, "only in current") {
 		t.Errorf("coverage notes missing: %v", notes)
+	}
+}
+
+// Pre-portfolio snapshots carry no winner_backend field; snapshots
+// written after it exists must still diff clean against them when the
+// quality is unchanged — the field is informational, never a gate.
+func TestWinnerBackendIgnoredForOldSnapshots(t *testing.T) {
+	const meta = `{"type":"meta","format":"rewire-ledger-v1","created_ms":1754600000000}` + "\n"
+	const oldRun = `{"type":"run","ts_ms":1754600001000,"source":"eval","kernel":"mvt","arch":"4x4r4","mapper":"portfolio","seed":1,"success":true,"ii":3,"mii":2,"compile_ms":120.5}` + "\n"
+	const newRun = `{"type":"run","ts_ms":1754600002000,"source":"eval","kernel":"mvt","arch":"4x4r4","mapper":"portfolio","seed":1,"success":true,"ii":3,"mii":2,"compile_ms":121.0,"winner_backend":"rewire"}` + "\n"
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.jsonl")
+	newPath := filepath.Join(dir, "new.jsonl")
+	if err := os.WriteFile(oldPath, []byte(meta+oldRun), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(meta+newRun), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadGroups(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := loadGroups(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs, _ := diff(base, cur, 0.5); len(regs) != 0 {
+		t.Fatalf("winner_backend made an old-vs-new diff dirty: %v", regs)
+	}
+	if regs, _ := diff(cur, base, 0.5); len(regs) != 0 {
+		t.Fatalf("winner_backend made a new-vs-old diff dirty: %v", regs)
 	}
 }
 
